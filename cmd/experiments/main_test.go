@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geospanner/internal/experiments"
+)
+
+func quickCfg() experiments.Config {
+	return experiments.Config{Region: 200, Trials: 1, Seed: 1}
+}
+
+func TestRunOneNumericExperiments(t *testing.T) {
+	for _, name := range []string{"table1", "fig8", "fig9", "fig10", "ablation", "routing", "power", "ldelk", "robust"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// Small n keeps each experiment fast; fig8-10 sweep their own
+			// densities, so n is ignored there by design.
+			n := 30
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), false); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// CSV mode too.
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), true); err != nil {
+				t.Fatalf("%s csv: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunOneFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := runOne("fig6", 30, 60, quickCfg(), dir, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6_udg.svg")); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne("fig7", 30, 60, quickCfg(), dir, false); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "fig7_*.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 10 {
+		t.Fatalf("fig7 wrote %d panels, want 10", len(matches))
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", 30, 60, quickCfg(), t.TempDir(), false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command geospanner builds the paper's planar spanner backbone for one
+// random wireless network instance and reports its structure, quality, and
+// communication cost.
+//
+// Usage:
+//
+//	geospanner -n 100 -radius 60 -seed 7
+//	geospanner -n 100 -radius 60 -svg topology.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"geospanner"
+	"geospanner/internal/metrics"
+	"geospanner/internal/stats"
+	"geospanner/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "geospanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("geospanner", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 100, "number of wireless nodes")
+		radius = fs.Float64("radius", 60, "transmission radius")
+		region = fs.Float64("region", 200, "side of the square deployment region")
+		seed   = fs.Int64("seed", 1, "random seed (instances resample until connected)")
+		svg    = fs.String("svg", "", "write the backbone topology as SVG to this path")
+		export = fs.String("export", "", "write every structure as JSON into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := geospanner.GenerateInstance(*seed, *n, *region, *radius)
+	if err != nil {
+		return err
+	}
+	res, err := geospanner.Build(inst.UDG, inst.Radius)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "instance: n=%d radius=%g region=%g seed=%d\n", *n, *radius, *region, *seed)
+	fmt.Fprintf(out, "UDG: %d edges, avg degree %.2f, max degree %d\n",
+		inst.UDG.NumEdges(), inst.UDG.AvgDegree(), inst.UDG.MaxDegree())
+	fmt.Fprintf(out, "backbone: %d dominators, %d connectors (%d of %d nodes)\n",
+		len(res.Cluster.Dominators), len(res.Conn.Connectors), len(res.Conn.Backbone), *n)
+
+	tb := stats.NewTable("graph", "edges", "deg_avg", "deg_max", "len_avg", "len_max", "hop_avg", "hop_max", "planar")
+	addBackboneRow := func(name string, g *geospanner.Graph) {
+		deg := metrics.Degrees(g, res.Conn.Backbone)
+		tb.AddRow(name, g.NumEdges(), deg.Avg, deg.Max, "-", "-", "-", "-", fmt.Sprint(g.IsPlanarEmbedding()))
+	}
+	addSpannerRow := func(name string, g *geospanner.Graph) {
+		deg := metrics.Degrees(g, nil)
+		s := geospanner.Stretch(inst.UDG, g, geospanner.StretchOptions{DirectEdges: true})
+		tb.AddRow(name, g.NumEdges(), deg.Avg, deg.Max, s.LengthAvg, s.LengthMax, s.HopAvg, s.HopMax,
+			fmt.Sprint(g.IsPlanarEmbedding()))
+	}
+	addBackboneRow("CDS", res.Conn.CDS)
+	addSpannerRow("CDS'", res.Conn.CDSPrime)
+	addBackboneRow("ICDS", res.Conn.ICDS)
+	addSpannerRow("ICDS'", res.Conn.ICDSPrime)
+	addBackboneRow("LDel(ICDS)", res.LDelICDS)
+	addSpannerRow("LDel(ICDS')", res.LDelICDSPrime)
+	fmt.Fprint(out, tb.Render())
+
+	fmt.Fprintf(out, "communication cost per node: CDS max %d avg %.2f; ICDS max %d avg %.2f; LDel(ICDS) max %d avg %.2f\n",
+		res.MsgsCDS.Max(), res.MsgsCDS.Avg(),
+		res.MsgsICDS.Max(), res.MsgsICDS.Avg(),
+		res.MsgsLDel.Max(), res.MsgsLDel.Avg())
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			return err
+		}
+		structures := map[string]*geospanner.Graph{
+			"udg.json":             inst.UDG,
+			"cds.json":             res.Conn.CDS,
+			"cds_prime.json":       res.Conn.CDSPrime,
+			"icds.json":            res.Conn.ICDS,
+			"icds_prime.json":      res.Conn.ICDSPrime,
+			"ldel_icds.json":       res.LDelICDS,
+			"ldel_icds_prime.json": res.LDelICDSPrime,
+		}
+		for name, g := range structures {
+			f, err := os.Create(filepath.Join(*export, name))
+			if err != nil {
+				return err
+			}
+			if err := g.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "exported %d structures to %s\n", len(structures), *export)
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d := viz.NewDrawing(*region)
+		d.AddLayer(inst.UDG, viz.Style{Stroke: "#dddddd", StrokeWidth: 0.3, NodeFill: "#1f77b4", NodeRadius: 1.6})
+		d.AddLayer(res.LDelICDSPrime, viz.Style{Stroke: "#2ca02c", StrokeWidth: 0.8, NodeFill: "#1f77b4", NodeRadius: 1.6})
+		for _, dom := range res.Cluster.Dominators {
+			d.MarkNode(dom, "#d62728")
+		}
+		for _, c := range res.Conn.Connectors {
+			d.MarkNode(c, "#ff7f0e")
+		}
+		if err := d.WriteSVG(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *svg)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "50", "-radius", "60", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"instance:", "UDG:", "backbone:", "LDel(ICDS)", "communication cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.svg")
+	var b strings.Builder
+	if err := run([]string{"-n", "30", "-radius", "70", "-svg", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "</svg>") {
+		t.Fatal("svg output malformed")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunExportsJSON(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-n", "30", "-radius", "70", "-export", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"udg.json", "cds.json", "ldel_icds.json", "icds_prime.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"points"`) || !strings.Contains(string(data), `"edges"`) {
+			t.Fatalf("%s malformed: %s", name, data[:60])
+		}
+	}
+}

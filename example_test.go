@@ -1,0 +1,87 @@
+package geospanner_test
+
+import (
+	"fmt"
+	"log"
+
+	"geospanner"
+)
+
+// Example builds the paper's planar spanner backbone for a small random
+// network and prints its headline properties.
+func Example() {
+	inst, err := geospanner.GenerateInstance(42, 60, 200, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := geospanner.BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("planar:", res.LDelICDS.IsPlanarEmbedding())
+	fmt.Println("spans all nodes:", res.LDelICDSPrime.Connected())
+	// Output:
+	// planar: true
+	// spans all nodes: true
+}
+
+// ExampleStretch measures how much longer backbone routes are than optimal
+// unit-disk-graph routes.
+func ExampleStretch() {
+	inst, err := geospanner.GenerateInstance(7, 60, 200, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := geospanner.BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := geospanner.Stretch(inst.UDG, res.LDelICDSPrime,
+		geospanner.StretchOptions{DirectEdges: true})
+	fmt.Println("disconnected pairs:", s.Disconnected)
+	fmt.Println("stretch at least 1:", s.LengthAvg >= 1 && s.HopAvg >= 1)
+	// Output:
+	// disconnected pairs: 0
+	// stretch at least 1: true
+}
+
+// ExampleRouteGFG routes around a void where greedy forwarding fails.
+func ExampleRouteGFG() {
+	// A "C" of nodes around a hole; node 5 cannot make greedy progress
+	// toward node 0.
+	pts := []geospanner.Point{
+		geospanner.Pt(0, 0), geospanner.Pt(0, 1), geospanner.Pt(1, 2),
+		geospanner.Pt(2, 2), geospanner.Pt(3, 1), geospanner.Pt(3, 0),
+	}
+	g := geospanner.BuildUDG(pts, 1.5)
+	g.RemoveEdge(0, 5)
+
+	if _, err := geospanner.RouteGreedy(g, 5, 0); err != nil {
+		fmt.Println("greedy fails at the void")
+	}
+	path, err := geospanner.RouteGFG(g, 5, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("face routing delivers:", path)
+	// Output:
+	// greedy fails at the void
+	// face routing delivers: [5 4 3 2 1 0]
+}
+
+// ExampleNewMaintained repairs the clustering locally when nodes fail.
+func ExampleNewMaintained() {
+	pts := []geospanner.Point{geospanner.Pt(0, 0), geospanner.Pt(0.5, 0)}
+	m := geospanner.NewMaintained(pts, 0.6)
+	fmt.Println("node 0 is dominator:", m.Status(0).String() == "dominator")
+	changed, err := m.Fail(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("promotions after failure:", changed)
+	fmt.Println("invariants hold:", m.CheckInvariants() == nil)
+	// Output:
+	// node 0 is dominator: true
+	// promotions after failure: [1]
+	// invariants hold: true
+}

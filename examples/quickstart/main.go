@@ -1,0 +1,61 @@
+// Quickstart: generate a random wireless network, build the paper's planar
+// spanner backbone, and print what came out.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geospanner"
+)
+
+func main() {
+	// 100 nodes, uniform in a 200×200 region, transmission radius 60;
+	// instances resample deterministically until the UDG is connected.
+	inst, err := geospanner.GenerateInstance(42, 100, 200, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the full distributed pipeline: MIS clustering → connector
+	// election → induced backbone → localized Delaunay planarization.
+	res, err := geospanner.Build(inst.UDG, inst.Radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("unit disk graph: %d nodes, %d edges\n", inst.UDG.N(), inst.UDG.NumEdges())
+	fmt.Printf("backbone: %d dominators + %d connectors\n",
+		len(res.Cluster.Dominators), len(res.Conn.Connectors))
+	fmt.Printf("LDel(ICDS): %d edges, planar=%v\n",
+		res.LDelICDS.NumEdges(), res.LDelICDS.IsPlanarEmbedding())
+
+	// The headline guarantees: the primed structure spans the whole
+	// network with constant stretch...
+	s := geospanner.Stretch(inst.UDG, res.LDelICDSPrime, geospanner.StretchOptions{DirectEdges: true})
+	fmt.Printf("stretch vs UDG: length avg %.2f max %.2f, hops avg %.2f max %.2f\n",
+		s.LengthAvg, s.LengthMax, s.HopAvg, s.HopMax)
+
+	// ...and each node paid only a constant number of messages to build it.
+	fmt.Printf("communication: max %d msgs/node, avg %.1f msgs/node, %d total\n",
+		res.MsgsLDel.Max(), res.MsgsLDel.Avg(), res.MsgsLDel.Total())
+
+	// Route a packet between the two farthest-apart nodes, across the
+	// backbone, with guaranteed delivery.
+	src, dst := 0, 1
+	for u := 0; u < inst.UDG.N(); u++ {
+		for v := u + 1; v < inst.UDG.N(); v++ {
+			if inst.UDG.Point(u).Dist(inst.UDG.Point(v)) > inst.UDG.Point(src).Dist(inst.UDG.Point(dst)) {
+				src, dst = u, v
+			}
+		}
+	}
+	path, err := geospanner.RouteViaBackbone(res, src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route %d -> %d via backbone: %v (%d hops, UDG optimum %d)\n",
+		src, dst, path, len(path)-1, inst.UDG.HopDist(src, dst))
+}

@@ -1,0 +1,85 @@
+// Sensornet: the paper's motivating workload — a field of sensors reports
+// readings to a fixed sink. All traffic converges on one node, so route
+// quality and per-node state matter: the planar backbone keeps every node's
+// neighbor table constant-sized while staying within a small factor of the
+// optimal routes.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geospanner"
+)
+
+func main() {
+	const (
+		sensors = 150
+		region  = 200.0
+		radius  = 50.0
+	)
+	inst, err := geospanner.GenerateInstance(7, sensors, region, radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := geospanner.Build(inst.UDG, inst.Radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The sink is the node nearest the region corner (a typical gateway
+	// placement).
+	sink := 0
+	corner := geospanner.Pt(0, 0)
+	for v := 1; v < inst.UDG.N(); v++ {
+		if inst.UDG.Point(v).Dist(corner) < inst.UDG.Point(sink).Dist(corner) {
+			sink = v
+		}
+	}
+	fmt.Printf("%d sensors, sink=%d at %v\n", sensors, sink, inst.UDG.Point(sink))
+	fmt.Printf("backbone: %d nodes of %d; LDel(ICDS) planar=%v, max degree %d\n",
+		len(res.Conn.Backbone), sensors, res.LDelICDS.IsPlanarEmbedding(), res.LDelICDS.MaxDegree())
+
+	// Every sensor reports to the sink through the backbone; compare hops
+	// against the UDG optimum (which would require every node to know its
+	// full dense neighborhood).
+	var delivered, totalHops, totalOpt int
+	var worst float64 = 1
+	for v := 0; v < inst.UDG.N(); v++ {
+		if v == sink {
+			continue
+		}
+		path, err := geospanner.RouteViaBackbone(res, v, sink)
+		if err != nil {
+			log.Fatalf("sensor %d failed to reach the sink: %v", v, err)
+		}
+		delivered++
+		hops := len(path) - 1
+		opt := inst.UDG.HopDist(v, sink)
+		totalHops += hops
+		totalOpt += opt
+		if r := float64(hops) / float64(opt); r > worst {
+			worst = r
+		}
+	}
+	fmt.Printf("delivered %d/%d reports\n", delivered, sensors-1)
+	fmt.Printf("avg hops via backbone: %.2f (UDG optimum %.2f, ratio %.2f, worst %.2f)\n",
+		float64(totalHops)/float64(delivered),
+		float64(totalOpt)/float64(delivered),
+		float64(totalHops)/float64(totalOpt), worst)
+
+	// In-network state: the point of the backbone. Sensors keep one
+	// dominator pointer; only backbone nodes keep (constant-size) routing
+	// neighborhoods.
+	maxBackboneDeg := 0
+	for _, b := range res.Conn.Backbone {
+		if d := res.LDelICDS.Degree(b); d > maxBackboneDeg {
+			maxBackboneDeg = d
+		}
+	}
+	fmt.Printf("per-node state: sensors store <=5 dominator links; backbone routing degree <= %d\n",
+		maxBackboneDeg)
+	fmt.Printf("construction cost: max %d msgs/node (constant in n)\n", res.MsgsLDel.Max())
+}

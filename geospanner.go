@@ -1,0 +1,186 @@
+// Package geospanner is the public API of a full reproduction of
+// "Geometric Spanners for Wireless Ad Hoc Networks" (Yu Wang, Xiang-Yang
+// Li, ICDCS 2002): localized construction of a planar, bounded-degree,
+// hop-and-length spanner backbone for unit-disk-graph wireless networks.
+//
+// The pipeline integrates a connected dominating set (lowest-ID MIS
+// clustering plus distributed connector election) with the localized
+// Delaunay triangulation, producing the paper's LDel(ICDS) topology. All
+// protocols run on a deterministic synchronous message-passing simulator
+// with per-node communication accounting; centralized reference
+// implementations of every phase cross-validate the distributed ones.
+//
+// Quick start:
+//
+//	inst, err := geospanner.GenerateInstance(1, 100, 200, 100)
+//	// handle err
+//	res, err := geospanner.Build(inst.UDG, inst.Radius)
+//	// handle err
+//	fmt.Println(res.LDelICDS.NumEdges(), res.MsgsLDel.Max())
+//
+// See the examples directory for runnable scenarios and cmd/experiments
+// for the harness that regenerates every table and figure of the paper.
+package geospanner
+
+import (
+	"geospanner/internal/core"
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/ldel"
+	"geospanner/internal/maintain"
+	"geospanner/internal/metrics"
+	"geospanner/internal/proximity"
+	"geospanner/internal/routing"
+	"geospanner/internal/udg"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Graph is an undirected geometric graph.
+	Graph = graph.Graph
+	// Edge is an undirected graph edge.
+	Edge = graph.Edge
+	// Instance is a generated random network instance.
+	Instance = udg.Instance
+	// Result is the output of the backbone pipeline.
+	Result = core.Result
+	// MessageStats aggregates per-node communication costs.
+	MessageStats = core.MessageStats
+	// StretchStats reports spanner stretch factors.
+	StretchStats = metrics.StretchStats
+	// StretchOptions configures stretch measurement.
+	StretchOptions = metrics.StretchOptions
+	// TriKey identifies a triangle by sorted vertex IDs.
+	TriKey = ldel.TriKey
+)
+
+// Routing errors, re-exported for errors.Is matching.
+var (
+	// ErrGreedyStuck reports a greedy-forwarding local minimum.
+	ErrGreedyStuck = routing.ErrGreedyStuck
+	// ErrNoRoute reports routing failure (no progress possible).
+	ErrNoRoute = routing.ErrNoRoute
+)
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// GenerateInstance generates random connected unit-disk-graph instances
+// (n nodes uniform in a region×region square, links within radius),
+// resampling deterministically from seed until connected.
+func GenerateInstance(seed int64, n int, region, radius float64) (*Instance, error) {
+	return udg.ConnectedInstance(seed, n, region, radius, 0)
+}
+
+// BuildUDG builds the unit disk graph over the given points.
+func BuildUDG(pts []Point, radius float64) *Graph { return udg.Build(pts, radius) }
+
+// NewGraph returns an empty graph over the given node positions.
+func NewGraph(pts []Point) *Graph { return graph.New(pts) }
+
+// Build runs the paper's full distributed pipeline — clustering, connector
+// election, induced backbone graphs, and localized Delaunay planarization —
+// on the unit disk graph g, returning every intermediate structure and the
+// per-node message accounting.
+func Build(g *Graph, radius float64) (*Result, error) { return core.Build(g, radius, 0) }
+
+// BuildCentralized computes the same structures as Build via the
+// centralized reference implementations (no message accounting); it is
+// faster for large sweeps.
+func BuildCentralized(g *Graph, radius float64) (*Result, error) {
+	return core.BuildCentralized(g, radius)
+}
+
+// PlanarLDel builds the flat planarized localized Delaunay graph PLDel
+// over all nodes of the unit disk graph g — the LDel baseline row of the
+// paper's Table I.
+func PlanarLDel(g *Graph, radius float64) (*Graph, error) {
+	res, err := ldel.Centralized(g, nil, radius)
+	if err != nil {
+		return nil, err
+	}
+	return res.PLDel, nil
+}
+
+// RNG returns the relative neighborhood graph of g.
+func RNG(g *Graph) *Graph { return proximity.RNG(g) }
+
+// Gabriel returns the Gabriel graph of g.
+func Gabriel(g *Graph) *Graph { return proximity.Gabriel(g) }
+
+// Yao returns the Yao graph of g with k cones.
+func Yao(g *Graph, k int) (*Graph, error) { return proximity.Yao(g, k) }
+
+// UDel returns the unit Delaunay triangulation (Del ∩ UDG).
+func UDel(g *Graph) (*Graph, error) { return proximity.UDel(g) }
+
+// Stretch measures length and hop stretch of structure sub against base.
+func Stretch(base, sub *Graph, opt StretchOptions) StretchStats {
+	return metrics.Stretch(base, sub, opt)
+}
+
+// RouteGreedy forwards greedily toward the destination; it fails at local
+// minima.
+func RouteGreedy(g *Graph, src, dst int) ([]int, error) {
+	return routing.RouteGreedy(g, src, dst, 0)
+}
+
+// RouteGFG routes with greedy forwarding plus FACE-1 perimeter recovery;
+// delivery is guaranteed on connected planar graphs such as LDel(ICDS).
+func RouteGFG(g *Graph, src, dst int) ([]int, error) {
+	return routing.RouteGFG(g, src, dst, 0)
+}
+
+// RouteViaBackbone performs dominating-set-based routing on a built
+// backbone: direct if adjacent, otherwise up to a dominator, across the
+// planar backbone with GFG, and down to the destination.
+func RouteViaBackbone(res *Result, src, dst int) ([]int, error) {
+	return routing.RouteDS(res.UDG, res.LDelICDS, res.Cluster.DominatorsOf,
+		res.Conn.InBackbone, src, dst, 0)
+}
+
+// Maintained is a network whose clustering roles are repaired
+// incrementally under node failures and recoveries (the paper's dynamic
+// maintenance future-work item). See internal/maintain for the repair
+// rules and invariants.
+type Maintained = maintain.State
+
+// NewMaintained builds a maintained network over the given node positions.
+func NewMaintained(pts []Point, radius float64) *Maintained {
+	return maintain.New(pts, radius)
+}
+
+// Distribution selects a node-placement model for instance generation.
+type Distribution = udg.Distribution
+
+// Placement models for GenerateInstanceDist.
+const (
+	// DistUniform places nodes uniformly (the paper's model).
+	DistUniform = udg.Uniform
+	// DistClustered places nodes in Gaussian blobs.
+	DistClustered = udg.Clustered
+	// DistCorridor confines nodes to a thin band.
+	DistCorridor = udg.Corridor
+	// DistRing places nodes in an annulus (a built-in routing void).
+	DistRing = udg.Ring
+)
+
+// GenerateInstanceDist is GenerateInstance with a placement model.
+func GenerateInstanceDist(seed int64, dist Distribution, n int, region, radius float64) (*Instance, error) {
+	return udg.ConnectedInstanceDist(seed, dist, n, region, radius, 0)
+}
+
+// DiscoverRoute performs on-demand dominating-set route discovery (the
+// hierarchical routing scheme the backbone serves): the route request
+// floods over backbone nodes only, and the destination replies along
+// reverse pointers. It returns the route and the total message cost.
+func DiscoverRoute(res *Result, src, dst int) ([]int, int, error) {
+	disc, err := routing.DiscoverRoute(res.UDG, res.Conn.InBackbone, src, dst, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return disc.Route, disc.Transmissions, nil
+}

@@ -1,0 +1,146 @@
+package geospanner
+
+import (
+	"errors"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, exactly as the
+// examples and a downstream user would.
+
+func TestPublicPipeline(t *testing.T) {
+	inst, err := GenerateInstance(1, 80, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LDelICDS.IsPlanarEmbedding() {
+		t.Fatal("LDel(ICDS) not planar")
+	}
+	if !res.LDelICDSPrime.Connected() {
+		t.Fatal("LDel(ICDS') disconnected")
+	}
+	if res.MsgsLDel.Max() == 0 {
+		t.Fatal("no message accounting")
+	}
+
+	cent, err := BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cent.LDelICDS.NumEdges() != res.LDelICDS.NumEdges() {
+		t.Fatal("centralized and distributed builds disagree")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	inst, err := GenerateInstance(2, 60, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := RNG(inst.UDG)
+	gg := Gabriel(inst.UDG)
+	udel, err := UDel(inst.UDG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yao, err := Yao(inst.UDG, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := PlanarLDel(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Graph{
+		"RNG": rng, "GG": gg, "UDel": udel, "Yao": yao, "PLDel": flat,
+	} {
+		if !g.Connected() {
+			t.Fatalf("%s disconnected", name)
+		}
+		if g.NumEdges() >= inst.UDG.NumEdges() {
+			t.Fatalf("%s not sparser than UDG", name)
+		}
+	}
+	s := Stretch(inst.UDG, gg, StretchOptions{})
+	if s.LengthAvg < 1 || s.Disconnected != 0 {
+		t.Fatalf("GG stretch = %+v", s)
+	}
+}
+
+func TestPublicRouting(t *testing.T) {
+	inst, err := GenerateInstance(3, 70, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := RouteViaBackbone(res, 0, 69)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 0 || path[len(path)-1] != 69 {
+		t.Fatalf("bad endpoints: %v", path)
+	}
+
+	// Greedy error matching through the facade.
+	void := []Point{Pt(0, 0), Pt(0, 1), Pt(1, 2), Pt(2, 2), Pt(3, 1), Pt(3, 0)}
+	g := BuildUDG(void, 1.5)
+	g.RemoveEdge(0, 5)
+	if _, err := RouteGreedy(g, 5, 0); !errors.Is(err, ErrGreedyStuck) {
+		t.Fatalf("err = %v, want ErrGreedyStuck", err)
+	}
+	if _, err := RouteGFG(g, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGraphAndPt(t *testing.T) {
+	g := NewGraph([]Point{Pt(0, 0), Pt(1, 1)})
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatal("facade graph construction broken")
+	}
+}
+
+func TestGenerateInstanceDist(t *testing.T) {
+	for _, dist := range []Distribution{DistUniform, DistClustered, DistCorridor, DistRing} {
+		inst, err := GenerateInstanceDist(3, dist, 50, 200, 60)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		res, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if !res.LDelICDS.IsPlanarEmbedding() {
+			t.Fatalf("%v: backbone not planar", dist)
+		}
+	}
+}
+
+func TestDiscoverRouteFacade(t *testing.T) {
+	inst, err := GenerateInstance(5, 60, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, msgs, err := DiscoverRoute(res, 0, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != 0 || route[len(route)-1] != 59 {
+		t.Fatalf("route = %v", route)
+	}
+	if msgs <= 0 || msgs > inst.UDG.N()+20 {
+		t.Fatalf("message cost = %d", msgs)
+	}
+}

@@ -1,0 +1,3 @@
+module geospanner
+
+go 1.22

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"geospanner/internal/udg"
+)
+
+// TestRunAsyncMatchesSync verifies the paper's remark that the clustering
+// protocol also works asynchronously: under arbitrary (randomized, seeded)
+// per-message delays, the lowest-ID MIS protocol converges to exactly the
+// same clustering as the synchronous execution — the outcome is determined
+// by the causal structure, not by timing.
+func TestRunAsyncMatchesSync(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Centralized(inst.UDG)
+		// Many delay schedules over the same instance.
+		for delaySeed := int64(0); delaySeed < 6; delaySeed++ {
+			got, _, err := RunAsync(inst.UDG, delaySeed, 1+int(delaySeed)*3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Dominators, want.Dominators) {
+				t.Fatalf("seed %d delay %d: dominators differ:\nasync %v\nsync  %v",
+					seed, delaySeed, got.Dominators, want.Dominators)
+			}
+			if !reflect.DeepEqual(got.Status, want.Status) {
+				t.Fatalf("seed %d delay %d: statuses differ", seed, delaySeed)
+			}
+			if !reflect.DeepEqual(got.DominatorsOf, want.DominatorsOf) {
+				t.Fatalf("seed %d delay %d: DominatorsOf differ", seed, delaySeed)
+			}
+			if !reflect.DeepEqual(got.TwoHopDominators, want.TwoHopDominators) {
+				t.Fatalf("seed %d delay %d: TwoHopDominators differ", seed, delaySeed)
+			}
+		}
+	}
+}
+
+// TestRunAsyncMessageBound: the constant per-node message bound holds under
+// asynchrony as well.
+func TestRunAsyncMessageBound(t *testing.T) {
+	inst, err := udg.ConnectedInstance(9, 100, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, net, err := RunAsync(inst.UDG, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < inst.UDG.N(); id++ {
+		if net.Sent(id) > 6 {
+			t.Fatalf("node %d sent %d messages under asynchrony", id, net.Sent(id))
+		}
+	}
+}

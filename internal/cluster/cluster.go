@@ -1,0 +1,305 @@
+// Package cluster implements the distributed clustering (dominator
+// election) phase of the paper: the lowest-ID maximal-independent-set
+// protocol attributed to Baker & Ephremides and Alzoubi et al.
+//
+// Protocol (Section III-A.1 of the paper):
+//
+//   - All nodes start white. A white node that has the smallest ID among
+//     its white neighbors claims dominator status and broadcasts
+//     IamDominator.
+//   - A white node receiving IamDominator becomes a dominatee of the sender
+//     and broadcasts IamDominatee(self, dominator) — once per dominator it
+//     is adjacent to, which Lemma 1 bounds by five.
+//
+// The resulting dominator set is the lexicographically-first maximal
+// independent set of the unit disk graph, which is also a dominating set.
+// While listening to IamDominatee messages, every node additionally records
+// its 2-hop-away dominators; the connector-election phase (Algorithm 1 of
+// the paper, package connector) consumes those lists.
+//
+// A centralized reference implementation (Centralized) computes the same
+// MIS directly; tests assert the two agree on every instance.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"geospanner/internal/graph"
+	"geospanner/internal/sim"
+)
+
+// Status is a node's clustering state.
+type Status int
+
+// Clustering states. White nodes are undecided; the protocol ends with
+// every node either Dominator or Dominatee.
+const (
+	White Status = iota
+	Dominator
+	Dominatee
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Dominator:
+		return "dominator"
+	case Dominatee:
+		return "dominatee"
+	default:
+		return "white"
+	}
+}
+
+// MsgIamDominator announces that the sender has claimed dominator status.
+type MsgIamDominator struct{}
+
+// Type implements sim.Message.
+func (MsgIamDominator) Type() string { return "IamDominator" }
+
+// MsgIamDominatee announces that the sender is a dominatee of Dominator.
+type MsgIamDominatee struct {
+	Dominator int
+}
+
+// Type implements sim.Message.
+func (MsgIamDominatee) Type() string { return "IamDominatee" }
+
+// Result is the outcome of the clustering phase.
+type Result struct {
+	// Status holds each node's final state (never White on success).
+	Status []Status
+	// Dominators lists the elected dominators in increasing ID order.
+	Dominators []int
+	// DominatorsOf[v] lists, sorted, the dominators adjacent to v (for a
+	// dominator node it is empty — the node covers itself).
+	DominatorsOf [][]int
+	// TwoHopDominators[v] lists, sorted, the dominators at exactly two
+	// hops from v, as learned from overheard IamDominatee messages.
+	TwoHopDominators [][]int
+}
+
+// IsDominator reports whether node v is a dominator.
+func (r *Result) IsDominator(v int) bool { return r.Status[v] == Dominator }
+
+// nodeCtx is the interface the clustering logic needs from either
+// simulator (synchronous rounds or asynchronous events). Both sim.Context
+// and sim.AsyncContext satisfy it, which lets the identical state machine
+// run under both schedulers — the lowest-ID MIS protocol's outcome is
+// timing-independent, and tests verify it.
+type nodeCtx interface {
+	ID() int
+	Neighbors() []int
+	Broadcast(m sim.Message)
+}
+
+// node is the per-node protocol state machine.
+type node struct {
+	status     Status
+	white      map[int]bool // white 1-hop neighbors
+	dominators map[int]bool // adjacent dominators (dominatee bookkeeping)
+	twoHop     map[int]bool // dominators heard at two hops
+	neighbors  map[int]bool
+}
+
+func (n *node) init(ctx nodeCtx) {
+	n.white = make(map[int]bool)
+	n.neighbors = make(map[int]bool)
+	n.dominators = make(map[int]bool)
+	n.twoHop = make(map[int]bool)
+	for _, v := range ctx.Neighbors() {
+		n.white[v] = true
+		n.neighbors[v] = true
+	}
+	n.tryClaim(ctx)
+}
+
+// tryClaim claims dominator status when the node is white and has the
+// smallest ID among its white neighbors.
+func (n *node) tryClaim(ctx nodeCtx) {
+	if n.status != White {
+		return
+	}
+	for v := range n.white {
+		if v < ctx.ID() {
+			return
+		}
+	}
+	n.status = Dominator
+	ctx.Broadcast(MsgIamDominator{})
+}
+
+func (n *node) handle(ctx nodeCtx, from int, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgIamDominator:
+		delete(n.white, from)
+		if n.status == White {
+			n.status = Dominatee
+		}
+		if n.status == Dominatee && !n.dominators[from] {
+			n.dominators[from] = true
+			ctx.Broadcast(MsgIamDominatee{Dominator: from})
+		}
+		n.tryClaim(ctx)
+	case MsgIamDominatee:
+		delete(n.white, from)
+		// Record a two-hop dominator unless it is adjacent (or self).
+		if msg.Dominator != ctx.ID() && !n.neighbors[msg.Dominator] {
+			n.twoHop[msg.Dominator] = true
+		}
+		n.tryClaim(ctx)
+	}
+}
+
+func (n *node) done() bool { return n.status != White }
+
+// syncNode adapts node to the synchronous simulator.
+type syncNode struct{ node }
+
+var _ sim.Protocol = (*syncNode)(nil)
+
+func (n *syncNode) Init(ctx *sim.Context)                            { n.init(ctx) }
+func (n *syncNode) Handle(ctx *sim.Context, from int, m sim.Message) { n.handle(ctx, from, m) }
+func (n *syncNode) Tick(ctx *sim.Context, round int)                 {}
+func (n *syncNode) Done() bool                                       { return n.done() }
+
+// asyncNode adapts node to the asynchronous simulator.
+type asyncNode struct{ node }
+
+var _ sim.AsyncProtocol = (*asyncNode)(nil)
+
+func (n *asyncNode) Init(ctx *sim.AsyncContext)                            { n.init(ctx) }
+func (n *asyncNode) Handle(ctx *sim.AsyncContext, from int, m sim.Message) { n.handle(ctx, from, m) }
+func (n *asyncNode) Done() bool                                            { return n.done() }
+
+// NewProtocol returns a fresh synchronous clustering protocol instance for
+// callers composing their own sim.Network (failure-injection tests, custom
+// schedulers). Results are extracted by running the network through Run in
+// normal use.
+func NewProtocol() sim.Protocol { return &syncNode{} }
+
+// Run executes the distributed clustering protocol on the unit disk graph g
+// and returns the clustering plus the network (for message accounting).
+// maxRounds of 0 uses the simulator default.
+func Run(g *graph.Graph, maxRounds int) (*Result, *sim.Network, error) {
+	net := sim.NewNetwork(g, func(id int) sim.Protocol { return &syncNode{} })
+	if _, err := net.Run(maxRounds); err != nil {
+		return nil, nil, fmt.Errorf("clustering: %w", err)
+	}
+	res := &Result{
+		Status:           make([]Status, g.N()),
+		DominatorsOf:     make([][]int, g.N()),
+		TwoHopDominators: make([][]int, g.N()),
+	}
+	for id := 0; id < g.N(); id++ {
+		p, ok := net.Protocol(id).(*syncNode)
+		if !ok {
+			return nil, nil, fmt.Errorf("clustering: unexpected protocol type at node %d", id)
+		}
+		res.fill(id, &p.node)
+	}
+	return res, net, nil
+}
+
+// fill records node id's final protocol state into the result.
+func (r *Result) fill(id int, n *node) {
+	r.Status[id] = n.status
+	if n.status == Dominator {
+		r.Dominators = append(r.Dominators, id)
+	}
+	r.DominatorsOf[id] = sortedKeys(n.dominators)
+	r.TwoHopDominators[id] = sortedKeys(n.twoHop)
+}
+
+// RunAsync executes the clustering protocol on the asynchronous simulator
+// with randomized (seeded) per-message delays of up to maxDelay time
+// units. The lowest-ID MIS outcome is independent of message timing, so
+// RunAsync returns the same Result as Run — a property the tests assert
+// across many delay schedules.
+func RunAsync(g *graph.Graph, seed int64, maxDelay int) (*Result, *sim.AsyncNetwork, error) {
+	net := sim.NewAsyncNetwork(g, seed, maxDelay, func(id int) sim.AsyncProtocol { return &asyncNode{} })
+	if _, _, err := net.Run(0); err != nil {
+		return nil, nil, fmt.Errorf("async clustering: %w", err)
+	}
+	res := &Result{
+		Status:           make([]Status, g.N()),
+		DominatorsOf:     make([][]int, g.N()),
+		TwoHopDominators: make([][]int, g.N()),
+	}
+	for id := 0; id < g.N(); id++ {
+		p, ok := net.Protocol(id).(*asyncNode)
+		if !ok {
+			return nil, nil, fmt.Errorf("async clustering: unexpected protocol type at node %d", id)
+		}
+		res.fill(id, &p.node)
+	}
+	return res, net, nil
+}
+
+// Centralized computes the same clustering as Run without message passing:
+// the lexicographically-first MIS (a node is a dominator if and only if no
+// smaller-ID neighbor is a dominator), with the same dominator and
+// two-hop-dominator bookkeeping.
+func Centralized(g *graph.Graph) *Result {
+	n := g.N()
+	res := &Result{
+		Status:           make([]Status, n),
+		DominatorsOf:     make([][]int, n),
+		TwoHopDominators: make([][]int, n),
+	}
+	isDom := make([]bool, n)
+	for v := 0; v < n; v++ {
+		dom := true
+		for _, u := range g.Neighbors(v) {
+			if u < v && isDom[u] {
+				dom = false
+				break
+			}
+		}
+		if dom {
+			isDom[v] = true
+			res.Status[v] = Dominator
+			res.Dominators = append(res.Dominators, v)
+		} else {
+			res.Status[v] = Dominatee
+		}
+	}
+	for v := 0; v < n; v++ {
+		if isDom[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if isDom[u] {
+				res.DominatorsOf[v] = append(res.DominatorsOf[v], u)
+			}
+		}
+	}
+	// Two-hop dominators: u is a two-hop dominator of v when u is a
+	// dominator of some neighbor w of v and u is not adjacent to v. This
+	// mirrors what nodes learn from overheard IamDominatee messages.
+	for v := 0; v < n; v++ {
+		two := make(map[int]bool)
+		for _, w := range g.Neighbors(v) {
+			for _, u := range res.DominatorsOf[w] {
+				if u != v && !g.HasEdge(u, v) {
+					two[u] = true
+				}
+			}
+		}
+		res.TwoHopDominators[v] = sortedKeys(two)
+	}
+	return res
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,435 @@
+// Package connector implements Algorithm 1 of the paper ("Finding
+// Connectors"): the distributed election of gateway nodes that join every
+// pair of dominators at two or three hops, turning the maximal independent
+// set produced by package cluster into a connected dominating set (CDS).
+//
+// Message flow (stages align with the simulator's synchronous rounds; the
+// IamDominatee broadcasts of steps 1–2 already happened during clustering,
+// whose result carries each node's dominator and two-hop-dominator lists):
+//
+//	round 0 (Init): every dominatee w proposes itself with
+//	  TryConnector(u, w, v, 0) for each pair of its dominators u, v, and
+//	  TryConnector(u, w, v, 1) for its dominator u and each two-hop
+//	  dominator v (the first node of a prospective 3-hop path u-w-x-v).
+//	round 1 (Tick): w elects itself — IamConnector — for a proposal key
+//	  when it has the smallest ID among itself and the neighbors it heard
+//	  proposing the same key.
+//	round 2 (Tick): a dominatee x hearing IamConnector(u, w, v, 1) from a
+//	  neighbor w, with v among x's dominators and u among x's two-hop
+//	  dominators, proposes TryConnector(u, x, v, 2) as the second node.
+//	round 3 (Tick): smallest-ID election again; the elected x broadcasts
+//	  IamConnector(u, x, v, 2) and links w-x and x-v.
+//
+// As the paper notes, a pair may elect up to two connectors per stage
+// (candidates that cannot hear each other), which adds redundant paths and
+// robustness; the counts stay constant-bounded by Lemma 2.
+//
+// The package also assembles the four backbone graphs of the paper: CDS,
+// CDS' (plus dominatee→dominator edges), ICDS (the unit-disk graph induced
+// on the backbone nodes), and ICDS'.
+package connector
+
+import (
+	"fmt"
+	"sort"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/graph"
+	"geospanner/internal/sim"
+)
+
+// MsgTryConnector proposes the sender as a connector for the dominator
+// pair (U, V). Stage 0 is a 2-hop pair (U < V, unordered); stages 1 and 2
+// are the first and second node of a 3-hop path from U to V (ordered).
+type MsgTryConnector struct {
+	U, V  int
+	Stage int
+}
+
+// Type implements sim.Message.
+func (MsgTryConnector) Type() string { return "TryConnector" }
+
+// MsgIamConnector announces the sender won the election for the key.
+type MsgIamConnector struct {
+	U, V  int
+	Stage int
+}
+
+// Type implements sim.Message.
+func (MsgIamConnector) Type() string { return "IamConnector" }
+
+type pairKey struct {
+	u, v  int
+	stage int
+}
+
+// Options tunes connector election. The zero value is the paper's
+// Algorithm 1.
+type Options struct {
+	// SingleOrientation elects 3-hop connectors for each dominator pair
+	// in only one direction (u < v) instead of both. Algorithm 1 as
+	// written elects both directions, which adds redundant paths and
+	// robustness at the cost of a larger backbone; this switch is the
+	// ablation knob for that design choice (see cmd/experiments -exp
+	// ablation).
+	SingleOrientation bool
+}
+
+// node is the per-node protocol state machine for Algorithm 1.
+type node struct {
+	id       int
+	opts     Options
+	status   cluster.Status
+	doms     []int // adjacent dominators
+	twoHop   map[int]bool
+	proposed map[pairKey]bool
+	minHeard map[pairKey]int   // smallest neighbor ID heard proposing key
+	triggers map[pairKey][]int // stage-1 winners that triggered a stage-2 proposal
+	elected  bool
+	edges    []graph.Edge
+	round    int
+}
+
+var _ sim.Protocol = (*node)(nil)
+
+func (n *node) Init(ctx *sim.Context) {
+	n.proposed = make(map[pairKey]bool)
+	n.minHeard = make(map[pairKey]int)
+	n.triggers = make(map[pairKey][]int)
+	if n.status != cluster.Dominatee {
+		return
+	}
+	// Step 3: 2-hop pairs between own dominators.
+	for i, u := range n.doms {
+		for _, v := range n.doms[i+1:] {
+			n.propose(ctx, pairKey{u: u, v: v, stage: 0})
+		}
+	}
+	// Step 5: first node of 3-hop paths from an own dominator to a
+	// two-hop dominator.
+	for _, u := range n.doms {
+		for v := range n.twoHop {
+			if n.opts.SingleOrientation && u > v {
+				continue
+			}
+			n.propose(ctx, pairKey{u: u, v: v, stage: 1})
+		}
+	}
+}
+
+func (n *node) propose(ctx *sim.Context, k pairKey) {
+	if n.proposed[k] {
+		return
+	}
+	n.proposed[k] = true
+	ctx.Broadcast(MsgTryConnector{U: k.u, V: k.v, Stage: k.stage})
+}
+
+func (n *node) Handle(ctx *sim.Context, from int, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgTryConnector:
+		k := pairKey{u: msg.U, v: msg.V, stage: msg.Stage}
+		if cur, ok := n.minHeard[k]; !ok || from < cur {
+			n.minHeard[k] = from
+		}
+	case MsgIamConnector:
+		if msg.Stage != 1 || n.status != cluster.Dominatee {
+			return
+		}
+		// Step 7: the sender is the first node of a 3-hop path from
+		// msg.U; respond as a candidate second node when msg.V is an own
+		// dominator and msg.U is a two-hop dominator.
+		if !n.hasDominator(msg.V) || !n.twoHop[msg.U] {
+			return
+		}
+		k := pairKey{u: msg.U, v: msg.V, stage: 2}
+		n.triggers[k] = append(n.triggers[k], from)
+	}
+}
+
+func (n *node) hasDominator(d int) bool {
+	for _, u := range n.doms {
+		if u == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *node) Tick(ctx *sim.Context, round int) {
+	n.round = round
+	switch round {
+	case 1:
+		// Steps 4 and 6: elect the locally smallest proposer.
+		n.electStage(ctx, 0)
+		n.electStage(ctx, 1)
+	case 2:
+		// Step 7: propose as second node for every triggered key.
+		for k := range n.triggers {
+			n.propose(ctx, k)
+		}
+	case 3:
+		// Step 8: elect second nodes.
+		n.electStage(ctx, 2)
+	}
+}
+
+// electStage elects the node for every key it proposed at the given stage
+// where its own ID is smaller than every neighbor it heard proposing the
+// same key.
+func (n *node) electStage(ctx *sim.Context, stage int) {
+	keys := make([]pairKey, 0, len(n.proposed))
+	for k := range n.proposed {
+		if k.stage == stage {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	for _, k := range keys {
+		if minID, heard := n.minHeard[k]; heard && minID < n.id {
+			continue
+		}
+		n.elected = true
+		ctx.Broadcast(MsgIamConnector{U: k.u, V: k.v, Stage: k.stage})
+		switch k.stage {
+		case 0:
+			n.edges = append(n.edges, graph.MakeEdge(k.u, n.id), graph.MakeEdge(n.id, k.v))
+		case 1:
+			n.edges = append(n.edges, graph.MakeEdge(k.u, n.id))
+		case 2:
+			n.edges = append(n.edges, graph.MakeEdge(n.id, k.v))
+			for _, w := range n.triggers[k] {
+				n.edges = append(n.edges, graph.MakeEdge(w, n.id))
+			}
+		}
+	}
+}
+
+func (n *node) Done() bool { return n.round >= 3 }
+
+// Result is the outcome of connector election: the backbone node set and
+// the four backbone graphs of the paper.
+type Result struct {
+	Cluster *cluster.Result
+	// Connectors lists elected connector nodes in increasing ID order.
+	Connectors []int
+	// Backbone lists dominators and connectors in increasing ID order.
+	Backbone []int
+	// InBackbone[v] reports membership of v in the backbone.
+	InBackbone []bool
+	// CDS is the backbone graph: dominators, connectors, and the elected
+	// connector path edges.
+	CDS *graph.Graph
+	// CDSPrime is CDS plus every dominatee→dominator edge.
+	CDSPrime *graph.Graph
+	// ICDS is the unit disk graph induced on the backbone nodes.
+	ICDS *graph.Graph
+	// ICDSPrime is ICDS plus every dominatee→dominator edge.
+	ICDSPrime *graph.Graph
+}
+
+// Run executes the distributed connector election on the unit disk graph g
+// given a clustering, and returns the backbone structures plus the network
+// for message accounting.
+func Run(g *graph.Graph, cl *cluster.Result, maxRounds int) (*Result, *sim.Network, error) {
+	return RunOpts(g, cl, maxRounds, Options{})
+}
+
+// RunOpts is Run with explicit election options.
+func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options) (*Result, *sim.Network, error) {
+	net := sim.NewNetwork(g, func(id int) sim.Protocol {
+		twoHop := make(map[int]bool, len(cl.TwoHopDominators[id]))
+		for _, d := range cl.TwoHopDominators[id] {
+			twoHop[d] = true
+		}
+		return &node{
+			id:     id,
+			opts:   opts,
+			status: cl.Status[id],
+			doms:   cl.DominatorsOf[id],
+			twoHop: twoHop,
+		}
+	})
+	if _, err := net.Run(maxRounds); err != nil {
+		return nil, nil, fmt.Errorf("connector election: %w", err)
+	}
+
+	isConnector := make([]bool, g.N())
+	var edges []graph.Edge
+	for id := 0; id < g.N(); id++ {
+		p, ok := net.Protocol(id).(*node)
+		if !ok {
+			return nil, nil, fmt.Errorf("connector election: unexpected protocol type at node %d", id)
+		}
+		if p.elected {
+			isConnector[id] = true
+			edges = append(edges, p.edges...)
+		}
+	}
+	return assemble(g, cl, isConnector, edges), net, nil
+}
+
+// assemble builds the Result graphs from the elected connectors and path
+// edges.
+func assemble(g *graph.Graph, cl *cluster.Result, isConnector []bool, edges []graph.Edge) *Result {
+	res := &Result{
+		Cluster:    cl,
+		InBackbone: make([]bool, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		if isConnector[v] {
+			res.Connectors = append(res.Connectors, v)
+		}
+		if isConnector[v] || cl.Status[v] == cluster.Dominator {
+			res.InBackbone[v] = true
+			res.Backbone = append(res.Backbone, v)
+		}
+	}
+
+	res.CDS = graph.New(g.Points())
+	for _, e := range edges {
+		res.CDS.AddEdge(e.U, e.V)
+	}
+
+	res.CDSPrime = res.CDS.Clone()
+	for v := 0; v < g.N(); v++ {
+		for _, u := range cl.DominatorsOf[v] {
+			res.CDSPrime.AddEdge(v, u)
+		}
+	}
+
+	keep := make(map[int]bool, len(res.Backbone))
+	for _, v := range res.Backbone {
+		keep[v] = true
+	}
+	res.ICDS = g.Subgraph(keep)
+
+	res.ICDSPrime = res.ICDS.Clone()
+	for v := 0; v < g.N(); v++ {
+		for _, u := range cl.DominatorsOf[v] {
+			res.ICDSPrime.AddEdge(v, u)
+		}
+	}
+	return res
+}
+
+// Centralized computes the same Result as Run without message passing, by
+// mirroring the election rules deterministically. Tests assert Run and
+// Centralized agree on every instance.
+func Centralized(g *graph.Graph, cl *cluster.Result) *Result {
+	return CentralizedOpts(g, cl, Options{})
+}
+
+// CentralizedOpts is Centralized with explicit election options.
+func CentralizedOpts(g *graph.Graph, cl *cluster.Result, opts Options) *Result {
+	n := g.N()
+	isDominatee := func(v int) bool { return cl.Status[v] == cluster.Dominatee }
+	twoHop := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		twoHop[v] = make(map[int]bool, len(cl.TwoHopDominators[v]))
+		for _, d := range cl.TwoHopDominators[v] {
+			twoHop[v][d] = true
+		}
+	}
+	hasDominator := func(v, d int) bool {
+		for _, u := range cl.DominatorsOf[v] {
+			if u == d {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Stage 0 and 1 proposals.
+	proposers := make(map[pairKey][]int)
+	for w := 0; w < n; w++ {
+		if !isDominatee(w) {
+			continue
+		}
+		doms := cl.DominatorsOf[w]
+		for i, u := range doms {
+			for _, v := range doms[i+1:] {
+				k := pairKey{u: u, v: v, stage: 0}
+				proposers[k] = append(proposers[k], w)
+			}
+		}
+		for _, u := range doms {
+			for v := range twoHop[w] {
+				if opts.SingleOrientation && u > v {
+					continue
+				}
+				k := pairKey{u: u, v: v, stage: 1}
+				proposers[k] = append(proposers[k], w)
+			}
+		}
+	}
+
+	elect := func(k pairKey, cands []int) []int {
+		var winners []int
+		for _, w := range cands {
+			won := true
+			for _, x := range cands {
+				if x < w && g.HasEdge(w, x) {
+					won = false
+					break
+				}
+			}
+			if won {
+				winners = append(winners, w)
+			}
+		}
+		return winners
+	}
+
+	isConnector := make([]bool, n)
+	var edges []graph.Edge
+	stage1Winners := make(map[pairKey][]int)
+	for k, cands := range proposers {
+		winners := elect(k, cands)
+		for _, w := range winners {
+			isConnector[w] = true
+			switch k.stage {
+			case 0:
+				edges = append(edges, graph.MakeEdge(k.u, w), graph.MakeEdge(w, k.v))
+			case 1:
+				edges = append(edges, graph.MakeEdge(k.u, w))
+				stage1Winners[k] = append(stage1Winners[k], w)
+			}
+		}
+	}
+
+	// Stage 2: dominatees adjacent to a stage-1 winner respond.
+	responders := make(map[pairKey][]int)
+	triggersOf := make(map[[3]int][]int) // (u, v, x) -> stage-1 winners adjacent to x
+	for k, winners := range stage1Winners {
+		k2 := pairKey{u: k.u, v: k.v, stage: 2}
+		for _, w := range winners {
+			for _, x := range g.Neighbors(w) {
+				if !isDominatee(x) || !hasDominator(x, k.v) || !twoHop[x][k.u] {
+					continue
+				}
+				tk := [3]int{k.u, k.v, x}
+				if len(triggersOf[tk]) == 0 {
+					responders[k2] = append(responders[k2], x)
+				}
+				triggersOf[tk] = append(triggersOf[tk], w)
+			}
+		}
+	}
+	for k2, cands := range responders {
+		for _, x := range elect(k2, cands) {
+			isConnector[x] = true
+			edges = append(edges, graph.MakeEdge(x, k2.v))
+			for _, w := range triggersOf[[3]int{k2.u, k2.v, x}] {
+				edges = append(edges, graph.MakeEdge(w, x))
+			}
+		}
+	}
+
+	return assemble(g, cl, isConnector, edges)
+}

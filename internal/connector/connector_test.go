@@ -1,0 +1,322 @@
+package connector
+
+import (
+	"reflect"
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/udg"
+)
+
+func buildBoth(t *testing.T, g *graph.Graph) (*Result, *Result) {
+	t.Helper()
+	cl, _, err := cluster.Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _, err := Run(g, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent := Centralized(g, cluster.Centralized(g))
+	return dist, cent
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	return reflect.DeepEqual(a.Edges(), b.Edges())
+}
+
+func TestRunMatchesCentralized(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 70, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, cent := buildBoth(t, inst.UDG)
+		if !reflect.DeepEqual(dist.Connectors, cent.Connectors) {
+			t.Fatalf("seed %d: connectors differ:\ndist %v\ncent %v", seed, dist.Connectors, cent.Connectors)
+		}
+		if !sameGraph(dist.CDS, cent.CDS) {
+			t.Fatalf("seed %d: CDS differs", seed)
+		}
+		if !sameGraph(dist.CDSPrime, cent.CDSPrime) {
+			t.Fatalf("seed %d: CDS' differs", seed)
+		}
+		if !sameGraph(dist.ICDS, cent.ICDS) {
+			t.Fatalf("seed %d: ICDS differs", seed)
+		}
+		if !sameGraph(dist.ICDSPrime, cent.ICDSPrime) {
+			t.Fatalf("seed %d: ICDS' differs", seed)
+		}
+	}
+}
+
+func assertBackboneInvariants(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	// Backbone contains all dominators.
+	for _, d := range res.Cluster.Dominators {
+		if !res.InBackbone[d] {
+			t.Fatalf("dominator %d not in backbone", d)
+		}
+	}
+	// CDS edges are UDG edges between backbone nodes.
+	for _, e := range res.CDS.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("CDS edge %v not in UDG", e)
+		}
+		if !res.InBackbone[e.U] || !res.InBackbone[e.V] {
+			t.Fatalf("CDS edge %v touches non-backbone node", e)
+		}
+	}
+	// CDS ⊆ ICDS ⊆ UDG.
+	for _, e := range res.CDS.Edges() {
+		if !res.ICDS.HasEdge(e.U, e.V) {
+			t.Fatalf("CDS edge %v missing from ICDS", e)
+		}
+	}
+	for _, e := range res.ICDS.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("ICDS edge %v not in UDG", e)
+		}
+	}
+	// CDS' and ICDS' contain the dominatee links.
+	for v := 0; v < g.N(); v++ {
+		for _, u := range res.Cluster.DominatorsOf[v] {
+			if !res.CDSPrime.HasEdge(v, u) || !res.ICDSPrime.HasEdge(v, u) {
+				t.Fatalf("dominatee link (%d,%d) missing from primed graph", v, u)
+			}
+		}
+	}
+	// Backbone connectivity (CDS graph restricted to backbone nodes).
+	if !res.CDS.SubsetConnected(res.Backbone) {
+		t.Fatal("CDS backbone is not connected")
+	}
+	// Dominator pairs at hop distance 2 are joined by a 2-hop CDS path;
+	// pairs at distance 3 by a 3-hop CDS path.
+	doms := res.Cluster.Dominators
+	for i, u := range doms {
+		udgDist, _ := g.BFS(u)
+		cdsDist, _ := res.CDS.BFS(u)
+		for _, v := range doms[i+1:] {
+			switch udgDist[v] {
+			case 2:
+				if cdsDist[v] != 2 {
+					t.Fatalf("dominators %d,%d at UDG distance 2 have CDS distance %d", u, v, cdsDist[v])
+				}
+			case 3:
+				if cdsDist[v] > 3 || cdsDist[v] == graph.Unreachable {
+					t.Fatalf("dominators %d,%d at UDG distance 3 have CDS distance %d", u, v, cdsDist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBackboneInvariantsRandom(t *testing.T) {
+	for seed := int64(20); seed < 32; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Centralized(inst.UDG, cluster.Centralized(inst.UDG))
+		assertBackboneInvariants(t, inst.UDG, res)
+	}
+}
+
+func TestBackboneInvariantsDense(t *testing.T) {
+	inst, err := udg.ConnectedInstance(3, 150, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Centralized(inst.UDG, cluster.Centralized(inst.UDG))
+	assertBackboneInvariants(t, inst.UDG, res)
+}
+
+func TestBackboneInvariantsSparse(t *testing.T) {
+	inst, err := udg.ConnectedInstance(9, 40, 200, 45, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Centralized(inst.UDG, cluster.Centralized(inst.UDG))
+	assertBackboneInvariants(t, inst.UDG, res)
+}
+
+// TestCDSDegreeBounded asserts Lemma 4: the CDS node degree is bounded by a
+// constant independent of density. The theoretical constant is large; in
+// practice degrees stay small, and we assert a generous fixed bound.
+func TestCDSDegreeBounded(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		n    int
+		r    float64
+	}{
+		{1, 50, 60}, {2, 100, 60}, {3, 150, 60}, {4, 150, 90},
+	} {
+		inst, err := udg.ConnectedInstance(tc.seed, tc.n, 200, tc.r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Centralized(inst.UDG, cluster.Centralized(inst.UDG))
+		maxDeg, _ := res.CDS.DegreeOver(res.Backbone)
+		if maxDeg > 40 {
+			t.Fatalf("n=%d r=%g: CDS max degree %d exceeds bound", tc.n, tc.r, maxDeg)
+		}
+		maxDegI, _ := res.ICDS.DegreeOver(res.Backbone)
+		if maxDegI > 60 {
+			t.Fatalf("n=%d r=%g: ICDS max degree %d exceeds bound", tc.n, tc.r, maxDegI)
+		}
+	}
+}
+
+// TestMessagesConstantPerNode asserts Lemma 3 for the connector phase.
+func TestMessagesConstantPerNode(t *testing.T) {
+	for _, n := range []int{40, 80, 160} {
+		inst, err := udg.ConnectedInstance(int64(n), n, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, _, err := cluster.Run(inst.UDG, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, net, err := Run(inst.UDG, cl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < inst.UDG.N(); id++ {
+			if net.Sent(id) > 80 {
+				t.Fatalf("n=%d: node %d sent %d connector messages", n, id, net.Sent(id))
+			}
+		}
+	}
+}
+
+func TestTwoDominatorPath(t *testing.T) {
+	// A 5-node path 0-1-2-3-4: dominators {0, 2, 4}; connectors must join
+	// 0-2 and 2-4 through nodes 1 and 3.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0),
+	}
+	g := udg.Build(pts, 1)
+	res := Centralized(g, cluster.Centralized(g))
+	if !reflect.DeepEqual(res.Cluster.Dominators, []int{0, 2, 4}) {
+		t.Fatalf("dominators = %v", res.Cluster.Dominators)
+	}
+	if !reflect.DeepEqual(res.Connectors, []int{1, 3}) {
+		t.Fatalf("connectors = %v", res.Connectors)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		if !res.CDS.HasEdge(e[0], e[1]) {
+			t.Fatalf("CDS missing edge %v: %v", e, res.CDS.Edges())
+		}
+	}
+}
+
+func TestThreeHopPair(t *testing.T) {
+	// Dominators 0 and 3 at distance 3: 0-1-2-3 with 1, 2 dominatees.
+	// Node ids chosen so 0 and 3 are the local minima.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0),
+	}
+	g := udg.Build(pts, 1)
+	cl := cluster.Centralized(g)
+	if !reflect.DeepEqual(cl.Dominators, []int{0, 2}) {
+		// Lowest-ID MIS on a path of four: {0, 2}; node 3 is dominated by
+		// 2, and the pair (0,2) is two hops apart.
+		t.Fatalf("dominators = %v", cl.Dominators)
+	}
+	res := Centralized(g, cl)
+	if !res.CDS.SubsetConnected(res.Backbone) {
+		t.Fatal("backbone disconnected")
+	}
+}
+
+func TestSingleDominator(t *testing.T) {
+	// A star: center 0 dominates everyone; no connectors are needed.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(-1, 0), geom.Pt(0, -1),
+	}
+	g := udg.Build(pts, 1)
+	res := Centralized(g, cluster.Centralized(g))
+	if len(res.Cluster.Dominators) != 1 || res.Cluster.Dominators[0] != 0 {
+		t.Fatalf("dominators = %v", res.Cluster.Dominators)
+	}
+	if len(res.Connectors) != 0 {
+		t.Fatalf("connectors = %v, want none", res.Connectors)
+	}
+	if res.CDS.NumEdges() != 0 {
+		t.Fatalf("CDS has %d edges, want 0", res.CDS.NumEdges())
+	}
+	// CDS' still links every dominatee to the center.
+	for v := 1; v < 5; v++ {
+		if !res.CDSPrime.HasEdge(0, v) {
+			t.Fatalf("CDS' missing dominatee link (0,%d)", v)
+		}
+	}
+}
+
+// TestConnectorRedundancyBounded verifies the paper's claim that at most a
+// constant number of connectors serve any dominator pair.
+func TestConnectorRedundancyBounded(t *testing.T) {
+	inst, err := udg.ConnectedInstance(77, 120, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Centralized(inst.UDG, cluster.Centralized(inst.UDG))
+	// Count connectors adjacent to each dominator pair's joint
+	// neighborhood; the paper bounds per-pair connectors by ~30.
+	doms := res.Cluster.Dominators
+	for i, u := range doms {
+		for _, v := range doms[i+1:] {
+			if inst.UDG.HopDist(u, v) > 3 {
+				continue
+			}
+			count := 0
+			for _, c := range res.Connectors {
+				if res.CDS.HasEdge(u, c) || res.CDS.HasEdge(v, c) {
+					count++
+				}
+			}
+			if count > 30 {
+				t.Fatalf("pair (%d,%d) has %d incident connectors", u, v, count)
+			}
+		}
+	}
+}
+
+// TestSingleOrientationMatchesCentralized: the ablation variant keeps the
+// distributed/centralized equivalence.
+func TestSingleOrientationMatchesCentralized(t *testing.T) {
+	opts := Options{SingleOrientation: true}
+	for seed := int64(40); seed < 46; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.Centralized(inst.UDG)
+		dist, _, err := RunOpts(inst.UDG, cl, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cent := CentralizedOpts(inst.UDG, cl, opts)
+		if !reflect.DeepEqual(dist.Connectors, cent.Connectors) {
+			t.Fatalf("seed %d: connectors differ", seed)
+		}
+		if !sameGraph(dist.CDS, cent.CDS) {
+			t.Fatalf("seed %d: CDS differs", seed)
+		}
+		// The variant still yields a connected backbone.
+		if !cent.CDS.SubsetConnected(cent.Backbone) {
+			t.Fatalf("seed %d: single-orientation backbone disconnected", seed)
+		}
+		// And it is a subset of the bidirectional backbone.
+		full := Centralized(inst.UDG, cl)
+		for _, c := range cent.Connectors {
+			if !full.InBackbone[c] {
+				t.Fatalf("seed %d: variant elected connector %d the full protocol did not", seed, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package connector
+
+import (
+	"reflect"
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/geom"
+	"geospanner/internal/ldel"
+	"geospanner/internal/udg"
+)
+
+// TestFig5CDSNonplanar reproduces the paper's Figure 5 counterexample: a
+// configuration where the CDS must contain two crossing links, because
+// each is the only 3-hop connector path between its dominator pair. The
+// localized Delaunay planarization then removes the crossing — which is
+// exactly why the paper applies LDel on top of ICDS.
+//
+// Geometry (transmission radius 1; dyadic coordinates so the unit-length
+// chain links are exact in float64):
+//
+//	u1(-1.875,0) — u2(-0.875,0) — u3(0.125,0) — u4(1.125,0)       horizontal
+//	v1(0,1.5625) — v2(0,0.5625) — v3(0,-0.4375) — v4(0,-1.4375)   vertical
+//
+// The chains cross between u2–u3 and v2–v3. IDs give u1, u4, v1, v4 the
+// smallest labels so the lowest-ID MIS elects exactly those four as
+// dominators.
+func TestFig5CDSNonplanar(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(-1.875, 0),  // 0: u1 (dominator)
+		geom.Pt(1.125, 0),   // 1: u4 (dominator)
+		geom.Pt(0, 1.5625),  // 2: v1 (dominator)
+		geom.Pt(0, -1.4375), // 3: v4 (dominator)
+		geom.Pt(-0.875, 0),  // 4: u2
+		geom.Pt(0.125, 0),   // 5: u3
+		geom.Pt(0, 0.5625),  // 6: v2
+		geom.Pt(0, -0.4375), // 7: v3
+	}
+	g := udg.Build(pts, 1)
+
+	cl := cluster.Centralized(g)
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(cl.Dominators, want) {
+		t.Fatalf("dominators = %v, want %v", cl.Dominators, want)
+	}
+
+	res := Centralized(g, cl)
+	// The unique 3-hop paths force the crossing chain edges into CDS.
+	if !res.CDS.HasEdge(4, 5) {
+		t.Fatalf("CDS missing chain edge u2-u3: %v", res.CDS.Edges())
+	}
+	if !res.CDS.HasEdge(6, 7) {
+		t.Fatalf("CDS missing chain edge v2-v3: %v", res.CDS.Edges())
+	}
+	if res.CDS.IsPlanarEmbedding() {
+		t.Fatal("Figure 5 configuration should make CDS non-planar")
+	}
+
+	// The distributed protocol reaches the same structure.
+	dist, _, err := Run(g, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.CDS.Edges(), res.CDS.Edges()) {
+		t.Fatal("distributed CDS differs on the Figure 5 instance")
+	}
+
+	// Applying LDel over ICDS planarizes the backbone without
+	// disconnecting it — the paper's fix.
+	ld, err := ldel.Centralized(res.ICDS, res.InBackbone, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ld.PLDel.IsPlanarEmbedding() {
+		t.Fatal("LDel(ICDS) still has crossings")
+	}
+	if !ld.PLDel.SubsetConnected(res.Backbone) {
+		t.Fatal("LDel(ICDS) disconnected the backbone")
+	}
+}

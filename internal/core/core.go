@@ -1,0 +1,209 @@
+// Package core assembles the paper's full pipeline — the primary
+// contribution of the reproduced work: clustering (MIS election) →
+// connector election (Algorithm 1) → induced backbone graphs (CDS, CDS',
+// ICDS, ICDS') → localized Delaunay planarization over the backbone
+// (Algorithms 2–3), producing LDel(ICDS) and LDel(ICDS').
+//
+// Build runs every phase as a distributed protocol on the message-passing
+// simulator and accounts for each node's communication cost exactly as the
+// paper's simulations do (IamDominator, IamDominatee, TryConnector,
+// IamConnector, Location, proposal, accept, reject, plus the initial ID
+// beacon and the one-message role announcement that induces ICDS).
+// BuildCentralized produces the identical structures through the
+// centralized reference implementations, with no message accounting — it
+// exists for fast large-scale sweeps and for cross-validation in tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/connector"
+	"geospanner/internal/graph"
+	"geospanner/internal/ldel"
+	"geospanner/internal/sim"
+)
+
+// ErrInvalidRadius is returned when the transmission radius is not
+// positive.
+var ErrInvalidRadius = errors.New("core: transmission radius must be positive")
+
+// Message type names for the bookkeeping messages that are not part of a
+// simulated protocol: the initial ID/position beacon every node sends once,
+// and the role announcement that lets neighbors derive the induced graphs
+// ICDS and ICDS'.
+const (
+	MsgTypeBeacon       = "Beacon"
+	MsgTypeRoleAnnounce = "RoleAnnounce"
+)
+
+// MessageStats aggregates per-node message counts.
+type MessageStats struct {
+	// PerNode[v] is the number of messages node v broadcast.
+	PerNode []int
+	// ByType counts messages by type name.
+	ByType map[string]int
+}
+
+// newMessageStats returns empty stats for n nodes.
+func newMessageStats(n int) MessageStats {
+	return MessageStats{PerNode: make([]int, n), ByType: make(map[string]int)}
+}
+
+// Clone returns a deep copy.
+func (m MessageStats) Clone() MessageStats {
+	c := newMessageStats(len(m.PerNode))
+	copy(c.PerNode, m.PerNode)
+	for k, v := range m.ByType {
+		c.ByType[k] = v
+	}
+	return c
+}
+
+// AddNetwork accumulates the counters of a finished simulator network.
+func (m *MessageStats) AddNetwork(net *sim.Network) {
+	for id, s := range net.SentAll() {
+		m.PerNode[id] += s
+	}
+	for k, v := range net.SentByType() {
+		m.ByType[k] += v
+	}
+}
+
+// AddUniform adds count messages of the given type to every node.
+func (m *MessageStats) AddUniform(count int, msgType string) {
+	for i := range m.PerNode {
+		m.PerNode[i] += count
+	}
+	m.ByType[msgType] += count * len(m.PerNode)
+}
+
+// Max returns the maximum per-node message count.
+func (m MessageStats) Max() int {
+	var maxCount int
+	for _, s := range m.PerNode {
+		if s > maxCount {
+			maxCount = s
+		}
+	}
+	return maxCount
+}
+
+// Avg returns the average per-node message count.
+func (m MessageStats) Avg() float64 {
+	if len(m.PerNode) == 0 {
+		return 0
+	}
+	return float64(m.Total()) / float64(len(m.PerNode))
+}
+
+// Total returns the total message count.
+func (m MessageStats) Total() int {
+	var total int
+	for _, s := range m.PerNode {
+		total += s
+	}
+	return total
+}
+
+// Result holds every structure the pipeline produces.
+type Result struct {
+	// UDG is the input unit disk graph.
+	UDG *graph.Graph
+	// Radius is the transmission radius.
+	Radius float64
+	// Cluster is the dominator election outcome.
+	Cluster *cluster.Result
+	// Conn carries the backbone node set and the CDS, CDS', ICDS, ICDS'
+	// graphs.
+	Conn *connector.Result
+	// LDelICDS is the planarized localized Delaunay graph over the
+	// backbone — the paper's headline topology.
+	LDelICDS *graph.Graph
+	// LDelICDSPrime is LDelICDS plus every dominatee→dominator edge.
+	LDelICDSPrime *graph.Graph
+	// Triangles lists the backbone triangles surviving planarization.
+	Triangles []ldel.TriKey
+	// MsgsCDS counts messages to build CDS/CDS': beacon + clustering +
+	// connector election.
+	MsgsCDS MessageStats
+	// MsgsICDS additionally counts the one-per-node role announcement
+	// that induces ICDS/ICDS'.
+	MsgsICDS MessageStats
+	// MsgsLDel additionally counts the LDel construction messages; it is
+	// the total cost of LDel(ICDS) / LDel(ICDS').
+	MsgsLDel MessageStats
+}
+
+// Distributed reports whether the result carries message accounting.
+func (r *Result) Distributed() bool { return len(r.MsgsLDel.PerNode) > 0 }
+
+// Build runs the full distributed pipeline on the unit disk graph g with
+// the given transmission radius. maxRounds (0 = default) bounds each
+// stage's simulator rounds.
+func Build(g *graph.Graph, radius float64, maxRounds int) (*Result, error) {
+	if radius <= 0 {
+		return nil, ErrInvalidRadius
+	}
+	cl, clNet, err := cluster.Run(g, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("build backbone: %w", err)
+	}
+	conn, connNet, err := connector.Run(g, cl, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("build backbone: %w", err)
+	}
+	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, radius, maxRounds)
+	if err != nil {
+		return nil, fmt.Errorf("planarize backbone: %w", err)
+	}
+
+	res := finish(g, radius, cl, conn, ld)
+
+	res.MsgsCDS = newMessageStats(g.N())
+	res.MsgsCDS.AddUniform(1, MsgTypeBeacon)
+	res.MsgsCDS.AddNetwork(clNet)
+	res.MsgsCDS.AddNetwork(connNet)
+
+	res.MsgsICDS = res.MsgsCDS.Clone()
+	res.MsgsICDS.AddUniform(1, MsgTypeRoleAnnounce)
+
+	res.MsgsLDel = res.MsgsICDS.Clone()
+	res.MsgsLDel.AddNetwork(ldNet)
+	return res, nil
+}
+
+// BuildCentralized computes the same structures as Build through the
+// centralized reference implementations. The returned Result carries no
+// message statistics.
+func BuildCentralized(g *graph.Graph, radius float64) (*Result, error) {
+	if radius <= 0 {
+		return nil, ErrInvalidRadius
+	}
+	cl := cluster.Centralized(g)
+	conn := connector.Centralized(g, cl)
+	ld, err := ldel.Centralized(conn.ICDS, conn.InBackbone, radius)
+	if err != nil {
+		return nil, fmt.Errorf("planarize backbone: %w", err)
+	}
+	return finish(g, radius, cl, conn, ld), nil
+}
+
+func finish(g *graph.Graph, radius float64, cl *cluster.Result, conn *connector.Result, ld *ldel.Result) *Result {
+	prime := ld.PLDel.Clone()
+	for v := 0; v < g.N(); v++ {
+		for _, u := range cl.DominatorsOf[v] {
+			prime.AddEdge(v, u)
+		}
+	}
+	return &Result{
+		UDG:           g,
+		Radius:        radius,
+		Cluster:       cl,
+		Conn:          conn,
+		LDelICDS:      ld.PLDel,
+		LDelICDSPrime: prime,
+		Triangles:     ld.Triangles,
+	}
+}

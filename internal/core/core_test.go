@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"geospanner/internal/udg"
+)
+
+func TestBuildInvalidRadius(t *testing.T) {
+	inst, err := udg.ConnectedInstance(1, 10, 200, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(inst.UDG, 0, 0); !errors.Is(err, ErrInvalidRadius) {
+		t.Fatalf("err = %v, want ErrInvalidRadius", err)
+	}
+	if _, err := BuildCentralized(inst.UDG, -1); !errors.Is(err, ErrInvalidRadius) {
+		t.Fatalf("err = %v, want ErrInvalidRadius", err)
+	}
+}
+
+func TestBuildMatchesCentralized(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cent, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dist.LDelICDS.Edges(), cent.LDelICDS.Edges()) {
+			t.Fatalf("seed %d: LDel(ICDS) differs", seed)
+		}
+		if !reflect.DeepEqual(dist.LDelICDSPrime.Edges(), cent.LDelICDSPrime.Edges()) {
+			t.Fatalf("seed %d: LDel(ICDS') differs", seed)
+		}
+		if !reflect.DeepEqual(dist.Conn.Backbone, cent.Conn.Backbone) {
+			t.Fatalf("seed %d: backbones differ", seed)
+		}
+		if !dist.Distributed() {
+			t.Fatal("distributed build should carry message stats")
+		}
+		if cent.Distributed() {
+			t.Fatal("centralized build should not carry message stats")
+		}
+	}
+}
+
+// TestHeadlineProperties checks the paper's claimed properties of
+// LDel(ICDS) on random instances: planar, connected over the backbone,
+// bounded backbone degree, and a subgraph of ICDS.
+func TestHeadlineProperties(t *testing.T) {
+	for seed := int64(10); seed < 20; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 70, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.LDelICDS.IsPlanarEmbedding() {
+			t.Fatalf("seed %d: LDel(ICDS) not planar", seed)
+		}
+		if !res.LDelICDS.SubsetConnected(res.Conn.Backbone) {
+			t.Fatalf("seed %d: LDel(ICDS) disconnected over backbone", seed)
+		}
+		maxDeg, _ := res.LDelICDS.DegreeOver(res.Conn.Backbone)
+		if maxDeg > 25 {
+			t.Fatalf("seed %d: LDel(ICDS) backbone degree %d too large", seed, maxDeg)
+		}
+		for _, e := range res.LDelICDS.Edges() {
+			if !res.Conn.ICDS.HasEdge(e.U, e.V) {
+				t.Fatalf("seed %d: LDel(ICDS) edge %v not in ICDS", seed, e)
+			}
+		}
+		// LDel(ICDS') connects every node.
+		if !res.LDelICDSPrime.Connected() {
+			t.Fatalf("seed %d: LDel(ICDS') disconnected", seed)
+		}
+	}
+}
+
+func TestMessageStatsAccounting(t *testing.T) {
+	inst, err := udg.ConnectedInstance(5, 60, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.UDG.N()
+	// Stage stats are cumulative: CDS <= ICDS <= LDel per node.
+	for v := 0; v < n; v++ {
+		if res.MsgsCDS.PerNode[v] > res.MsgsICDS.PerNode[v] ||
+			res.MsgsICDS.PerNode[v] > res.MsgsLDel.PerNode[v] {
+			t.Fatalf("node %d: stage counters not cumulative", v)
+		}
+	}
+	// The ICDS stage adds exactly one message per node.
+	if res.MsgsICDS.Total() != res.MsgsCDS.Total()+n {
+		t.Fatalf("ICDS total = %d, want %d", res.MsgsICDS.Total(), res.MsgsCDS.Total()+n)
+	}
+	if res.MsgsCDS.ByType[MsgTypeBeacon] != n {
+		t.Fatalf("Beacon count = %d, want %d", res.MsgsCDS.ByType[MsgTypeBeacon], n)
+	}
+	if res.MsgsICDS.ByType[MsgTypeRoleAnnounce] != n {
+		t.Fatal("RoleAnnounce missing")
+	}
+	// Every node's total cost is constant-bounded (the paper's headline
+	// claim); assert a generous constant.
+	if res.MsgsLDel.Max() > 120 {
+		t.Fatalf("max per-node messages = %d", res.MsgsLDel.Max())
+	}
+	if res.MsgsLDel.Avg() <= 0 {
+		t.Fatal("average message count should be positive")
+	}
+	// Totals are linear in n.
+	if res.MsgsLDel.Total() > 60*n {
+		t.Fatalf("total messages %d not linear-ish in n", res.MsgsLDel.Total())
+	}
+}
+
+func TestMessageStatsHelpers(t *testing.T) {
+	m := newMessageStats(3)
+	m.AddUniform(2, "X")
+	if m.Max() != 2 || m.Avg() != 2 || m.Total() != 6 {
+		t.Fatalf("stats = max %d avg %v total %d", m.Max(), m.Avg(), m.Total())
+	}
+	c := m.Clone()
+	c.AddUniform(1, "Y")
+	if m.Total() != 6 {
+		t.Fatal("Clone not independent")
+	}
+	var empty MessageStats
+	if empty.Avg() != 0 || empty.Max() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+// TestBuildConstantMessagesAcrossDensity reruns the pipeline at increasing
+// density: per-node max communication must stay bounded (Lemma 3 and the
+// LDel bound combined).
+func TestBuildConstantMessagesAcrossDensity(t *testing.T) {
+	var maxes []int
+	for _, n := range []int{40, 80, 120} {
+		inst, err := udg.ConnectedInstance(int64(7*n), n, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxes = append(maxes, res.MsgsLDel.Max())
+	}
+	for _, m := range maxes {
+		if m > 150 {
+			t.Fatalf("per-node message maxima grew unboundedly: %v", maxes)
+		}
+	}
+}
+
+// TestBuildAcrossDistributions: the distributed pipeline equals the
+// centralized one on every placement model, not just uniform.
+func TestBuildAcrossDistributions(t *testing.T) {
+	for _, dist := range []udg.Distribution{udg.Clustered, udg.Corridor, udg.Ring} {
+		inst, err := udg.ConnectedInstanceDist(11, dist, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		d, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		c, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if !reflect.DeepEqual(d.LDelICDS.Edges(), c.LDelICDS.Edges()) {
+			t.Fatalf("%v: distributed/centralized disagree", dist)
+		}
+		if !d.LDelICDS.IsPlanarEmbedding() {
+			t.Fatalf("%v: backbone not planar", dist)
+		}
+		if !d.LDelICDSPrime.Connected() {
+			t.Fatalf("%v: backbone does not span", dist)
+		}
+	}
+}
+
+// TestBuildDeterministic: two distributed runs over the same instance are
+// bit-for-bit identical — the reproducibility guarantee of the simulator.
+func TestBuildDeterministic(t *testing.T) {
+	inst, err := udg.ConnectedInstance(21, 70, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.LDelICDS.Edges(), b.LDelICDS.Edges()) {
+		t.Fatal("nondeterministic backbone")
+	}
+	if !reflect.DeepEqual(a.MsgsLDel.PerNode, b.MsgsLDel.PerNode) {
+		t.Fatal("nondeterministic message counts")
+	}
+	if !reflect.DeepEqual(a.Triangles, b.Triangles) {
+		t.Fatal("nondeterministic triangles")
+	}
+}
+
+// TestHighDensityPlanarity stresses the planarization at roughly 4x the
+// paper's density, where LDel¹ has many crossing candidates.
+func TestHighDensityPlanarity(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 250, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.LDelICDS.IsPlanarEmbedding() {
+			t.Fatalf("seed %d: dense backbone not planar", seed)
+		}
+		if !res.LDelICDSPrime.Connected() {
+			t.Fatalf("seed %d: dense backbone does not span", seed)
+		}
+		maxDeg, _ := res.LDelICDS.DegreeOver(res.Conn.Backbone)
+		if maxDeg > 15 {
+			t.Fatalf("seed %d: dense backbone degree %d", seed, maxDeg)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV): Table I (topology quality measurements),
+// Figures 6–7 (topology pictures), Figures 8–10 (degree, spanning ratio,
+// and communication cost versus node density), and Figures 11–12 (spanning
+// ratio, communication cost, and degree versus transmission radius).
+//
+// The defaults encode the calibrated substitutions documented in DESIGN.md:
+// nodes uniform in a 200×200 square, transmission radius 60 for the density
+// sweeps (n = 20..100) and Table I (n = 100, matching the paper's UDG
+// average degree of ≈21), radius 20..60 for the radius sweeps (n = 500),
+// and instances resampled until the unit disk graph is connected.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"geospanner/internal/core"
+	"geospanner/internal/graph"
+	"geospanner/internal/ldel"
+	"geospanner/internal/metrics"
+	"geospanner/internal/proximity"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+	"geospanner/internal/viz"
+)
+
+// Config carries the shared experiment parameters.
+type Config struct {
+	// Region is the side length of the square deployment area.
+	Region float64
+	// Trials is the number of random vertex sets per configuration.
+	Trials int
+	// Seed seeds the instance generator; trial i uses Seed + i.
+	Seed int64
+	// MaxTries bounds connectivity resampling per instance (0 = default).
+	MaxTries int
+}
+
+// Defaults for the paper's setup.
+const (
+	DefaultRegion      = 200.0
+	DefaultRadius      = 60.0
+	DefaultTable1N     = 100
+	DefaultFigRadiusN  = 500
+	DefaultTable1Count = 100
+)
+
+// DefaultDensities is the node-count sweep of Figures 8–10.
+func DefaultDensities() []int { return []int{20, 30, 40, 50, 60, 70, 80, 90, 100} }
+
+// DefaultRadii is the transmission-radius sweep of Figures 11–12.
+func DefaultRadii() []float64 { return []float64{20, 25, 30, 35, 40, 45, 50, 55, 60} }
+
+func (c Config) withDefaults() Config {
+	if c.Region == 0 {
+		c.Region = DefaultRegion
+	}
+	if c.Trials == 0 {
+		c.Trials = 10
+	}
+	if c.MaxTries == 0 {
+		c.MaxTries = 5000
+	}
+	return c
+}
+
+// instData bundles one instance with every structure measured by Table I.
+type instData struct {
+	inst *udg.Instance
+	res  *core.Result
+	rng  *graph.Graph
+	gg   *graph.Graph
+	flat *graph.Graph // PLDel over all nodes (the paper's LDel row)
+}
+
+func buildAll(seed int64, n int, radius float64, cfg Config, distributed bool) (*instData, error) {
+	inst, err := udg.ConnectedInstance(seed, n, cfg.Region, radius, cfg.MaxTries)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	if distributed {
+		res, err = core.Build(inst.UDG, radius, 0)
+	} else {
+		res, err = core.BuildCentralized(inst.UDG, radius)
+	}
+	if err != nil {
+		return nil, err
+	}
+	flat, err := ldel.Centralized(inst.UDG, nil, radius)
+	if err != nil {
+		return nil, err
+	}
+	return &instData{
+		inst: inst,
+		res:  res,
+		rng:  proximity.RNG(inst.UDG),
+		gg:   proximity.Gabriel(inst.UDG),
+		flat: flat.PLDel,
+	}, nil
+}
+
+// stretchMode selects how (and whether) stretch factors are measured.
+type stretchMode int
+
+const (
+	stretchNone   stretchMode = iota // backbone-only graphs: no stretch
+	stretchPlain                     // flat spanning subgraphs
+	stretchDirect                    // primed graphs: direct-edge rule
+)
+
+// structSpec describes one Table I row.
+type structSpec struct {
+	name    string
+	get     func(*instData) *graph.Graph
+	nodes   func(*instData) []int // nil = all nodes
+	stretch stretchMode
+}
+
+// allNodes selects degree statistics over every node, matching the paper's
+// Table I convention: the backbone graphs' average degree is 2·edges/n over
+// all n nodes (back-solved from the readable Table I entries, e.g. CDS
+// deg_avg 1.09 = 2·54.4/100), and the maximum is unaffected since
+// non-backbone nodes are isolated in those graphs.
+func allNodes(*instData) []int { return nil }
+
+func table1Specs() []structSpec {
+	return []structSpec{
+		{"UDG", func(d *instData) *graph.Graph { return d.inst.UDG }, allNodes, stretchNone},
+		{"RNG", func(d *instData) *graph.Graph { return d.rng }, allNodes, stretchPlain},
+		{"GG", func(d *instData) *graph.Graph { return d.gg }, allNodes, stretchPlain},
+		{"LDel", func(d *instData) *graph.Graph { return d.flat }, allNodes, stretchPlain},
+		{"CDS", func(d *instData) *graph.Graph { return d.res.Conn.CDS }, allNodes, stretchNone},
+		{"CDS'", func(d *instData) *graph.Graph { return d.res.Conn.CDSPrime }, allNodes, stretchDirect},
+		{"ICDS", func(d *instData) *graph.Graph { return d.res.Conn.ICDS }, allNodes, stretchNone},
+		{"ICDS'", func(d *instData) *graph.Graph { return d.res.Conn.ICDSPrime }, allNodes, stretchDirect},
+		{"LDel(ICDS)", func(d *instData) *graph.Graph { return d.res.LDelICDS }, allNodes, stretchNone},
+		{"LDel(ICDS')", func(d *instData) *graph.Graph { return d.res.LDelICDSPrime }, allNodes, stretchDirect},
+	}
+}
+
+// rowAccum aggregates one structure's measurements across instances the
+// way the paper does: averages of per-instance averages, maxima of
+// per-instance maxima.
+type rowAccum struct {
+	degAvg, degMax  stats.Accumulator
+	lenAvg, lenMax  stats.Accumulator
+	hopAvg, hopMax  stats.Accumulator
+	edges           stats.Accumulator
+	measuredStretch bool
+}
+
+func (a *rowAccum) add(d *instData, spec structSpec) {
+	g := spec.get(d)
+	deg := metrics.Degrees(g, spec.nodes(d))
+	a.degAvg.Add(deg.Avg)
+	a.degMax.AddInt(deg.Max)
+	a.edges.AddInt(g.NumEdges())
+	if spec.stretch == stretchNone {
+		return
+	}
+	a.measuredStretch = true
+	s := metrics.Stretch(d.inst.UDG, g, metrics.StretchOptions{
+		DirectEdges: spec.stretch == stretchDirect,
+	})
+	a.lenAvg.Add(s.LengthAvg)
+	a.lenMax.Add(s.LengthMax)
+	a.hopAvg.Add(s.HopAvg)
+	a.hopMax.Add(s.HopMax)
+}
+
+// Table1 regenerates Table I: topology quality measurements for every
+// structure at the given density.
+func Table1(n int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	specs := table1Specs()
+	accums := make([]rowAccum, len(specs))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		d, err := buildAll(cfg.Seed+int64(trial), n, radius, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("table1 trial %d: %w", trial, err)
+		}
+		for i := range specs {
+			accums[i].add(d, specs[i])
+		}
+	}
+	tb := stats.NewTable("graph", "deg_avg", "deg_max", "len_avg", "len_max", "hop_avg", "hop_max", "edges")
+	for i, spec := range specs {
+		a := &accums[i]
+		row := []interface{}{
+			spec.name,
+			a.degAvg.Summary().Mean,
+			a.degMax.Summary().Max,
+		}
+		if a.measuredStretch {
+			row = append(row,
+				a.lenAvg.Summary().Mean, a.lenMax.Summary().Max,
+				a.hopAvg.Summary().Mean, a.hopMax.Summary().Max,
+			)
+		} else {
+			row = append(row, "-", "-", "-", "-")
+		}
+		row = append(row, a.edges.Summary().Mean)
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// Fig8 regenerates Figure 8: maximum and average node degree of the six
+// backbone structures versus the number of nodes (long format: one row per
+// (n, structure)).
+func Fig8(ns []int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("n", "graph", "deg_max", "deg_avg")
+	specs := fig8Specs()
+	for _, n := range ns {
+		accums := make([]rowAccum, len(specs))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 n=%d trial %d: %w", n, trial, err)
+			}
+			for i := range specs {
+				accums[i].add(d, specs[i])
+			}
+		}
+		for i, spec := range specs {
+			tb.AddRow(n, spec.name, accums[i].degMax.Summary().Max, accums[i].degAvg.Summary().Mean)
+		}
+	}
+	return tb, nil
+}
+
+func fig8Specs() []structSpec {
+	return []structSpec{
+		{"CDS", func(d *instData) *graph.Graph { return d.res.Conn.CDS }, allNodes, stretchNone},
+		{"CDS'", func(d *instData) *graph.Graph { return d.res.Conn.CDSPrime }, allNodes, stretchNone},
+		{"ICDS", func(d *instData) *graph.Graph { return d.res.Conn.ICDS }, allNodes, stretchNone},
+		{"ICDS'", func(d *instData) *graph.Graph { return d.res.Conn.ICDSPrime }, allNodes, stretchNone},
+		{"LDel(ICDS)", func(d *instData) *graph.Graph { return d.res.LDelICDS }, allNodes, stretchNone},
+		{"LDel(ICDS')", func(d *instData) *graph.Graph { return d.res.LDelICDSPrime }, allNodes, stretchNone},
+	}
+}
+
+func primedSpecs() []structSpec {
+	return []structSpec{
+		{"CDS'", func(d *instData) *graph.Graph { return d.res.Conn.CDSPrime }, allNodes, stretchDirect},
+		{"ICDS'", func(d *instData) *graph.Graph { return d.res.Conn.ICDSPrime }, allNodes, stretchDirect},
+		{"LDel(ICDS')", func(d *instData) *graph.Graph { return d.res.LDelICDSPrime }, allNodes, stretchDirect},
+	}
+}
+
+// Fig9 regenerates Figure 9: maximum and average length and hop spanning
+// ratios of the primed structures versus the number of nodes.
+func Fig9(ns []int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("n", "graph", "len_max", "len_avg", "hop_max", "hop_avg")
+	specs := primedSpecs()
+	for _, n := range ns {
+		accums := make([]rowAccum, len(specs))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 n=%d trial %d: %w", n, trial, err)
+			}
+			for i := range specs {
+				accums[i].add(d, specs[i])
+			}
+		}
+		for i, spec := range specs {
+			a := &accums[i]
+			tb.AddRow(n, spec.name,
+				a.lenMax.Summary().Max, a.lenAvg.Summary().Mean,
+				a.hopMax.Summary().Max, a.hopAvg.Summary().Mean)
+		}
+	}
+	return tb, nil
+}
+
+// commSpec names one cumulative communication-cost milestone.
+type commSpec struct {
+	name string
+	get  func(*core.Result) core.MessageStats
+}
+
+func commSpecs() []commSpec {
+	return []commSpec{
+		{"CDS", func(r *core.Result) core.MessageStats { return r.MsgsCDS }},
+		{"ICDS", func(r *core.Result) core.MessageStats { return r.MsgsICDS }},
+		{"LDel(ICDS)", func(r *core.Result) core.MessageStats { return r.MsgsLDel }},
+	}
+}
+
+// Fig10 regenerates Figure 10: maximum and average per-node communication
+// cost to build CDS, ICDS, and LDel(ICDS), versus the number of nodes.
+func Fig10(ns []int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("n", "graph", "comm_max", "comm_avg")
+	specs := commSpecs()
+	for _, n := range ns {
+		maxA := make([]stats.Accumulator, len(specs))
+		avgA := make([]stats.Accumulator, len(specs))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 n=%d trial %d: %w", n, trial, err)
+			}
+			for i, spec := range specs {
+				ms := spec.get(d.res)
+				maxA[i].AddInt(ms.Max())
+				avgA[i].Add(ms.Avg())
+			}
+		}
+		for i, spec := range specs {
+			tb.AddRow(n, spec.name, maxA[i].Summary().Max, avgA[i].Summary().Mean)
+		}
+	}
+	return tb, nil
+}
+
+// Fig11 regenerates Figure 11: spanning ratios of the primed structures
+// versus the transmission radius at fixed n.
+func Fig11(radii []float64, n int, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("radius", "graph", "len_max", "len_avg", "hop_max", "hop_avg")
+	specs := primedSpecs()
+	for _, r := range radii {
+		accums := make([]rowAccum, len(specs))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d, err := buildAll(cfg.Seed+int64(1000*int(r)+trial), n, r, cfg, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 r=%g trial %d: %w", r, trial, err)
+			}
+			for i := range specs {
+				accums[i].add(d, specs[i])
+			}
+		}
+		for i, spec := range specs {
+			a := &accums[i]
+			tb.AddRow(r, spec.name,
+				a.lenMax.Summary().Max, a.lenAvg.Summary().Mean,
+				a.hopMax.Summary().Max, a.hopAvg.Summary().Mean)
+		}
+	}
+	return tb, nil
+}
+
+// Fig12 regenerates Figure 12: communication cost and node degree of the
+// backbone structures versus the transmission radius at fixed n.
+func Fig12(radii []float64, n int, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("radius", "graph", "comm_max", "comm_avg", "deg_max", "deg_avg")
+	specs := commSpecs()
+	degOf := func(d *instData, name string) metrics.DegreeStats {
+		switch name {
+		case "CDS":
+			return metrics.Degrees(d.res.Conn.CDS, nil)
+		case "ICDS":
+			return metrics.Degrees(d.res.Conn.ICDS, nil)
+		default:
+			return metrics.Degrees(d.res.LDelICDS, nil)
+		}
+	}
+	for _, r := range radii {
+		maxC := make([]stats.Accumulator, len(specs))
+		avgC := make([]stats.Accumulator, len(specs))
+		maxD := make([]stats.Accumulator, len(specs))
+		avgD := make([]stats.Accumulator, len(specs))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			d, err := buildAll(cfg.Seed+int64(1000*int(r)+trial), n, r, cfg, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 r=%g trial %d: %w", r, trial, err)
+			}
+			for i, spec := range specs {
+				ms := spec.get(d.res)
+				maxC[i].AddInt(ms.Max())
+				avgC[i].Add(ms.Avg())
+				deg := degOf(d, spec.name)
+				maxD[i].AddInt(deg.Max)
+				avgD[i].Add(deg.Avg)
+			}
+		}
+		for i, spec := range specs {
+			tb.AddRow(r, spec.name,
+				maxC[i].Summary().Max, avgC[i].Summary().Mean,
+				maxD[i].Summary().Max, avgD[i].Summary().Mean)
+		}
+	}
+	return tb, nil
+}
+
+// Fig6SVG writes the Figure 6 picture: one random unit disk graph.
+func Fig6SVG(w io.Writer, seed int64, n int, radius float64, cfg Config) error {
+	cfg = cfg.withDefaults()
+	inst, err := udg.ConnectedInstance(seed, n, cfg.Region, radius, cfg.MaxTries)
+	if err != nil {
+		return err
+	}
+	d := viz.NewDrawing(cfg.Region)
+	d.AddLayer(inst.UDG, viz.Style{Stroke: "#999999", StrokeWidth: 0.4, NodeFill: "#1f77b4", NodeRadius: 1.8})
+	return d.WriteSVG(w)
+}
+
+// Fig7SVGs renders the Figure 7 panel: every derived topology of one
+// instance, keyed by structure name. Dominators are drawn red, connectors
+// orange, dominatees blue.
+func Fig7SVGs(seed int64, n int, radius float64, cfg Config) (map[string][]byte, error) {
+	cfg = cfg.withDefaults()
+	d, err := buildAll(seed, n, radius, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	for _, spec := range table1Specs() {
+		g := spec.get(d)
+		draw := viz.NewDrawing(cfg.Region)
+		draw.AddLayer(g, viz.Style{Stroke: "#555555", StrokeWidth: 0.5, NodeFill: "#1f77b4", NodeRadius: 1.8})
+		for _, dom := range d.res.Cluster.Dominators {
+			draw.MarkNode(dom, "#d62728")
+		}
+		for _, c := range d.res.Conn.Connectors {
+			draw.MarkNode(c, "#ff7f0e")
+		}
+		var b writerBuf
+		if err := draw.WriteSVG(&b); err != nil {
+			return nil, err
+		}
+		out[spec.name] = b.bytes
+	}
+	return out, nil
+}
+
+type writerBuf struct{ bytes []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.bytes = append(w.bytes, p...)
+	return len(p), nil
+}

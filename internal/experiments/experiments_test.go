@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Region: 200, Trials: 2, Seed: 1}
+}
+
+func TestTable1SmokeAndShape(t *testing.T) {
+	tb, err := Table1(60, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	for _, name := range []string{"UDG", "RNG", "GG", "LDel", "CDS", "CDS'", "ICDS", "ICDS'", "LDel(ICDS)", "LDel(ICDS')"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing row %q in:\n%s", name, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 12 { // header + separator + 10 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "graph,deg_avg") {
+		t.Fatalf("bad csv header: %q", csv[:40])
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	tb, err := Fig8([]int{30, 40}, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.CSV()
+	// 2 densities × 6 structures + header.
+	if got := strings.Count(out, "\n"); got != 13 {
+		t.Fatalf("row count = %d, want 13:\n%s", got, out)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	tb, err := Fig9([]int{30}, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(tb.CSV(), "\n"); got != 4 {
+		t.Fatalf("row count = %d, want 4:\n%s", got, tb.CSV())
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	tb, err := Fig10([]int{30}, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.CSV()
+	if !strings.Contains(out, "LDel(ICDS)") || !strings.Contains(out, "CDS") {
+		t.Fatalf("missing structures:\n%s", out)
+	}
+}
+
+func TestFig11Fig12Smoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := Fig11([]float64{60}, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(tb.CSV(), "\n"); got != 4 {
+		t.Fatalf("fig11 rows = %d:\n%s", got, tb.CSV())
+	}
+	tb12, err := Fig12([]float64{60}, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(tb12.CSV(), "\n"); got != 4 {
+		t.Fatalf("fig12 rows = %d:\n%s", got, tb12.CSV())
+	}
+}
+
+func TestFig6SVG(t *testing.T) {
+	var b strings.Builder
+	if err := Fig6SVG(&b, 1, 40, 60, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("not an svg")
+	}
+}
+
+func TestFig7SVGs(t *testing.T) {
+	svgs, err := Fig7SVGs(1, 40, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svgs) != 10 {
+		t.Fatalf("got %d panels, want 10", len(svgs))
+	}
+	for name, data := range svgs {
+		if !strings.Contains(string(data), "</svg>") {
+			t.Fatalf("panel %s not an svg", name)
+		}
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	tb, err := Ablation(40, 60, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "bidirectional") || !strings.Contains(out, "single-orientation") {
+		t.Fatalf("missing variants:\n%s", out)
+	}
+}
+
+func TestRoutingQualitySmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := RoutingQuality(30, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	for _, s := range []string{"greedy/UDG", "greedy/GG", "GFG/GG", "DS/LDel(ICDS)"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("missing strategy %s:\n%s", s, out)
+		}
+	}
+	// The guaranteed-delivery strategies must deliver everything.
+	if !strings.Contains(out, "100.00") {
+		t.Fatalf("no 100%% delivery row:\n%s", out)
+	}
+}
+
+func TestPowerStretchSmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := PowerStretch(40, 60, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "GG") || !strings.Contains(out, "LDel(ICDS')") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Gabriel power stretch is exactly 1 for beta >= 2.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "GG ") && !strings.Contains(line, "1.00") {
+			t.Fatalf("GG power stretch should be 1.00:\n%s", out)
+		}
+	}
+}
+
+func TestLDelKSmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := LDelK(40, 60, []int{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 2 data rows:\n%s", out)
+	}
+	// k=2 must be planar before pruning with nothing pruned.
+	if !strings.Contains(lines[3], "true") {
+		t.Fatalf("k=2 row should be planar pre-prune:\n%s", out)
+	}
+}
+
+func TestRobustnessSmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := Robustness(50, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	for _, dist := range []string{"uniform", "clustered", "corridor", "ring"} {
+		if !strings.Contains(out, dist) {
+			t.Fatalf("missing %s row:\n%s", dist, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("an invariant failed:\n%s", out)
+	}
+}
+
+func TestClusterheadsSmoke(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 1
+	tb, err := Clusterheads(40, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "lowest-ID") || !strings.Contains(out, "highest-degree") {
+		t.Fatalf("missing criteria:\n%s", out)
+	}
+}

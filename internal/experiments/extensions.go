@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/connector"
+	"geospanner/internal/core"
+	"geospanner/internal/graph"
+	"geospanner/internal/ldel"
+	"geospanner/internal/metrics"
+	"geospanner/internal/proximity"
+	"geospanner/internal/routing"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+)
+
+// Ablation compares the paper's Algorithm 1 (which elects 3-hop connectors
+// in both orientations of every dominator pair, adding redundant paths)
+// against a single-orientation variant. This quantifies the design choice
+// DESIGN.md calls out: redundancy costs backbone size and messages but
+// buys robustness and slightly better stretch.
+func Ablation(n int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("variant", "backbone", "cds_edges", "ldel_edges",
+		"comm_max", "comm_avg", "len_avg", "len_max", "hop_avg", "hop_max")
+	variants := []struct {
+		name string
+		opts connector.Options
+	}{
+		{"bidirectional (paper)", connector.Options{}},
+		{"single-orientation", connector.Options{SingleOrientation: true}},
+	}
+	for _, variant := range variants {
+		var backboneA, cdsA, ldelA, commMaxA, commAvgA stats.Accumulator
+		var lenAvgA, lenMaxA, hopAvgA, hopMaxA stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
+			if err != nil {
+				return nil, fmt.Errorf("ablation trial %d: %w", trial, err)
+			}
+			res, msgs, err := buildWithOptions(inst, variant.opts)
+			if err != nil {
+				return nil, fmt.Errorf("ablation trial %d: %w", trial, err)
+			}
+			backboneA.AddInt(len(res.Conn.Backbone))
+			cdsA.AddInt(res.Conn.CDS.NumEdges())
+			ldelA.AddInt(res.LDelICDS.NumEdges())
+			commMaxA.AddInt(msgs.Max())
+			commAvgA.Add(msgs.Avg())
+			s := metrics.Stretch(inst.UDG, res.LDelICDSPrime, metrics.StretchOptions{DirectEdges: true})
+			lenAvgA.Add(s.LengthAvg)
+			lenMaxA.Add(s.LengthMax)
+			hopAvgA.Add(s.HopAvg)
+			hopMaxA.Add(s.HopMax)
+			if s.Disconnected > 0 {
+				return nil, fmt.Errorf("ablation: variant %q disconnected %d pairs", variant.name, s.Disconnected)
+			}
+		}
+		tb.AddRow(variant.name,
+			backboneA.Summary().Mean, cdsA.Summary().Mean, ldelA.Summary().Mean,
+			commMaxA.Summary().Max, commAvgA.Summary().Mean,
+			lenAvgA.Summary().Mean, lenMaxA.Summary().Max,
+			hopAvgA.Summary().Mean, hopMaxA.Summary().Max)
+	}
+	return tb, nil
+}
+
+// buildWithOptions runs the distributed pipeline with explicit connector
+// options, mirroring core.Build's message accounting.
+func buildWithOptions(inst *udg.Instance, opts connector.Options) (*core.Result, core.MessageStats, error) {
+	cl, clNet, err := cluster.Run(inst.UDG, 0)
+	if err != nil {
+		return nil, core.MessageStats{}, err
+	}
+	conn, connNet, err := connector.RunOpts(inst.UDG, cl, 0, opts)
+	if err != nil {
+		return nil, core.MessageStats{}, err
+	}
+	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, inst.Radius, 0)
+	if err != nil {
+		return nil, core.MessageStats{}, err
+	}
+	prime := ld.PLDel.Clone()
+	for v := 0; v < inst.UDG.N(); v++ {
+		for _, u := range cl.DominatorsOf[v] {
+			prime.AddEdge(v, u)
+		}
+	}
+	res := &core.Result{
+		UDG:           inst.UDG,
+		Radius:        inst.Radius,
+		Cluster:       cl,
+		Conn:          conn,
+		LDelICDS:      ld.PLDel,
+		LDelICDSPrime: prime,
+		Triangles:     ld.Triangles,
+	}
+	msgs := core.MessageStats{PerNode: make([]int, inst.UDG.N()), ByType: map[string]int{}}
+	msgs.AddUniform(1, core.MsgTypeBeacon)
+	msgs.AddNetwork(clNet)
+	msgs.AddNetwork(connNet)
+	msgs.AddUniform(1, core.MsgTypeRoleAnnounce)
+	msgs.AddNetwork(ldNet)
+	return res, msgs, nil
+}
+
+// RoutingQuality measures, beyond the paper's structural metrics, what the
+// backbone buys for actual routing: delivery rate and hop quality of
+// greedy forwarding, GFG (greedy + face recovery), and dominating-set
+// routing, against the UDG shortest-hop optimum over all node pairs.
+func RoutingQuality(n int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	type agg struct {
+		attempts  int
+		delivered int
+		ratioSum  float64
+		ratioMax  float64
+	}
+	strategies := []string{"greedy/UDG", "greedy/GG", "GFG/GG", "DS/LDel(ICDS)"}
+	results := make(map[string]*agg, len(strategies))
+	for _, s := range strategies {
+		results[s] = &agg{}
+	}
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
+		if err != nil {
+			return nil, fmt.Errorf("routing trial %d: %w", trial, err)
+		}
+		res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			return nil, fmt.Errorf("routing trial %d: %w", trial, err)
+		}
+		gg := proximity.Gabriel(inst.UDG)
+
+		record := func(name string, dst int, opt int, path []int, err error) {
+			a := results[name]
+			a.attempts++
+			if err != nil {
+				return
+			}
+			if len(path) == 0 || path[len(path)-1] != dst {
+				return
+			}
+			a.delivered++
+			r := float64(len(path)-1) / float64(opt)
+			a.ratioSum += r
+			if r > a.ratioMax {
+				a.ratioMax = r
+			}
+		}
+
+		for s := 0; s < inst.UDG.N(); s++ {
+			optHops, _ := inst.UDG.BFS(s)
+			for d := 0; d < inst.UDG.N(); d++ {
+				if s == d || optHops[d] == graph.Unreachable {
+					continue
+				}
+				path, err := routing.RouteGreedy(inst.UDG, s, d, 0)
+				if err != nil && !errors.Is(err, routing.ErrGreedyStuck) {
+					return nil, fmt.Errorf("greedy/UDG %d->%d: %w", s, d, err)
+				}
+				record("greedy/UDG", d, optHops[d], path, err)
+
+				path, err = routing.RouteGreedy(gg, s, d, 0)
+				if err != nil && !errors.Is(err, routing.ErrGreedyStuck) {
+					return nil, fmt.Errorf("greedy/GG %d->%d: %w", s, d, err)
+				}
+				record("greedy/GG", d, optHops[d], path, err)
+
+				path, err = routing.RouteGFG(gg, s, d, 0)
+				if err != nil {
+					return nil, fmt.Errorf("GFG/GG %d->%d: %w", s, d, err)
+				}
+				record("GFG/GG", d, optHops[d], path, err)
+
+				path, err = routing.RouteDS(inst.UDG, res.LDelICDS, res.Cluster.DominatorsOf,
+					res.Conn.InBackbone, s, d, 0)
+				if err != nil {
+					return nil, fmt.Errorf("DS %d->%d: %w", s, d, err)
+				}
+				record("DS/LDel(ICDS)", d, optHops[d], path, err)
+			}
+		}
+	}
+
+	tb := stats.NewTable("strategy", "delivery_%", "hop_ratio_avg", "hop_ratio_max")
+	for _, name := range strategies {
+		a := results[name]
+		rate := 100 * float64(a.delivered) / float64(a.attempts)
+		avg := 0.0
+		if a.delivered > 0 {
+			avg = a.ratioSum / float64(a.delivered)
+		}
+		tb.AddRow(name, rate, avg, a.ratioMax)
+	}
+	return tb, nil
+}
+
+// PowerStretch reports the power stretch factors (Section I of the paper
+// defines link cost as length^β, β ∈ [2,5]) of the flat and primed
+// structures. The Gabriel graph has power stretch exactly 1 for β ≥ 2,
+// which anchors the table.
+func PowerStretch(n int, radius, beta float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("graph", "power_avg", "power_max")
+	type row struct {
+		name   string
+		get    func(*instData) *graph.Graph
+		direct bool
+	}
+	rows := []row{
+		{"RNG", func(d *instData) *graph.Graph { return d.rng }, false},
+		{"GG", func(d *instData) *graph.Graph { return d.gg }, false},
+		{"LDel", func(d *instData) *graph.Graph { return d.flat }, false},
+		{"CDS'", func(d *instData) *graph.Graph { return d.res.Conn.CDSPrime }, true},
+		{"LDel(ICDS')", func(d *instData) *graph.Graph { return d.res.LDelICDSPrime }, true},
+	}
+	avgs := make([]stats.Accumulator, len(rows))
+	maxes := make([]stats.Accumulator, len(rows))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		d, err := buildAll(cfg.Seed+int64(trial), n, radius, cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("power trial %d: %w", trial, err)
+		}
+		for i, r := range rows {
+			s := metrics.PowerStretch(d.inst.UDG, r.get(d), beta,
+				metrics.StretchOptions{DirectEdges: r.direct})
+			avgs[i].Add(s.LengthAvg)
+			maxes[i].Add(s.LengthMax)
+		}
+	}
+	for i, r := range rows {
+		tb.AddRow(r.name, avgs[i].Summary().Mean, maxes[i].Summary().Max)
+	}
+	return tb, nil
+}
+
+// LDelK sweeps the neighborhood parameter k of the localized Delaunay
+// construction over the flat node set: k = 1 needs the planarization pass
+// but only 1-hop knowledge; k >= 2 is planar by construction but costs
+// k-hop position gossip. The paper picks k = 1; this table quantifies the
+// trade.
+func LDelK(n int, radius float64, ks []int, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("k", "ldel_edges", "pruned_edges", "planar_pre_prune", "len_avg", "len_max")
+	for _, k := range ks {
+		var edgesA, prunedA, lenAvgA, lenMaxA stats.Accumulator
+		planarPre := true
+		for trial := 0; trial < cfg.Trials; trial++ {
+			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
+			if err != nil {
+				return nil, fmt.Errorf("ldelk trial %d: %w", trial, err)
+			}
+			res, err := ldel.CentralizedK(inst.UDG, nil, inst.Radius, k)
+			if err != nil {
+				return nil, fmt.Errorf("ldelk k=%d: %w", k, err)
+			}
+			edgesA.AddInt(res.LDel.NumEdges())
+			prunedA.AddInt(res.LDel.NumEdges() - res.PLDel.NumEdges())
+			if !res.LDel.IsPlanarEmbedding() {
+				planarPre = false
+			}
+			s := metrics.Stretch(inst.UDG, res.PLDel, metrics.StretchOptions{})
+			lenAvgA.Add(s.LengthAvg)
+			lenMaxA.Add(s.LengthMax)
+		}
+		tb.AddRow(k, edgesA.Summary().Mean, prunedA.Summary().Mean,
+			fmt.Sprint(planarPre), lenAvgA.Summary().Mean, lenMaxA.Summary().Max)
+	}
+	return tb, nil
+}
+
+// Robustness checks every pipeline guarantee across spatial placement
+// models beyond the paper's uniform one: clustered, corridor, and ring
+// deployments. For each model it reports structure sizes, stretch, and
+// whether planarity/connectivity/degree invariants held on every trial.
+func Robustness(n int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("distribution", "backbone", "ldel_edges", "deg_max",
+		"len_avg", "hop_avg", "planar", "spanning")
+	for _, dist := range []udg.Distribution{udg.Uniform, udg.Clustered, udg.Corridor, udg.Ring} {
+		var backboneA, edgesA, degA, lenA, hopA stats.Accumulator
+		planar, spanning := true, true
+		for trial := 0; trial < cfg.Trials; trial++ {
+			inst, err := udg.ConnectedInstanceDist(cfg.Seed+int64(trial), dist, n, cfg.Region, radius, cfg.MaxTries)
+			if err != nil {
+				return nil, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
+			}
+			res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+			if err != nil {
+				return nil, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
+			}
+			backboneA.AddInt(len(res.Conn.Backbone))
+			edgesA.AddInt(res.LDelICDS.NumEdges())
+			deg := metrics.Degrees(res.LDelICDS, res.Conn.Backbone)
+			degA.AddInt(deg.Max)
+			if !res.LDelICDS.IsPlanarEmbedding() {
+				planar = false
+			}
+			s := metrics.Stretch(inst.UDG, res.LDelICDSPrime, metrics.StretchOptions{DirectEdges: true})
+			if s.Disconnected > 0 {
+				spanning = false
+			}
+			lenA.Add(s.LengthAvg)
+			hopA.Add(s.HopAvg)
+		}
+		tb.AddRow(dist.String(),
+			backboneA.Summary().Mean, edgesA.Summary().Mean, degA.Summary().Max,
+			lenA.Summary().Mean, hopA.Summary().Mean,
+			fmt.Sprint(planar), fmt.Sprint(spanning))
+	}
+	return tb, nil
+}
+
+// Clusterheads compares clusterhead-selection criteria the paper's related
+// work surveys (lowest ID — the paper's protocol — versus highest degree)
+// through the full pipeline: dominator/backbone counts, backbone edges,
+// and the resulting spanner quality.
+func Clusterheads(n int, radius float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("criterion", "dominators", "backbone", "ldel_edges", "len_avg", "hop_avg")
+	criteria := []struct {
+		name  string
+		elect func(g *graph.Graph) (*cluster.Result, error)
+	}{
+		{"lowest-ID (paper)", func(g *graph.Graph) (*cluster.Result, error) {
+			return cluster.Centralized(g), nil
+		}},
+		{"highest-degree", func(g *graph.Graph) (*cluster.Result, error) {
+			return cluster.CentralizedWeighted(g, cluster.DegreeWeights(g))
+		}},
+	}
+	for _, crit := range criteria {
+		var domA, backboneA, edgesA, lenA, hopA stats.Accumulator
+		for trial := 0; trial < cfg.Trials; trial++ {
+			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
+			if err != nil {
+				return nil, fmt.Errorf("clusterheads trial %d: %w", trial, err)
+			}
+			cl, err := crit.elect(inst.UDG)
+			if err != nil {
+				return nil, err
+			}
+			conn := connector.Centralized(inst.UDG, cl)
+			ld, err := ldel.Centralized(conn.ICDS, conn.InBackbone, inst.Radius)
+			if err != nil {
+				return nil, err
+			}
+			prime := ld.PLDel.Clone()
+			for v := 0; v < inst.UDG.N(); v++ {
+				for _, u := range cl.DominatorsOf[v] {
+					prime.AddEdge(v, u)
+				}
+			}
+			domA.AddInt(len(cl.Dominators))
+			backboneA.AddInt(len(conn.Backbone))
+			edgesA.AddInt(ld.PLDel.NumEdges())
+			s := metrics.Stretch(inst.UDG, prime, metrics.StretchOptions{DirectEdges: true})
+			if s.Disconnected > 0 {
+				return nil, fmt.Errorf("clusterheads: %s disconnected %d pairs", crit.name, s.Disconnected)
+			}
+			lenA.Add(s.LengthAvg)
+			hopA.Add(s.HopAvg)
+		}
+		tb.AddRow(crit.name,
+			domA.Summary().Mean, backboneA.Summary().Mean, edgesA.Summary().Mean,
+			lenA.Summary().Mean, hopA.Summary().Mean)
+	}
+	return tb, nil
+}

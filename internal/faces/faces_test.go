@@ -1,0 +1,153 @@
+package faces
+
+import (
+	"testing"
+
+	"geospanner/internal/core"
+	"geospanner/internal/delaunay"
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/proximity"
+	"geospanner/internal/udg"
+)
+
+func TestTriangleFaces(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(1, 2)}
+	g := graph.New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	sub := Build(g)
+	if len(sub.Faces) != 2 {
+		t.Fatalf("triangle has %d faces, want 2", len(sub.Faces))
+	}
+	if len(sub.Outer) != 1 {
+		t.Fatalf("outer faces = %v, want exactly 1", sub.Outer)
+	}
+	if !sub.EulerOK() {
+		t.Fatal("Euler check failed")
+	}
+	// Inner face area is +2, outer is -2.
+	var inner *Face
+	for i := range sub.Faces {
+		if sub.Faces[i].Area > 0 {
+			inner = &sub.Faces[i]
+		}
+	}
+	if inner == nil || inner.Area != 2 {
+		t.Fatalf("inner face area wrong: %+v", sub.Faces)
+	}
+	if sub.BoundaryLengthTotal() != 6 {
+		t.Fatalf("boundary total = %d, want 2E = 6", sub.BoundaryLengthTotal())
+	}
+}
+
+func TestPathGraphSingleFace(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	g := graph.New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	sub := Build(g)
+	if len(sub.Faces) != 1 {
+		t.Fatalf("path has %d faces, want 1", len(sub.Faces))
+	}
+	if sub.Faces[0].Len() != 4 { // each bridge traversed twice
+		t.Fatalf("face boundary length = %d, want 4", sub.Faces[0].Len())
+	}
+	if !sub.EulerOK() {
+		t.Fatal("Euler check failed")
+	}
+}
+
+func TestTwoComponents(t *testing.T) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 1),
+		geom.Pt(10, 10), geom.Pt(11, 10),
+	}
+	g := graph.New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	sub := Build(g)
+	// Triangle: 2 faces; segment: 1 face.
+	if len(sub.Faces) != 3 {
+		t.Fatalf("faces = %d, want 3", len(sub.Faces))
+	}
+	if !sub.EulerOK() {
+		t.Fatal("Euler check failed (V-E+F = 2C form)")
+	}
+}
+
+func TestDelaunayFaceCensus(t *testing.T) {
+	inst, err := udg.ConnectedInstance(3, 60, 200, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := delaunay.Triangulate(inst.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(inst.Points)
+	for _, e := range tri.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	sub := Build(g)
+	// Faces = triangles + 1 outer.
+	if len(sub.Faces) != len(tri.Triangles)+1 {
+		t.Fatalf("faces = %d, want %d triangles + 1", len(sub.Faces), len(tri.Triangles))
+	}
+	if !sub.EulerOK() {
+		t.Fatal("Euler check failed on Delaunay")
+	}
+	// Every bounded face of a triangulation is a triangle.
+	for _, f := range sub.Faces {
+		if f.Area > 0 && f.Len() != 3 {
+			t.Fatalf("bounded face with %d edges in a triangulation", f.Len())
+		}
+	}
+	if sub.BoundaryLengthTotal() != 2*g.NumEdges() {
+		t.Fatal("directed edges not partitioned into faces")
+	}
+}
+
+func TestGabrielAndBackboneFaces(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg := proximity.Gabriel(inst.UDG)
+		sub := Build(gg)
+		if !sub.EulerOK() {
+			t.Fatalf("seed %d: Euler failed on Gabriel", seed)
+		}
+		if sub.BoundaryLengthTotal() != 2*gg.NumEdges() {
+			t.Fatalf("seed %d: face partition broken on Gabriel", seed)
+		}
+
+		res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb := Build(res.LDelICDS)
+		if !bb.EulerOK() {
+			t.Fatalf("seed %d: Euler failed on LDel(ICDS)", seed)
+		}
+		if bb.BoundaryLengthTotal() != 2*res.LDelICDS.NumEdges() {
+			t.Fatalf("seed %d: face partition broken on LDel(ICDS)", seed)
+		}
+	}
+}
+
+func TestEmptyAndEdgelessGraphs(t *testing.T) {
+	sub := Build(graph.New(nil))
+	if len(sub.Faces) != 0 || !sub.EulerOK() {
+		t.Fatalf("empty graph: %+v", sub)
+	}
+	g := graph.New([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	sub2 := Build(g)
+	if len(sub2.Faces) != 0 || !sub2.EulerOK() {
+		t.Fatal("edgeless graph should have no faces and pass Euler trivially")
+	}
+}

@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCollinear is returned when a circumcircle is requested for three
+// collinear points, which have no finite circumcircle.
+var ErrCollinear = errors.New("geom: collinear points have no circumcircle")
+
+// Circle is a circle given by center and radius.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle{center: %v, r: %g}", c.Center, c.Radius)
+}
+
+// Contains reports whether p lies inside or on the circle, using plain
+// floating-point arithmetic. Use InCircleCCW for exact open-disk tests
+// against a circumcircle.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= c.Radius*c.Radius
+}
+
+// ContainsStrict reports whether p lies strictly inside the circle, using
+// plain floating-point arithmetic.
+func (c Circle) ContainsStrict(p Point) bool {
+	return c.Center.Dist2(p) < c.Radius*c.Radius
+}
+
+// Circumcircle returns the circle through the three points a, b, c.
+// It returns ErrCollinear when the points are collinear.
+func Circumcircle(a, b, c Point) (Circle, error) {
+	if Collinear(a, b, c) {
+		return Circle{}, ErrCollinear
+	}
+	// Solve the perpendicular-bisector system, translated so a is the
+	// origin for numerical stability.
+	bx := b.X - a.X
+	by := b.Y - a.Y
+	cx := c.X - a.X
+	cy := c.Y - a.Y
+	d := 2 * (bx*cy - by*cx)
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (cy*b2 - by*c2) / d
+	uy := (bx*c2 - cx*b2) / d
+	center := Point{a.X + ux, a.Y + uy}
+	return Circle{Center: center, Radius: center.Dist(a)}, nil
+}
+
+// DiametralDisk returns the disk with segment uv as its diameter (the
+// Gabriel disk of the edge uv).
+func DiametralDisk(u, v Point) Circle {
+	return Circle{Center: u.Mid(v), Radius: u.Dist(v) / 2}
+}
+
+// InDiametralDisk reports, exactly, whether p lies strictly inside the open
+// disk with diameter uv. p is inside exactly when the angle ∠(u, p, v)
+// is obtuse, i.e. (u-p)·(v-p) < 0, which is computed with exact rational
+// arithmetic when the floating-point value is not clearly signed.
+func InDiametralDisk(u, v, p Point) bool {
+	ax := u.X - p.X
+	ay := u.Y - p.Y
+	bx := v.X - p.X
+	by := v.Y - p.Y
+	dot := ax*bx + ay*by
+	// Forward error of a 2-term dot product of differences: bound akin to
+	// the orientation filter.
+	mag := abs(ax*bx) + abs(ay*by)
+	if errBound := ccwErrBound * mag; dot > errBound || -dot > errBound {
+		return dot < 0
+	}
+	// Exact fallback.
+	axr := new2Sub(u.X, p.X)
+	ayr := new2Sub(u.Y, p.Y)
+	bxr := new2Sub(v.X, p.X)
+	byr := new2Sub(v.Y, p.Y)
+	l := axr.Mul(axr, bxr)
+	r := ayr.Mul(ayr, byr)
+	return l.Add(l, r).Sign() < 0
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCircumcircleEquidistant(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		circ, err := Circumcircle(a, b, c)
+		if err != nil {
+			return Collinear(a, b, c)
+		}
+		da, db, dc := circ.Center.Dist(a), circ.Center.Dist(b), circ.Center.Dist(c)
+		scale := 1 + da + db + dc
+		return math.Abs(da-db) < 1e-6*scale && math.Abs(db-dc) < 1e-6*scale
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircumcircleKnown(t *testing.T) {
+	circ, err := Circumcircle(Pt(0, 0), Pt(2, 0), Pt(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !circ.Center.Eq(Pt(1, 0)) {
+		t.Errorf("center = %v, want (1,0)", circ.Center)
+	}
+	if circ.Radius != 1 {
+		t.Errorf("radius = %v, want 1", circ.Radius)
+	}
+}
+
+func TestCircumcircleCollinear(t *testing.T) {
+	_, err := Circumcircle(Pt(0, 0), Pt(1, 1), Pt(2, 2))
+	if !errors.Is(err, ErrCollinear) {
+		t.Errorf("err = %v, want ErrCollinear", err)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), Radius: 2}
+	if !c.Contains(Pt(2, 0)) {
+		t.Error("boundary point should be contained")
+	}
+	if c.ContainsStrict(Pt(2, 0)) {
+		t.Error("boundary point should not be strictly contained")
+	}
+	if !c.ContainsStrict(Pt(1, 1)) {
+		t.Error("(1,1) should be strictly inside radius-2 circle")
+	}
+	if c.Contains(Pt(3, 0)) {
+		t.Error("(3,0) should be outside")
+	}
+}
+
+func TestDiametralDisk(t *testing.T) {
+	d := DiametralDisk(Pt(0, 0), Pt(4, 0))
+	if !d.Center.Eq(Pt(2, 0)) || d.Radius != 2 {
+		t.Errorf("disk = %v, want center (2,0) radius 2", d)
+	}
+}
+
+func TestInDiametralDiskBasic(t *testing.T) {
+	u, v := Pt(0, 0), Pt(4, 0)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(2, 0), true},
+		{"inside", Pt(2, 1.9), true},
+		{"on boundary", Pt(2, 2), false}, // angle exactly right: not strict interior
+		{"endpoint", Pt(0, 0), false},    // endpoint is on the boundary
+		{"outside", Pt(2, 2.1), false},
+		{"far", Pt(10, 10), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InDiametralDisk(u, v, tt.p); got != tt.want {
+				t.Errorf("InDiametralDisk(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestInDiametralDiskMatchesDistance cross-checks the exact predicate
+// against the naive distance test away from the boundary.
+func TestInDiametralDiskMatchesDistance(t *testing.T) {
+	f := func(u, v, p Point) bool {
+		d := DiametralDisk(u, v)
+		dist := d.Center.Dist(p)
+		if math.Abs(dist-d.Radius) < 1e-6*(1+d.Radius) {
+			return true // too close to the boundary to compare naively
+		}
+		return InDiametralDisk(u, v, p) == (dist < d.Radius)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInDiametralDiskSymmetry(t *testing.T) {
+	f := func(u, v, p Point) bool {
+		return InDiametralDisk(u, v, p) == InDiametralDisk(v, u, p)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircleString(t *testing.T) {
+	c := Circle{Center: Pt(1, 2), Radius: 3}
+	if got := c.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

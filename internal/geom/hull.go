@@ -1,0 +1,85 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counterclockwise order,
+// starting from the lexicographically smallest point. Collinear points on
+// the hull boundary are omitted. The input slice is not modified.
+// Degenerate inputs are handled: fewer than three distinct points, or all
+// points collinear, return the extreme points.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		out := make([]Point, len(uniq))
+		copy(out, uniq)
+		return out
+	}
+
+	// Andrew's monotone chain.
+	hull := make([]Point, 0, 2*len(uniq))
+	for _, p := range uniq { // lower hull
+		for len(hull) >= 2 && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != Positive {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- { // upper hull
+		p := uniq[i]
+		for len(hull) >= lower && Orient(hull[len(hull)-2], hull[len(hull)-1], p) != Positive {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	hull = hull[:len(hull)-1] // last point equals the first
+	if len(hull) < 3 {
+		// All points collinear: return the two extremes.
+		return []Point{uniq[0], uniq[len(uniq)-1]}
+	}
+	return hull
+}
+
+// InConvexPolygon reports whether p lies inside or on the boundary of the
+// convex polygon poly given in counterclockwise order.
+func InConvexPolygon(poly []Point, p Point) bool {
+	if len(poly) == 0 {
+		return false
+	}
+	if len(poly) == 1 {
+		return poly[0].Eq(p)
+	}
+	if len(poly) == 2 {
+		return Collinear(poly[0], poly[1], p) && Seg(poly[0], poly[1]).onSegment(p)
+	}
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		if Orient(poly[i], poly[j], p) == Negative {
+			return false
+		}
+	}
+	return true
+}
+
+// PolygonArea returns the signed area of the polygon (positive when the
+// vertices are in counterclockwise order).
+func PolygonArea(poly []Point) float64 {
+	var area float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		area += poly[i].Cross(poly[j])
+	}
+	return area / 2
+}

@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2),
+		Pt(1, 1), Pt(0.5, 0.5), // interior
+		Pt(1, 0), // boundary, collinear: must be dropped
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices, want 4: %v", len(hull), hull)
+	}
+	if !hull[0].Eq(Pt(0, 0)) {
+		t.Errorf("hull starts at %v, want (0,0)", hull[0])
+	}
+	if got := PolygonArea(hull); got != 4 {
+		t.Errorf("hull area = %v, want 4", got)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	tests := []struct {
+		name string
+		pts  []Point
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []Point{Pt(1, 1)}, 1},
+		{"duplicate single", []Point{Pt(1, 1), Pt(1, 1)}, 1},
+		{"two points", []Point{Pt(0, 0), Pt(1, 1)}, 2},
+		{"collinear", []Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ConvexHull(tt.pts); len(got) != tt.want {
+				t.Errorf("hull size = %d, want %d (%v)", len(got), tt.want, got)
+			}
+		})
+	}
+}
+
+func TestConvexHullIsConvexAndContainsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = randomPoint(r)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) >= 3 {
+			// Strictly convex: every consecutive triple turns left.
+			for i := range hull {
+				a := hull[i]
+				b := hull[(i+1)%len(hull)]
+				c := hull[(i+2)%len(hull)]
+				if Orient(a, b, c) != Positive {
+					t.Fatalf("trial %d: hull not strictly convex at %v,%v,%v", trial, a, b, c)
+				}
+			}
+		}
+		for _, p := range pts {
+			if len(hull) >= 3 && !InConvexPolygon(hull, p) {
+				t.Fatalf("trial %d: point %v outside its own hull", trial, p)
+			}
+		}
+	}
+}
+
+func TestConvexHullInputNotModified(t *testing.T) {
+	pts := []Point{Pt(3, 3), Pt(0, 0), Pt(1, 5)}
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	ConvexHull(pts)
+	for i := range pts {
+		if !pts[i].Eq(orig[i]) {
+			t.Fatal("ConvexHull modified its input")
+		}
+	}
+}
+
+func TestInConvexPolygon(t *testing.T) {
+	sq := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(1, 1), true},
+		{"vertex", Pt(0, 0), true},
+		{"edge", Pt(1, 0), true},
+		{"outside", Pt(3, 1), false},
+		{"just outside", Pt(-0.001, 1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InConvexPolygon(sq, tt.p); got != tt.want {
+				t.Errorf("InConvexPolygon(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+	if InConvexPolygon(nil, Pt(0, 0)) {
+		t.Error("empty polygon contains nothing")
+	}
+	if !InConvexPolygon([]Point{Pt(1, 1)}, Pt(1, 1)) {
+		t.Error("single-point polygon should contain its point")
+	}
+	if !InConvexPolygon([]Point{Pt(0, 0), Pt(2, 2)}, Pt(1, 1)) {
+		t.Error("two-point polygon should contain its midpoint")
+	}
+}
+
+func TestPolygonAreaTriangle(t *testing.T) {
+	tri := []Point{Pt(0, 0), Pt(4, 0), Pt(0, 3)}
+	if got := PolygonArea(tri); got != 6 {
+		t.Errorf("area = %v, want 6", got)
+	}
+	// Clockwise gives negative area.
+	cw := []Point{Pt(0, 0), Pt(0, 3), Pt(4, 0)}
+	if got := PolygonArea(cw); got != -6 {
+		t.Errorf("cw area = %v, want -6", got)
+	}
+}
+
+func TestHullAreaLeqBoundingBox(t *testing.T) {
+	f := func(a, b, c, d, e Point) bool {
+		pts := []Point{a, b, c, d, e}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			return true
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+		box := (maxX - minX) * (maxY - minY)
+		return PolygonArea(hull) <= box*(1+1e-12)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}

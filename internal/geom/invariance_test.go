@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The predicates must be invariant under rigid motions (translation,
+// rotation) and under uniform positive scaling. Exact invariance cannot
+// hold in floating point for arbitrary transforms, so the tests transform
+// by exactly representable translations (integers) — where invariance is
+// exact — and by general rotations where only clearly-signed cases are
+// compared.
+
+func translate(p Point, dx, dy float64) Point { return Pt(p.X+dx, p.Y+dy) }
+
+func rotate(p Point, theta float64) Point {
+	c, s := math.Cos(theta), math.Sin(theta)
+	return Pt(p.X*c-p.Y*s, p.X*s+p.Y*c)
+}
+
+func TestOrientTranslationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := randomPoint(r), randomPoint(r), randomPoint(r)
+		dx := float64(r.Intn(2001) - 1000)
+		dy := float64(r.Intn(2001) - 1000)
+		got := Orient(translate(a, dx, dy), translate(b, dx, dy), translate(c, dx, dy))
+		// Integer translations of grid-snapped points are exact; of random
+		// points they can round, so compare only decisive cases.
+		want := Orient(a, b, c)
+		if want == Zero {
+			continue
+		}
+		if got != want {
+			// Tolerate rounding flips only if the triple is nearly
+			// degenerate.
+			area := math.Abs((b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X))
+			if area > 1e-6 {
+				t.Fatalf("translation flipped orientation (area %g)", area)
+			}
+		}
+	}
+}
+
+func TestOrientRotationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := randomPoint(r), randomPoint(r), randomPoint(r)
+		area := math.Abs((b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X))
+		if area < 1e-6 {
+			continue // too close to degenerate for float rotation
+		}
+		theta := r.Float64() * 2 * math.Pi
+		got := Orient(rotate(a, theta), rotate(b, theta), rotate(c, theta))
+		if got != Orient(a, b, c) {
+			t.Fatalf("rotation flipped orientation of clearly-signed triple")
+		}
+	}
+}
+
+func TestInCircleScalingInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c, d := randomPoint(r), randomPoint(r), randomPoint(r), randomPoint(r)
+		if Collinear(a, b, c) {
+			continue
+		}
+		// Powers of two scale exactly in floating point.
+		for _, s := range []float64{0.25, 2, 8} {
+			got := InCircleCCW(a.Scale(s), b.Scale(s), c.Scale(s), d.Scale(s))
+			want := InCircleCCW(a, b, c, d)
+			if got != want {
+				t.Fatalf("scaling by %v changed InCircle: %v -> %v", s, want, got)
+			}
+		}
+	}
+}
+
+func TestInCircleVertexPermutationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c, d := randomPoint(r), randomPoint(r), randomPoint(r), randomPoint(r)
+		want := InCircleCCW(a, b, c, d)
+		perms := [][3]Point{{a, b, c}, {b, c, a}, {c, a, b}, {a, c, b}, {c, b, a}, {b, a, c}}
+		for _, p := range perms {
+			if got := InCircleCCW(p[0], p[1], p[2], d); got != want {
+				t.Fatalf("InCircleCCW not permutation-invariant: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestSegmentIntersectionTranslationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		a, b, c, d := randomPoint(r), randomPoint(r), randomPoint(r), randomPoint(r)
+		// Grid-snapped points translate exactly by integers.
+		if a != Pt(math.Trunc(a.X), math.Trunc(a.Y)) {
+			continue
+		}
+		if b != Pt(math.Trunc(b.X), math.Trunc(b.Y)) ||
+			c != Pt(math.Trunc(c.X), math.Trunc(c.Y)) ||
+			d != Pt(math.Trunc(d.X), math.Trunc(d.Y)) {
+			continue
+		}
+		dx, dy := float64(r.Intn(201)-100), float64(r.Intn(201)-100)
+		s1 := Seg(a, b)
+		s2 := Seg(c, d)
+		t1 := Seg(translate(a, dx, dy), translate(b, dx, dy))
+		t2 := Seg(translate(c, dx, dy), translate(d, dx, dy))
+		if s1.Intersects(s2) != t1.Intersects(t2) {
+			t.Fatal("translation changed Intersects on integer points")
+		}
+		if s1.CrossesProperly(s2) != t1.CrossesProperly(t2) {
+			t.Fatal("translation changed CrossesProperly on integer points")
+		}
+	}
+}
+
+func TestConvexHullTranslationEquivariance(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(20)
+		pts := make([]Point, n)
+		shifted := make([]Point, n)
+		for i := range pts {
+			// Integer points: exact translation.
+			pts[i] = Pt(float64(r.Intn(41)-20), float64(r.Intn(41)-20))
+			shifted[i] = translate(pts[i], 100, -37)
+		}
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(shifted)
+		if len(h1) != len(h2) {
+			t.Fatalf("hull sizes differ under translation: %d vs %d", len(h1), len(h2))
+		}
+		for i := range h1 {
+			if !translate(h1[i], 100, -37).Eq(h2[i]) {
+				t.Fatal("hull vertices not equivariant under translation")
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package geom provides the 2-D computational-geometry kernel used by the
+// spanner constructions: points, segments, circles, convex hulls, and robust
+// geometric predicates (orientation and in-circle tests).
+//
+// Predicates are evaluated with a fast float64 path guarded by a static
+// forward error bound; when the result is too close to zero to trust, the
+// computation is repeated exactly with math/big rational arithmetic. This
+// makes every decision in the Delaunay, Gabriel, and planarity code
+// deterministic and crash-free on degenerate inputs.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean norm of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean norm of p viewed as a vector.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Eq reports whether p and q are the same point (exact comparison).
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Less orders points lexicographically by (X, Y). It provides the canonical
+// deterministic ordering used throughout the library.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// SixtyDegrees is π/3, the proposal-angle threshold of the localized
+// Delaunay construction.
+const SixtyDegrees = math.Pi / 3
+
+// Angle returns the angle of the vector from p to q in (-π, π].
+func (p Point) Angle(q Point) float64 { return math.Atan2(q.Y-p.Y, q.X-p.X) }
+
+// AngleAt returns the interior angle ∠(a, v, b) at vertex v, in [0, π].
+func AngleAt(v, a, b Point) float64 {
+	u := a.Sub(v)
+	w := b.Sub(v)
+	nu, nw := u.Norm(), w.Norm()
+	if nu == 0 || nw == 0 {
+		return 0
+	}
+	c := u.Dot(w) / (nu * nw)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}

@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, -1)), Pt(4, 1)},
+		{"sub", Pt(1, 2).Sub(Pt(3, -1)), Pt(-2, 3)},
+		{"scale", Pt(1, -2).Scale(2.5), Pt(2.5, -5)},
+		{"mid", Pt(0, 0).Mid(Pt(4, 6)), Pt(2, 3)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.Eq(tt.want) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	a, b := Pt(2, 3), Pt(-1, 4)
+	if got := a.Dot(b); got != 10 {
+		t.Errorf("Dot = %v, want 10", got)
+	}
+	if got := a.Cross(b); got != 11 {
+		t.Errorf("Cross = %v, want 11", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a, b := Pt(0, 0), Pt(3, 4)
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := b.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := b.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	cfg := quickConfig()
+	antisym := func(a, b Point) bool {
+		if a.Eq(b) {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetricNonNegative(t *testing.T) {
+	f := func(a, b Point) bool {
+		d1, d2 := a.Dist(b), b.Dist(a)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		// Allow a relative epsilon for floating-point rounding.
+		lhs := a.Dist(c)
+		rhs := a.Dist(b) + b.Dist(c)
+		return lhs <= rhs*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleAt(t *testing.T) {
+	tests := []struct {
+		name    string
+		v, a, b Point
+		want    float64
+	}{
+		{"right angle", Pt(0, 0), Pt(1, 0), Pt(0, 1), math.Pi / 2},
+		{"straight", Pt(0, 0), Pt(1, 0), Pt(-1, 0), math.Pi},
+		{"sixty", Pt(0, 0), Pt(1, 0), Pt(0.5, math.Sqrt(3)/2), math.Pi / 3},
+		{"degenerate", Pt(0, 0), Pt(0, 0), Pt(1, 1), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := AngleAt(tt.v, tt.a, tt.b)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("AngleAt = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAngleAtSymmetric(t *testing.T) {
+	f := func(v, a, b Point) bool {
+		return math.Abs(AngleAt(v, a, b)-AngleAt(v, b, a)) < 1e-9
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}

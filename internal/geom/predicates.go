@@ -1,0 +1,187 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// Sign is the result of a geometric predicate.
+type Sign int
+
+// Predicate results. Negative/Zero/Positive follow the usual determinant
+// sign conventions.
+const (
+	Negative Sign = iota - 1
+	Zero
+	Positive
+)
+
+// String implements fmt.Stringer.
+func (s Sign) String() string {
+	switch s {
+	case Negative:
+		return "negative"
+	case Zero:
+		return "zero"
+	default:
+		return "positive"
+	}
+}
+
+// Machine epsilon for float64 (2^-53) and the static filter constants from
+// Shewchuk, "Adaptive Precision Floating-Point Arithmetic and Fast Robust
+// Geometric Predicates" (1997). If the float64 determinant magnitude exceeds
+// the bound, its sign is provably correct; otherwise we fall back to exact
+// rational arithmetic.
+const (
+	epsilon = 1.0 / (1 << 53)
+
+	ccwErrBound      = (3 + 16*epsilon) * epsilon
+	inCircleErrBound = (10 + 96*epsilon) * epsilon
+)
+
+// Orient returns the orientation of the ordered triple (a, b, c):
+// Positive if they make a counterclockwise turn, Negative if clockwise,
+// and Zero if they are collinear. The result is exact.
+func Orient(a, b, c Point) Sign {
+	detLeft := (a.X - c.X) * (b.Y - c.Y)
+	detRight := (a.Y - c.Y) * (b.X - c.X)
+	det := detLeft - detRight
+
+	var detSum float64
+	switch {
+	case detLeft > 0:
+		if detRight <= 0 {
+			return signOf(det)
+		}
+		detSum = detLeft + detRight
+	case detLeft < 0:
+		if detRight >= 0 {
+			return signOf(det)
+		}
+		detSum = -detLeft - detRight
+	default:
+		return signOf(det)
+	}
+
+	if errBound := ccwErrBound * detSum; det >= errBound || -det >= errBound {
+		return signOf(det)
+	}
+	return orientExact(a, b, c)
+}
+
+// CCW reports whether (a, b, c) are in strict counterclockwise order.
+func CCW(a, b, c Point) bool { return Orient(a, b, c) == Positive }
+
+// Collinear reports whether a, b, c lie on one line.
+func Collinear(a, b, c Point) bool { return Orient(a, b, c) == Zero }
+
+// InCircle returns Positive if point d lies strictly inside the circle
+// through a, b, c (given in counterclockwise order), Negative if strictly
+// outside, and Zero if the four points are co-circular. If (a, b, c) is
+// clockwise the sign is inverted, as with the standard determinant test.
+// The result is exact.
+func InCircle(a, b, c, d Point) Sign {
+	adx := a.X - d.X
+	bdx := b.X - d.X
+	cdx := c.X - d.X
+	ady := a.Y - d.Y
+	bdy := b.Y - d.Y
+	cdy := c.Y - d.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+
+	if errBound := inCircleErrBound * permanent; det > errBound || -det > errBound {
+		return signOf(det)
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func signOf(v float64) Sign {
+	switch {
+	case v > 0:
+		return Positive
+	case v < 0:
+		return Negative
+	default:
+		return Zero
+	}
+}
+
+// rat converts a float64 to an exact rational. Every finite float64 is
+// exactly representable as a big.Rat, so no precision is lost.
+func rat(v float64) *big.Rat { return new(big.Rat).SetFloat64(v) }
+
+func orientExact(a, b, c Point) Sign {
+	// det = (a-c) × (b-c)
+	acx := new(big.Rat).Sub(rat(a.X), rat(c.X))
+	acy := new(big.Rat).Sub(rat(a.Y), rat(c.Y))
+	bcx := new(big.Rat).Sub(rat(b.X), rat(c.X))
+	bcy := new(big.Rat).Sub(rat(b.Y), rat(c.Y))
+
+	left := new(big.Rat).Mul(acx, bcy)
+	right := new(big.Rat).Mul(acy, bcx)
+	return Sign(left.Cmp(right))
+}
+
+func inCircleExact(a, b, c, d Point) Sign {
+	adx := new(big.Rat).Sub(rat(a.X), rat(d.X))
+	ady := new(big.Rat).Sub(rat(a.Y), rat(d.Y))
+	bdx := new(big.Rat).Sub(rat(b.X), rat(d.X))
+	bdy := new(big.Rat).Sub(rat(b.Y), rat(d.Y))
+	cdx := new(big.Rat).Sub(rat(c.X), rat(d.X))
+	cdy := new(big.Rat).Sub(rat(c.Y), rat(d.Y))
+
+	lift := func(x, y *big.Rat) *big.Rat {
+		xx := new(big.Rat).Mul(x, x)
+		yy := new(big.Rat).Mul(y, y)
+		return xx.Add(xx, yy)
+	}
+	cross := func(x1, y1, x2, y2 *big.Rat) *big.Rat {
+		l := new(big.Rat).Mul(x1, y2)
+		r := new(big.Rat).Mul(x2, y1)
+		return l.Sub(l, r)
+	}
+
+	det := new(big.Rat)
+	term := new(big.Rat).Mul(lift(adx, ady), cross(bdx, bdy, cdx, cdy))
+	det.Add(det, term)
+	term = new(big.Rat).Mul(lift(bdx, bdy), cross(cdx, cdy, adx, ady))
+	det.Add(det, term)
+	term = new(big.Rat).Mul(lift(cdx, cdy), cross(adx, ady, bdx, bdy))
+	det.Add(det, term)
+
+	return Sign(det.Sign())
+}
+
+// InCircleCCW returns Positive when d is strictly inside the circle through
+// a, b, c regardless of the orientation of (a, b, c). It returns Zero for
+// co-circular points and Negative when d is strictly outside. Degenerate
+// (collinear) triangles have no circumcircle; InCircleCCW returns Negative
+// for them.
+func InCircleCCW(a, b, c, d Point) Sign {
+	switch Orient(a, b, c) {
+	case Positive:
+		return InCircle(a, b, c, d)
+	case Negative:
+		return InCircle(a, c, b, d)
+	default:
+		return Negative
+	}
+}

@@ -1,0 +1,183 @@
+package geom
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientBasic(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b, c Point
+		want    Sign
+	}{
+		{"ccw", Pt(0, 0), Pt(1, 0), Pt(0, 1), Positive},
+		{"cw", Pt(0, 0), Pt(0, 1), Pt(1, 0), Negative},
+		{"collinear horizontal", Pt(0, 0), Pt(1, 0), Pt(2, 0), Zero},
+		{"collinear diagonal", Pt(-1, -1), Pt(0, 0), Pt(5, 5), Zero},
+		{"coincident", Pt(2, 3), Pt(2, 3), Pt(4, 5), Zero},
+		{"all same", Pt(1, 1), Pt(1, 1), Pt(1, 1), Zero},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Orient(tt.a, tt.b, tt.c); got != tt.want {
+				t.Errorf("Orient(%v,%v,%v) = %v, want %v", tt.a, tt.b, tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestOrientNearDegenerate uses points that are collinear except for a
+// one-ulp perturbation, the classic case where naive float64 evaluation
+// returns the wrong sign.
+func TestOrientNearDegenerate(t *testing.T) {
+	base := Pt(0.5, 0.5)
+	// Walk a tiny grid of perturbed points around the line y = x and check
+	// against exact arithmetic directly.
+	const ulp = 1.1102230246251565e-16
+	for i := -2; i <= 2; i++ {
+		for j := -2; j <= 2; j++ {
+			a := Pt(base.X+float64(i)*ulp, base.Y+float64(j)*ulp)
+			b := Pt(12, 12)
+			c := Pt(24, 24)
+			want := orientExact(a, b, c)
+			if got := Orient(a, b, c); got != want {
+				t.Errorf("Orient(%v,%v,%v) = %v, want exact %v", a, b, c, got, want)
+			}
+		}
+	}
+}
+
+func TestOrientMatchesExact(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		return Orient(a, b, c) == orientExact(a, b, c)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientAntisymmetry(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		return Orient(a, b, c) == -Orient(a, c, b)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientCyclicInvariance(t *testing.T) {
+	f := func(a, b, c Point) bool {
+		s := Orient(a, b, c)
+		return s == Orient(b, c, a) && s == Orient(c, a, b)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0) (counterclockwise).
+	a, b, c := Pt(1, 0), Pt(0, 1), Pt(-1, 0)
+	tests := []struct {
+		name string
+		d    Point
+		want Sign
+	}{
+		{"center inside", Pt(0, 0), Positive},
+		{"far outside", Pt(5, 5), Negative},
+		{"on circle", Pt(0, -1), Zero},
+		{"just vertex", Pt(1, 0), Zero},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := InCircle(a, b, c, tt.d); got != tt.want {
+				t.Errorf("InCircle(...%v) = %v, want %v", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInCircleOrientationFlip(t *testing.T) {
+	// Clockwise triangle flips the sign.
+	a, b, c := Pt(1, 0), Pt(0, 1), Pt(-1, 0)
+	if got := InCircle(a, c, b, Pt(0, 0)); got != Negative {
+		t.Errorf("clockwise InCircle = %v, want Negative", got)
+	}
+	if got := InCircleCCW(a, c, b, Pt(0, 0)); got != Positive {
+		t.Errorf("InCircleCCW with clockwise triangle = %v, want Positive", got)
+	}
+}
+
+func TestInCircleCCWCollinearTriangle(t *testing.T) {
+	if got := InCircleCCW(Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(0, 1)); got != Negative {
+		t.Errorf("InCircleCCW on degenerate triangle = %v, want Negative", got)
+	}
+}
+
+func TestInCircleMatchesExact(t *testing.T) {
+	f := func(a, b, c, d Point) bool {
+		return InCircle(a, b, c, d) == inCircleExact(a, b, c, d)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInCircleAgainstCircumcircle checks the predicate against a direct
+// floating-point circumcircle distance comparison for clearly separated
+// points.
+func TestInCircleAgainstCircumcircle(t *testing.T) {
+	f := func(a, b, c, d Point) bool {
+		if Collinear(a, b, c) {
+			return true // no circumcircle to compare against
+		}
+		circ, err := Circumcircle(a, b, c)
+		if err != nil {
+			return true
+		}
+		dist := circ.Center.Dist(d)
+		// Only compare when the answer is numerically unambiguous.
+		if absTest(dist-circ.Radius) < 1e-6*(1+circ.Radius) {
+			return true
+		}
+		want := dist < circ.Radius
+		return (InCircleCCW(a, b, c, d) == Positive) == want
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func absTest(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestInCircleCocircularExactlyZero(t *testing.T) {
+	// Four points of an axis-aligned square are co-circular.
+	a, b, c, d := Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)
+	if got := InCircleCCW(a, b, c, d); got != Zero {
+		t.Errorf("square co-circular = %v, want Zero", got)
+	}
+}
+
+func TestRatIsExact(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.1, 1e-300, -1e300, 3.141592653589793}
+	for _, v := range vals {
+		r := rat(v)
+		f, _ := r.Float64()
+		if f != v || r.Cmp(new(big.Rat).SetFloat64(v)) != 0 {
+			t.Errorf("rat(%v) round-trips to %v", v, f)
+		}
+	}
+}
+
+func TestSignString(t *testing.T) {
+	if Negative.String() != "negative" || Zero.String() != "zero" || Positive.String() != "positive" {
+		t.Error("Sign.String mismatch")
+	}
+}

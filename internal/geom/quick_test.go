@@ -1,0 +1,33 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing/quick"
+)
+
+// quickConfig returns a testing/quick configuration whose generated Points
+// have bounded coordinates, with half of them snapped to a coarse grid so
+// degenerate configurations (collinear, co-circular, coincident) actually
+// occur and exercise the exact-arithmetic fallbacks.
+func quickConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		// Every property function checked with this config takes only
+		// Point arguments; the slots arrive untyped and are filled here.
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(randomPoint(r))
+			}
+		},
+	}
+}
+
+func randomPoint(r *rand.Rand) Point {
+	if r.Intn(2) == 0 {
+		// Grid-snapped: integer coordinates in [-8, 8] make collinear and
+		// co-circular quadruples common.
+		return Pt(float64(r.Intn(17)-8), float64(r.Intn(17)-8))
+	}
+	return Pt(r.Float64()*2000-1000, r.Float64()*2000-1000)
+}

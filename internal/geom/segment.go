@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// new2Sub returns the exact rational value of x - y.
+func new2Sub(x, y float64) *big.Rat { return new(big.Rat).Sub(rat(x), rat(y)) }
+
+// Segment is a closed line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("[%v–%v]", s.A, s.B) }
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of the segment.
+func (s Segment) Midpoint() Point { return s.A.Mid(s.B) }
+
+// onSegment reports whether p, known to be collinear with s.A and s.B,
+// lies on the closed segment s.
+func (s Segment) onSegment(p Point) bool {
+	return min(s.A.X, s.B.X) <= p.X && p.X <= max(s.A.X, s.B.X) &&
+		min(s.A.Y, s.B.Y) <= p.Y && p.Y <= max(s.A.Y, s.B.Y)
+}
+
+// Intersects reports whether segments s and t share at least one point
+// (including endpoints and collinear overlap). The test is exact.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+
+	if ((d1 == Positive && d2 == Negative) || (d1 == Negative && d2 == Positive)) &&
+		((d3 == Positive && d4 == Negative) || (d3 == Negative && d4 == Positive)) {
+		return true
+	}
+	switch {
+	case d1 == Zero && t.onSegment(s.A):
+		return true
+	case d2 == Zero && t.onSegment(s.B):
+		return true
+	case d3 == Zero && s.onSegment(t.A):
+		return true
+	case d4 == Zero && s.onSegment(t.B):
+		return true
+	}
+	return false
+}
+
+// CrossesProperly reports whether the interiors of s and t intersect in a
+// single point, i.e. the segments cross at a point that is an endpoint of
+// neither. Two graph edges that share an endpoint never cross properly,
+// which is exactly the planarity notion used for network topologies.
+func (s Segment) CrossesProperly(t Segment) bool {
+	d1 := Orient(t.A, t.B, s.A)
+	d2 := Orient(t.A, t.B, s.B)
+	d3 := Orient(s.A, s.B, t.A)
+	d4 := Orient(s.A, s.B, t.B)
+	return ((d1 == Positive && d2 == Negative) || (d1 == Negative && d2 == Positive)) &&
+		((d3 == Positive && d4 == Negative) || (d3 == Negative && d4 == Positive))
+}
+
+// SharesEndpoint reports whether s and t have a common endpoint.
+func (s Segment) SharesEndpoint(t Segment) bool {
+	return s.A.Eq(t.A) || s.A.Eq(t.B) || s.B.Eq(t.A) || s.B.Eq(t.B)
+}
+
+// DistToPoint returns the Euclidean distance from p to the closed segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	ap := p.Sub(s.A)
+	denom := ab.Norm2()
+	if denom == 0 {
+		return s.A.Dist(p)
+	}
+	t := ap.Dot(ab) / denom
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := s.A.Add(ab.Scale(t))
+	return proj.Dist(p)
+}
+
+// IntersectionPoint returns the intersection point of properly crossing
+// segments s and t. The boolean result is false when the segments do not
+// cross properly (parallel, collinear, or merely touching).
+func (s Segment) IntersectionPoint(t Segment) (Point, bool) {
+	if !s.CrossesProperly(t) {
+		return Point{}, false
+	}
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	if denom == 0 {
+		return Point{}, false
+	}
+	u := t.A.Sub(s.A).Cross(d) / denom
+	return s.A.Add(r.Scale(u)), true
+}

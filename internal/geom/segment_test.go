@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"plain cross", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"disjoint parallel", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1)), false},
+		{"shared endpoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 1)), true},
+		{"T touch", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), true},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"near miss", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(0, 0.5), Pt(0.4, 0.5)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Intersects(tt.u); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.u.Intersects(tt.s); got != tt.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCrossesProperly(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"plain cross", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"shared endpoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(1, 0), Pt(2, 1)), false},
+		{"T touch", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), false},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), false},
+		{"disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(5, 5), Pt(6, 6)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.CrossesProperly(tt.u); got != tt.want {
+				t.Errorf("CrossesProperly = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCrossesProperlyImpliesIntersects(t *testing.T) {
+	f := func(a, b, c, d Point) bool {
+		s, u := Seg(a, b), Seg(c, d)
+		if s.CrossesProperly(u) {
+			return s.Intersects(u)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectsSymmetric(t *testing.T) {
+	f := func(a, b, c, d Point) bool {
+		s, u := Seg(a, b), Seg(c, d)
+		return s.Intersects(u) == u.Intersects(s)
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharesEndpoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 1))
+	if !s.SharesEndpoint(Seg(Pt(1, 1), Pt(2, 2))) {
+		t.Error("expected shared endpoint")
+	}
+	if s.SharesEndpoint(Seg(Pt(3, 3), Pt(2, 2))) {
+		t.Error("unexpected shared endpoint")
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(4, 0))
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(2, 3), 3},
+		{Pt(-3, 4), 5},
+		{Pt(7, 4), 5},
+		{Pt(1, 0), 0},
+	}
+	for _, tt := range tests {
+		if got := s.DistToPoint(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Degenerate segment.
+	d := Seg(Pt(1, 1), Pt(1, 1))
+	if got := d.DistToPoint(Pt(4, 5)); got != 5 {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+}
+
+func TestIntersectionPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(2, 2))
+	u := Seg(Pt(0, 2), Pt(2, 0))
+	p, ok := s.IntersectionPoint(u)
+	if !ok {
+		t.Fatal("expected proper intersection")
+	}
+	if p.Dist(Pt(1, 1)) > 1e-12 {
+		t.Errorf("intersection = %v, want (1,1)", p)
+	}
+	if _, ok := s.IntersectionPoint(Seg(Pt(5, 5), Pt(6, 6))); ok {
+		t.Error("disjoint segments should not intersect properly")
+	}
+}
+
+func TestIntersectionPointLiesOnBoth(t *testing.T) {
+	f := func(a, b, c, d Point) bool {
+		s, u := Seg(a, b), Seg(c, d)
+		p, ok := s.IntersectionPoint(u)
+		if !ok {
+			return true
+		}
+		scale := 1 + s.Length() + u.Length()
+		return s.DistToPoint(p) < 1e-6*scale && u.DistToPoint(p) < 1e-6*scale
+	}
+	if err := quick.Check(f, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentLengthMidpoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if s.Length() != 5 {
+		t.Errorf("Length = %v, want 5", s.Length())
+	}
+	if !s.Midpoint().Eq(Pt(1.5, 2)) {
+		t.Errorf("Midpoint = %v, want (1.5,2)", s.Midpoint())
+	}
+}

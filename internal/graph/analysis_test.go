@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/geom"
+)
+
+func TestConnected(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.Connected() {
+		t.Fatal("graph with isolated node reported connected")
+	}
+	g.AddEdge(2, 3)
+	if !g.Connected() {
+		t.Fatal("path graph reported disconnected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(linePoints(6))
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	want := [][]int{{0, 1}, {2, 3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComponentsPartitionNodes(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 5+r.Intn(40), 0.05)
+		seen := make(map[int]bool)
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					t.Fatalf("node %d in two components", v)
+				}
+				seen[v] = true
+			}
+			if !g.SubsetConnected(comp) {
+				t.Fatalf("component %v not internally connected", comp)
+			}
+		}
+		if len(seen) != g.N() {
+			t.Fatalf("components cover %d of %d nodes", len(seen), g.N())
+		}
+	}
+}
+
+func TestSubsetConnected(t *testing.T) {
+	g := New(linePoints(5))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.SubsetConnected([]int{0, 1, 2}) {
+		t.Fatal("connected subset reported disconnected")
+	}
+	if g.SubsetConnected([]int{0, 1, 3}) {
+		t.Fatal("disconnected subset reported connected")
+	}
+	if !g.SubsetConnected(nil) || !g.SubsetConnected([]int{2}) {
+		t.Fatal("trivial subsets are connected")
+	}
+}
+
+func TestCrossingEdges(t *testing.T) {
+	// An X configuration: edges (0,1) and (2,3) cross at the center.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(2, 2),
+		geom.Pt(0, 2), geom.Pt(2, 0),
+	}
+	g := New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	crossings := g.CrossingEdges()
+	if len(crossings) != 1 {
+		t.Fatalf("got %d crossings, want 1", len(crossings))
+	}
+	if g.IsPlanarEmbedding() {
+		t.Fatal("crossing graph reported planar")
+	}
+	g.RemoveEdge(0, 1)
+	if !g.IsPlanarEmbedding() {
+		t.Fatal("single-edge graph reported nonplanar")
+	}
+}
+
+func TestCrossingEdgesSharedEndpoint(t *testing.T) {
+	// Edges sharing an endpoint never cross properly.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(1, 2)}
+	g := New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if !g.IsPlanarEmbedding() {
+		t.Fatal("triangle reported nonplanar")
+	}
+}
+
+func TestCrossingEdgesBoundingBoxPruneCorrect(t *testing.T) {
+	// Many parallel vertical edges plus one long horizontal edge crossing
+	// them all: the prune must not hide any crossing.
+	var pts []geom.Point
+	g := New(nil)
+	_ = g
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Pt(float64(i), -1), geom.Pt(float64(i), 1))
+	}
+	pts = append(pts, geom.Pt(-1, 0), geom.Pt(10, 0))
+	g2 := New(pts)
+	for i := 0; i < 10; i++ {
+		g2.AddEdge(2*i, 2*i+1)
+	}
+	g2.AddEdge(20, 21)
+	if got := len(g2.CrossingEdges()); got != 10 {
+		t.Fatalf("got %d crossings, want 10", got)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := New(linePoints(5))
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if got := g.Diameter(); got != 4 {
+		t.Fatalf("Diameter = %d, want 4", got)
+	}
+	// Disconnected parts don't contribute infinities.
+	g2 := New(linePoints(4))
+	g2.AddEdge(0, 1)
+	g2.AddEdge(2, 3)
+	if got := g2.Diameter(); got != 1 {
+		t.Fatalf("Diameter = %d, want 1", got)
+	}
+	if New(nil).Diameter() != 0 {
+		t.Fatal("empty graph diameter should be 0")
+	}
+}
+
+func TestAvgHopDistance(t *testing.T) {
+	g := New(linePoints(3))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	// Ordered pairs: (0,1)=1 (0,2)=2 (1,0)=1 (1,2)=1 (2,0)=2 (2,1)=1 -> avg 8/6.
+	want := 8.0 / 6.0
+	if got := g.AvgHopDistance(); got != want {
+		t.Fatalf("AvgHopDistance = %v, want %v", got, want)
+	}
+	if New(linePoints(2)).AvgHopDistance() != 0 {
+		t.Fatal("edgeless graph should average 0")
+	}
+}

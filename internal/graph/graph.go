@@ -1,0 +1,231 @@
+// Package graph provides the undirected geometric graph type shared by all
+// topology constructions (UDG, RNG, GG, Yao, Delaunay variants, CDS family,
+// LDel family) together with the graph algorithms the spanner evaluation
+// needs: BFS hop distances, Dijkstra length distances, connectivity,
+// degree statistics, and an exact geometric planarity check.
+//
+// Nodes are identified by dense indices 0..n-1 with fixed positions; edges
+// are undirected and weighted implicitly by Euclidean length.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"geospanner/internal/geom"
+)
+
+// Edge is an undirected edge between node indices, normalized so U < V.
+type Edge struct {
+	U, V int
+}
+
+// MakeEdge returns the normalized edge {min(i,j), max(i,j)}.
+func MakeEdge(i, j int) Edge {
+	if i > j {
+		i, j = j, i
+	}
+	return Edge{U: i, V: j}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is an undirected graph over nodes with fixed planar positions.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	pts []geom.Point
+	adj []map[int]struct{}
+	m   int // number of edges
+}
+
+// New returns an empty graph over the given node positions. The positions
+// slice is retained (not copied); callers must not mutate it afterwards.
+func New(pts []geom.Point) *Graph {
+	adj := make([]map[int]struct{}, len(pts))
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Graph{pts: pts, adj: adj}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.pts) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Point returns the position of node i.
+func (g *Graph) Point(i int) geom.Point { return g.pts[i] }
+
+// Points returns the underlying position slice. Callers must treat it as
+// read-only.
+func (g *Graph) Points() []geom.Point { return g.pts }
+
+// AddEdge inserts the undirected edge {i, j}. Self-loops and duplicate
+// insertions are ignored.
+func (g *Graph) AddEdge(i, j int) {
+	if i == j {
+		return
+	}
+	if _, ok := g.adj[i][j]; ok {
+		return
+	}
+	g.adj[i][j] = struct{}{}
+	g.adj[j][i] = struct{}{}
+	g.m++
+}
+
+// RemoveEdge deletes the undirected edge {i, j} if present.
+func (g *Graph) RemoveEdge(i, j int) {
+	if _, ok := g.adj[i][j]; !ok {
+		return
+	}
+	delete(g.adj[i], j)
+	delete(g.adj[j], i)
+	g.m--
+}
+
+// HasEdge reports whether {i, j} is an edge.
+func (g *Graph) HasEdge(i, j int) bool {
+	if i < 0 || j < 0 || i >= len(g.adj) || j >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[i][j]
+	return ok
+}
+
+// Neighbors returns the neighbors of node i in increasing index order.
+func (g *Graph) Neighbors(i int) []int {
+	out := make([]int, 0, len(g.adj[i]))
+	for j := range g.adj[i] {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Edges returns all edges in deterministic (sorted) order.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for i := range g.adj {
+		for j := range g.adj[i] {
+			if i < j {
+				edges = append(edges, Edge{U: i, V: j})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	return edges
+}
+
+// EdgeLength returns the Euclidean length of edge {i, j} (whether or not it
+// is present in the graph).
+func (g *Graph) EdgeLength(i, j int) float64 { return g.pts[i].Dist(g.pts[j]) }
+
+// Clone returns a deep copy of the graph sharing the position slice.
+func (g *Graph) Clone() *Graph {
+	c := New(g.pts)
+	for i := range g.adj {
+		for j := range g.adj[i] {
+			if i < j {
+				c.AddEdge(i, j)
+			}
+		}
+	}
+	return c
+}
+
+// AddAll inserts every edge of other into g. The graphs must be over the
+// same node set.
+func (g *Graph) AddAll(other *Graph) {
+	for i := range other.adj {
+		for j := range other.adj[i] {
+			if i < j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+}
+
+// Union returns a new graph over the same positions containing the edges of
+// both graphs.
+func Union(a, b *Graph) *Graph {
+	u := a.Clone()
+	u.AddAll(b)
+	return u
+}
+
+// Subgraph returns a new graph on the same node set containing only edges
+// with both endpoints in keep.
+func (g *Graph) Subgraph(keep map[int]bool) *Graph {
+	s := New(g.pts)
+	for i := range g.adj {
+		if !keep[i] {
+			continue
+		}
+		for j := range g.adj[i] {
+			if i < j && keep[j] {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s
+}
+
+// TotalLength returns the sum of Euclidean lengths of all edges.
+func (g *Graph) TotalLength() float64 {
+	var total float64
+	for i := range g.adj {
+		for j := range g.adj[i] {
+			if i < j {
+				total += g.EdgeLength(i, j)
+			}
+		}
+	}
+	return total
+}
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	var maxDeg int
+	for i := range g.adj {
+		if d := len(g.adj[i]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// AvgDegree returns the average node degree over all nodes.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// DegreeOver returns max and average degree restricted to the node subset.
+// An empty subset yields (0, 0).
+func (g *Graph) DegreeOver(nodes []int) (maxDeg int, avgDeg float64) {
+	if len(nodes) == 0 {
+		return 0, 0
+	}
+	var sum int
+	for _, i := range nodes {
+		d := len(g.adj[i])
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg, float64(sum) / float64(len(nodes))
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/geom"
+)
+
+func linePoints(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i), 0)
+	}
+	return pts
+}
+
+func randomGraph(r *rand.Rand, n int, p float64) *Graph {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+	}
+	g := New(pts)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self loop ignored
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) missing")
+	}
+	g.RemoveEdge(1, 0)
+	if g.NumEdges() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("edge not removed")
+	}
+	g.RemoveEdge(0, 1) // removing absent edge is a no-op
+	if g.NumEdges() != 0 {
+		t.Fatal("NumEdges went negative")
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(linePoints(3))
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 7) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(linePoints(5))
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	nbrs := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+		}
+	}
+	if g.Degree(2) != 3 {
+		t.Fatalf("Degree = %d, want 3", g.Degree(2))
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(linePoints(3))
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	pts := linePoints(4)
+	a := New(pts)
+	a.AddEdge(0, 1)
+	b := New(pts)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1)
+	u := Union(a, b)
+	if u.NumEdges() != 2 || !u.HasEdge(0, 1) || !u.HasEdge(2, 3) {
+		t.Fatalf("union edges: %v", u.Edges())
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(linePoints(5))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	s := g.Subgraph(map[int]bool{0: true, 1: true, 3: true, 4: true})
+	if s.HasEdge(1, 2) {
+		t.Fatal("subgraph kept edge with excluded endpoint")
+	}
+	if !s.HasEdge(0, 1) || !s.HasEdge(3, 4) {
+		t.Fatal("subgraph dropped kept edges")
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("AvgDegree = %v, want 1.5", g.AvgDegree())
+	}
+	maxDeg, avgDeg := g.DegreeOver([]int{1, 2, 3})
+	if maxDeg != 1 || avgDeg != 1 {
+		t.Fatalf("DegreeOver = (%d, %v), want (1, 1)", maxDeg, avgDeg)
+	}
+	if m, a := g.DegreeOver(nil); m != 0 || a != 0 {
+		t.Fatal("DegreeOver(nil) should be zero")
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	g := New(linePoints(3))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if g.TotalLength() != 2 {
+		t.Fatalf("TotalLength = %v, want 2", g.TotalLength())
+	}
+	if g.EdgeLength(0, 2) != 2 {
+		t.Fatalf("EdgeLength = %v, want 2", g.EdgeLength(0, 2))
+	}
+}
+
+func TestEmptyGraphStats(t *testing.T) {
+	g := New(nil)
+	if g.N() != 0 || g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph stats should be zero")
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph is connected by convention")
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geospanner/internal/geom"
+)
+
+// graphJSON is the serialized form of a Graph: positions plus an edge
+// list. The format is stable and intended for interchange with external
+// analysis tools.
+type graphJSON struct {
+	Points [][2]float64 `json:"points"`
+	Edges  [][2]int     `json:"edges"`
+}
+
+// WriteJSON serializes the graph (positions and edges).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := graphJSON{
+		Points: make([][2]float64, g.N()),
+		Edges:  make([][2]int, 0, g.NumEdges()),
+	}
+	for i, p := range g.Points() {
+		out.Points[i] = [2]float64{p.X, p.Y}
+	}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, [2]int{e.U, e.V})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in graphJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	pts := make([]geom.Point, len(in.Points))
+	for i, xy := range in.Points {
+		pts[i] = geom.Pt(xy[0], xy[1])
+	}
+	g := New(pts)
+	for _, e := range in.Edges {
+		if e[0] < 0 || e[0] >= len(pts) || e[1] < 0 || e[1] >= len(pts) {
+			return nil, fmt.Errorf("graph: edge %v references unknown node", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return g, nil
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := randomGraph(r, 25, 0.2)
+	var b strings.Builder
+	if err := g.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", back.N(), back.NumEdges(), g.N(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(back.Edges(), g.Edges()) {
+		t.Fatal("edges differ after round trip")
+	}
+	for i := 0; i < g.N(); i++ {
+		if !back.Point(i).Eq(g.Point(i)) {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	// Edge referencing a node that does not exist.
+	bad := `{"points":[[0,0],[1,1]],"edges":[[0,5]]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestGraphJSONEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := New(nil).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 || back.NumEdges() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Unreachable is the hop distance reported for nodes not connected to the
+// BFS source.
+const Unreachable = -1
+
+// BFS returns the hop distance from src to every node (Unreachable when
+// disconnected) and a parent array (-1 for src and unreachable nodes) from
+// which shortest-hop paths can be reconstructed.
+func (g *Graph) BFS(src int) (dist []int, parent []int) {
+	n := g.N()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, parent
+}
+
+// HopDist returns the minimum number of hops between u and v, or
+// Unreachable if they are disconnected.
+func (g *Graph) HopDist(u, v int) int {
+	dist, _ := g.BFS(u)
+	return dist[v]
+}
+
+type heapItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []heapItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Dijkstra returns the Euclidean shortest-path length from src to every
+// node (math.Inf(1) when disconnected) and a parent array for path
+// reconstruction.
+func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
+	n := g.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[src] = 0
+	h := &distHeap{{node: src}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for v := range g.adj[u] {
+			if done[v] {
+				continue
+			}
+			if d := it.dist + g.EdgeLength(u, v); d < dist[v] {
+				dist[v] = d
+				parent[v] = u
+				heap.Push(h, heapItem{node: v, dist: d})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathDist returns the Euclidean shortest-path length between u and v, or
+// +Inf if they are disconnected.
+func (g *Graph) PathDist(u, v int) float64 {
+	dist, _ := g.Dijkstra(u)
+	return dist[v]
+}
+
+// PathTo reconstructs the path ending at dst from a parent array produced
+// by BFS or Dijkstra. It returns nil when dst was unreachable.
+func PathTo(parent []int, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if parent[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathLength returns the Euclidean length of a node path in g.
+func (g *Graph) PathLength(path []int) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += g.EdgeLength(path[i-1], path[i])
+	}
+	return total
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPathGraph(t *testing.T) {
+	g := New(linePoints(5))
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1)
+	}
+	dist, parent := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+	path := PathTo(parent, 0, 4)
+	if len(path) != 5 || path[0] != 0 || path[4] != 4 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	dist, parent := g.BFS(0)
+	if dist[2] != Unreachable || dist[3] != Unreachable {
+		t.Fatalf("dist = %v", dist)
+	}
+	if PathTo(parent, 0, 3) != nil {
+		t.Fatal("path to unreachable node should be nil")
+	}
+	if g.HopDist(0, 3) != Unreachable {
+		t.Fatal("HopDist should be Unreachable")
+	}
+}
+
+func TestDijkstraTriangleShortcut(t *testing.T) {
+	// 0-(1)-1-(1)-2 and a direct 0-2 edge of length 2: equal; remove an
+	// intermediate to force the direct edge.
+	g := New(linePoints(3))
+	g.AddEdge(0, 2)
+	dist, parent := g.Dijkstra(0)
+	if dist[2] != 2 {
+		t.Fatalf("dist[2] = %v, want 2", dist[2])
+	}
+	path := PathTo(parent, 0, 2)
+	if len(path) != 2 {
+		t.Fatalf("path = %v, want direct", path)
+	}
+	if g.PathLength(path) != 2 {
+		t.Fatalf("PathLength = %v", g.PathLength(path))
+	}
+}
+
+func TestDijkstraDisconnected(t *testing.T) {
+	g := New(linePoints(3))
+	g.AddEdge(0, 1)
+	if d := g.PathDist(0, 2); !math.IsInf(d, 1) {
+		t.Fatalf("PathDist = %v, want +Inf", d)
+	}
+}
+
+// TestShortestAgainstFloydWarshall cross-validates BFS and Dijkstra with a
+// brute-force all-pairs computation on random graphs.
+func TestShortestAgainstFloydWarshall(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + r.Intn(24)
+		g := randomGraph(r, n, 0.2)
+
+		// Floyd–Warshall for both metrics.
+		const inf = math.MaxFloat64
+		hop := make([][]float64, n)
+		length := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			hop[i] = make([]float64, n)
+			length[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				switch {
+				case i == j:
+				case g.HasEdge(i, j):
+					hop[i][j] = 1
+					length[i][j] = g.EdgeLength(i, j)
+				default:
+					hop[i][j] = inf
+					length[i][j] = inf
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if hop[i][k]+hop[k][j] < hop[i][j] {
+						hop[i][j] = hop[i][k] + hop[k][j]
+					}
+					if length[i][k]+length[k][j] < length[i][j] {
+						length[i][j] = length[i][k] + length[k][j]
+					}
+				}
+			}
+		}
+
+		for src := 0; src < n; src++ {
+			bfsDist, bfsParent := g.BFS(src)
+			dijDist, dijParent := g.Dijkstra(src)
+			for v := 0; v < n; v++ {
+				wantHop := hop[src][v]
+				if wantHop >= inf {
+					if bfsDist[v] != Unreachable {
+						t.Fatalf("BFS reached unreachable node %d", v)
+					}
+					if !math.IsInf(dijDist[v], 1) {
+						t.Fatalf("Dijkstra reached unreachable node %d", v)
+					}
+					continue
+				}
+				if float64(bfsDist[v]) != wantHop {
+					t.Fatalf("BFS dist[%d->%d] = %d, want %v", src, v, bfsDist[v], wantHop)
+				}
+				if math.Abs(dijDist[v]-length[src][v]) > 1e-9*(1+length[src][v]) {
+					t.Fatalf("Dijkstra dist[%d->%d] = %v, want %v", src, v, dijDist[v], length[src][v])
+				}
+				// Path reconstruction consistency.
+				if p := PathTo(bfsParent, src, v); p != nil {
+					if len(p)-1 != bfsDist[v] {
+						t.Fatalf("BFS path hops %d != dist %d", len(p)-1, bfsDist[v])
+					}
+					for i := 1; i < len(p); i++ {
+						if !g.HasEdge(p[i-1], p[i]) {
+							t.Fatalf("BFS path uses non-edge (%d,%d)", p[i-1], p[i])
+						}
+					}
+				}
+				if p := PathTo(dijParent, src, v); p != nil {
+					if math.Abs(g.PathLength(p)-dijDist[v]) > 1e-9*(1+dijDist[v]) {
+						t.Fatalf("Dijkstra path length %v != dist %v", g.PathLength(p), dijDist[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	g := New(linePoints(2))
+	_, parent := g.BFS(0)
+	p := PathTo(parent, 0, 0)
+	if len(p) != 1 || p[0] != 0 {
+		t.Fatalf("path to self = %v", p)
+	}
+}
+
+func TestPathLengthEmpty(t *testing.T) {
+	g := New(linePoints(2))
+	if g.PathLength(nil) != 0 || g.PathLength([]int{0}) != 0 {
+		t.Fatal("degenerate path lengths should be zero")
+	}
+}

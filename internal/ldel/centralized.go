@@ -1,0 +1,231 @@
+package ldel
+
+import (
+	"fmt"
+	"sort"
+
+	"geospanner/internal/delaunay"
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+)
+
+// Centralized computes the same Result as Run without message passing, by
+// mirroring the distributed rules node by node. Tests assert Run and
+// Centralized agree on every instance.
+func Centralized(g *graph.Graph, active []bool, radius float64) (*Result, error) {
+	return CentralizedK(g, active, radius, 1)
+}
+
+// CentralizedK generalizes Centralized to the k-localized Delaunay graph
+// LDel⁽ᵏ⁾: every node uses its k-hop neighborhood instead of its 1-hop
+// neighborhood. Li et al. prove LDel⁽ᵏ⁾ is already planar for k ≥ 2 (the
+// planarization pass is then a no-op) and that UDel ⊆ LDel⁽ᵏ⁺¹⁾ ⊆ LDel⁽ᵏ⁾.
+// The paper's pipeline uses k = 1, the cheapest variant, precisely because
+// planarization restores planarity at constant extra cost.
+func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ldel: neighborhood parameter k must be >= 1, got %d", k)
+	}
+	if active == nil {
+		active = make([]bool, g.N())
+		for i := range active {
+			active[i] = true
+		}
+	}
+	pts := g.Points()
+	r2 := radius * radius
+	short := func(a, b int) bool { return pts[a].Dist2(pts[b]) <= r2 }
+
+	// Per-node k-hop neighborhoods (active nodes only).
+	nbrs := make([][]int, g.N())
+	for u := 0; u < g.N(); u++ {
+		if !active[u] {
+			continue
+		}
+		nbrs[u] = kHopNeighbors(g, active, u, k)
+	}
+
+	// Algorithm 2 steps 2–4 per node.
+	mine := make([]map[TriKey]bool, g.N())
+	proposals := make(map[TriKey]bool)
+	gabriel := make(map[graph.Edge]bool)
+	for u := 0; u < g.N(); u++ {
+		if !active[u] {
+			continue
+		}
+		ids := append([]int{u}, nbrs[u]...)
+		sort.Ints(ids)
+		local := make([]geom.Point, len(ids))
+		for i, id := range ids {
+			local[i] = pts[id]
+		}
+		tri, err := delaunay.Triangulate(local)
+		if err != nil {
+			return nil, fmt.Errorf("ldel: local triangulation of node %d: %w", u, err)
+		}
+
+		// Gabriel edges.
+		for _, v := range nbrs[u] {
+			if !short(u, v) {
+				continue
+			}
+			empty := true
+			for _, w := range ids {
+				if w == u || w == v {
+					continue
+				}
+				if geom.InDiametralDisk(pts[u], pts[v], pts[w]) {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				gabriel[graph.MakeEdge(u, v)] = true
+			}
+		}
+
+		// Incident short-edged local Delaunay triangles + proposals.
+		mine[u] = make(map[TriKey]bool)
+		for _, t := range tri.Triangles {
+			a, b, c := ids[t.A], ids[t.B], ids[t.C]
+			key := NewTriKey(a, b, c)
+			if !key.Has(u) {
+				continue
+			}
+			if !short(a, b) || !short(b, c) || !short(a, c) {
+				continue
+			}
+			mine[u][key] = true
+			var v, w int
+			switch u {
+			case key[0]:
+				v, w = key[1], key[2]
+			case key[1]:
+				v, w = key[0], key[2]
+			default:
+				v, w = key[0], key[1]
+			}
+			if geom.AngleAt(pts[u], pts[v], pts[w]) >= geom.SixtyDegrees-angleSlack {
+				proposals[key] = true
+			}
+		}
+	}
+
+	// Algorithm 2 steps 5–6: a triangle joins LDel⁽¹⁾ when proposed and
+	// held locally by all three corners.
+	kept := make(map[TriKey]bool)
+	for t := range proposals {
+		ok := true
+		for _, v := range t {
+			if mine[v] == nil || !mine[v][t] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept[t] = true
+		}
+	}
+
+	// Algorithm 3 steps 1–2: per-corner pruning against known triangles.
+	keptList := make([]TriKey, 0, len(kept))
+	for t := range kept {
+		keptList = append(keptList, t)
+	}
+	sortTris(keptList)
+	adjacentTo := func(z int) map[int]bool {
+		m := map[int]bool{z: true}
+		for _, v := range nbrs[z] {
+			m[v] = true
+		}
+		return m
+	}
+	removedAt := func(z int, t1 TriKey) bool {
+		p1 := [3]geom.Point{pts[t1[0]], pts[t1[1]], pts[t1[2]]}
+		reach := adjacentTo(z)
+		for _, t2 := range keptList {
+			if t2 == t1 {
+				continue
+			}
+			if !reach[t2[0]] && !reach[t2[1]] && !reach[t2[2]] {
+				continue // z never hears about t2
+			}
+			p2 := [3]geom.Point{pts[t2[0]], pts[t2[1]], pts[t2[2]]}
+			if !trianglesIntersect(p1, p2) {
+				continue
+			}
+			for i, v := range t2 {
+				if t1.Has(v) {
+					continue
+				}
+				if geom.InCircleCCW(p1[0], p1[1], p1[2], p2[i]) == geom.Positive {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	res := &Result{
+		LDel:  graph.New(pts),
+		PLDel: graph.New(pts),
+	}
+	for e := range gabriel {
+		res.Gabriel = append(res.Gabriel, e)
+		res.LDel.AddEdge(e.U, e.V)
+		res.PLDel.AddEdge(e.U, e.V)
+	}
+	sort.Slice(res.Gabriel, func(i, j int) bool {
+		if res.Gabriel[i].U != res.Gabriel[j].U {
+			return res.Gabriel[i].U < res.Gabriel[j].U
+		}
+		return res.Gabriel[i].V < res.Gabriel[j].V
+	})
+	for _, t := range keptList {
+		for _, e := range t.Edges() {
+			res.LDel.AddEdge(e.U, e.V)
+		}
+		survives := true
+		for _, z := range t {
+			if removedAt(z, t) {
+				survives = false
+				break
+			}
+		}
+		if survives {
+			res.Triangles = append(res.Triangles, t)
+			for _, e := range t.Edges() {
+				res.PLDel.AddEdge(e.U, e.V)
+			}
+		}
+	}
+	sortTris(res.Triangles)
+	return res, nil
+}
+
+// kHopNeighbors returns the active nodes within k hops of u (excluding u),
+// sorted, via depth-bounded BFS over active nodes.
+func kHopNeighbors(g *graph.Graph, active []bool, u, k int) []int {
+	depth := map[int]int{u: 0}
+	frontier := []int{u}
+	var out []int
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		var next []int
+		for _, x := range frontier {
+			for _, v := range g.Neighbors(x) {
+				if !active[v] {
+					continue
+				}
+				if _, seen := depth[v]; seen {
+					continue
+				}
+				depth[v] = d
+				next = append(next, v)
+				out = append(out, v)
+			}
+		}
+		frontier = next
+	}
+	sort.Ints(out)
+	return out
+}

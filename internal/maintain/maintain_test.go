@@ -1,0 +1,239 @@
+package maintain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/geom"
+	"geospanner/internal/udg"
+)
+
+func newState(t *testing.T, seed int64, n int) *State {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(seed, n, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(inst.Points, inst.Radius)
+}
+
+func TestNewMatchesCentralizedClustering(t *testing.T) {
+	s := newState(t, 1, 60)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Initially, the maintained clustering equals the lowest-ID MIS.
+	want := cluster.Centralized(s.AliveGraph())
+	for v := range want.Status {
+		if s.Status(v) != want.Status[v] {
+			t.Fatalf("node %d: status %v, want %v", v, s.Status(v), want.Status[v])
+		}
+	}
+}
+
+func TestFailDominateeNoChurn(t *testing.T) {
+	s := newState(t, 2, 60)
+	var victim int = -1
+	for v := 0; v < 60; v++ {
+		if s.Status(v) == cluster.Dominatee {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no dominatee found")
+	}
+	changed, err := s.Fail(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("dominatee failure changed roles: %v", changed)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailDominatorRepairsCoverage(t *testing.T) {
+	s := newState(t, 3, 80)
+	// Find a dominator with at least one dominatee depending on it alone.
+	g := s.AliveGraph()
+	for v := 0; v < g.N(); v++ {
+		if s.Status(v) != cluster.Dominator {
+			continue
+		}
+		changed, err := s.Fail(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("after failing dominator %d: %v (changed %v)", v, err, changed)
+		}
+		// Promotions touch only old neighbors of v.
+		for _, w := range changed {
+			if !g.HasEdge(v, w) {
+				t.Fatalf("promotion of non-neighbor %d after failing %d", w, v)
+			}
+			if s.Status(w) != cluster.Dominator {
+				t.Fatalf("changed node %d is not a dominator", w)
+			}
+		}
+		return
+	}
+	t.Fatal("no dominator found")
+}
+
+func TestFailRecoverErrors(t *testing.T) {
+	s := newState(t, 4, 30)
+	if _, err := s.Fail(-1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Recover(5); !errors.Is(err, ErrDeadNode) {
+		t.Fatalf("recover alive: err = %v", err)
+	}
+	if _, err := s.Fail(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fail(5); !errors.Is(err, ErrDeadNode) {
+		t.Fatalf("double fail: err = %v", err)
+	}
+	if _, err := s.Recover(5); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alive(5) {
+		t.Fatal("node not alive after recovery")
+	}
+}
+
+// TestChurnSequenceInvariants runs long random failure/recovery sequences
+// and checks the clustering invariants after every event, plus the derived
+// structures at checkpoints.
+func TestChurnSequenceInvariants(t *testing.T) {
+	s := newState(t, 5, 80)
+	r := rand.New(rand.NewSource(9))
+	dead := map[int]bool{}
+	for step := 0; step < 200; step++ {
+		v := r.Intn(80)
+		var err error
+		if dead[v] {
+			_, err = s.Recover(v)
+			delete(dead, v)
+		} else {
+			// Keep a quorum alive so the graph stays interesting.
+			if len(dead) > 20 {
+				continue
+			}
+			_, err = s.Fail(v)
+			dead[v] = true
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step%50 == 49 {
+			g := s.AliveGraph()
+			var aliveNodes []int
+			for v := 0; v < 80; v++ {
+				if s.Alive(v) {
+					aliveNodes = append(aliveNodes, v)
+				}
+			}
+			if !g.SubsetConnected(aliveNodes) {
+				continue // survivors disconnected: backbone guarantees suspended
+			}
+			conn, pldel, err := s.Structures()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !conn.CDS.SubsetConnected(conn.Backbone) {
+				t.Fatalf("step %d: maintained CDS disconnected", step)
+			}
+			if !pldel.IsPlanarEmbedding() {
+				t.Fatalf("step %d: maintained backbone not planar", step)
+			}
+		}
+	}
+	if s.RoleChanges == 0 {
+		t.Fatal("expected some role churn over 200 events")
+	}
+}
+
+// TestChurnIsLocal: across many dominator failures, the number of role
+// changes per event stays bounded by the failed node's degree (the
+// locality claim).
+func TestChurnIsLocal(t *testing.T) {
+	s := newState(t, 6, 100)
+	g := s.AliveGraph()
+	events, totalChurn := 0, 0
+	for v := 0; v < 100 && events < 15; v++ {
+		if s.Status(v) != cluster.Dominator || !s.Alive(v) {
+			continue
+		}
+		deg := g.Degree(v)
+		changed, err := s.Fail(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(changed) > deg {
+			t.Fatalf("failing %d (degree %d) changed %d roles", v, deg, len(changed))
+		}
+		events++
+		totalChurn += len(changed)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if events == 0 {
+		t.Fatal("no dominators failed")
+	}
+	t.Logf("%d dominator failures, %d total promotions", events, totalChurn)
+}
+
+// TestRecoverAsDominatorWhenUncovered: a node recovering into a spot with
+// no alive dominator in range must claim dominator status itself. Uses a
+// deterministic two-node network: 0 — 1.
+func TestRecoverAsDominatorWhenUncovered(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	s := New(pts, 1)
+	if s.Status(0) != cluster.Dominator || s.Status(1) != cluster.Dominatee {
+		t.Fatalf("initial roles: %v %v", s.Status(0), s.Status(1))
+	}
+	// Fail the dominator: node 1 is promoted.
+	changed, err := s.Fail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != 1 || s.Status(1) != cluster.Dominator {
+		t.Fatalf("promotion failed: changed=%v status=%v", changed, s.Status(1))
+	}
+	// Fail node 1 too, then recover node 0 into an empty neighborhood.
+	if _, err := s.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Status(0) != cluster.Dominator {
+		t.Fatal("recovered node with no dominator in range should be a dominator")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover node 1: a dominator (node 0) is in range, so it rejoins as
+	// a dominatee even though it held dominator status while node 0 was
+	// down.
+	if _, err := s.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Status(1) != cluster.Dominatee {
+		t.Fatalf("node 1 rejoined as %v, want dominatee", s.Status(1))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/udg"
+)
+
+func newRandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestModelStaysInRegion(t *testing.T) {
+	start := udg.RandomPoints(newRandSource(1), 50, 100)
+	m := NewModel(2, start, 100, 5)
+	for step := 0; step < 200; step++ {
+		for _, p := range m.Step(1) {
+			if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+				t.Fatalf("node left region: %v", p)
+			}
+		}
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	start := udg.RandomPoints(newRandSource(3), 20, 100)
+	a := NewModel(7, start, 100, 3)
+	b := NewModel(7, start, 100, 3)
+	for i := 0; i < 50; i++ {
+		pa := a.Step(0.5)
+		pb := b.Step(0.5)
+		for j := range pa {
+			if !pa[j].Eq(pb[j]) {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestModelMovesAtSpeed(t *testing.T) {
+	start := []geom.Point{geom.Pt(50, 50)}
+	m := NewModel(1, start, 100, 2)
+	prev := m.Positions()[0]
+	for i := 0; i < 20; i++ {
+		cur := m.Step(1)[0]
+		if d := prev.Dist(cur); d > 2+1e-9 {
+			t.Fatalf("moved %v > speed*dt", d)
+		}
+		prev = cur
+	}
+}
+
+func TestModelPositionsCopy(t *testing.T) {
+	m := NewModel(1, []geom.Point{geom.Pt(1, 1)}, 10, 1)
+	p := m.Positions()
+	p[0] = geom.Pt(9, 9)
+	if m.Positions()[0].Eq(geom.Pt(9, 9)) {
+		t.Fatal("Positions leaked internal state")
+	}
+}
+
+func TestBrokenEdges(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	g := graph.New(pts)
+	g.AddEdge(0, 1)
+	moved := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 0)}
+	broken := BrokenEdges(g, moved, 2)
+	if len(broken) != 1 {
+		t.Fatalf("broken = %v, want 1 edge", broken)
+	}
+	if len(BrokenEdges(g, pts, 2)) != 0 {
+		t.Fatal("unmoved edges reported broken")
+	}
+}
+
+func TestMaintainerValidation(t *testing.T) {
+	if _, err := NewMaintainer(1, -0.1, func([]geom.Point) (*graph.Graph, error) { return nil, nil }); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := NewMaintainer(1, 0.5, nil); err == nil {
+		t.Fatal("nil rebuild accepted")
+	}
+}
+
+func TestMaintainerRebuilds(t *testing.T) {
+	region, radius := 100.0, 40.0
+	start := udg.RandomPoints(newRandSource(11), 30, region)
+	rebuilds := 0
+	mt, err := NewMaintainer(radius, 0.05, func(pts []geom.Point) (*graph.Graph, error) {
+		rebuilds++
+		return udg.Build(pts, radius), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First observation always builds.
+	changed, err := mt.Observe(start)
+	if err != nil || !changed {
+		t.Fatalf("first Observe: changed=%v err=%v", changed, err)
+	}
+	if mt.Topology() == nil {
+		t.Fatal("no topology after first Observe")
+	}
+	// Run mobility until links break and a rebuild triggers.
+	m := NewModel(5, start, region, 10)
+	sawRebuild := false
+	for i := 0; i < 100; i++ {
+		pts := m.Step(1)
+		changed, err := mt.Observe(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			sawRebuild = true
+		}
+	}
+	if !sawRebuild {
+		t.Fatal("no rebuild over 100 steps of fast movement")
+	}
+	if mt.Rebuilds != rebuilds {
+		t.Fatalf("Rebuilds = %d, callbacks = %d", mt.Rebuilds, rebuilds)
+	}
+	if mt.Rebuilds < 2 {
+		t.Fatalf("Rebuilds = %d, want >= 2", mt.Rebuilds)
+	}
+}

@@ -1,0 +1,230 @@
+// Package quadtree implements a bucketed point quadtree over node
+// positions: circle and rectangle range queries and nearest-neighbor
+// search. It is an alternative spatial index to the uniform grid used by
+// package udg — better suited to the non-uniform deployments (clustered,
+// corridor, ring) the robustness experiments generate, where a uniform
+// grid degenerates to a few overfull cells.
+package quadtree
+
+import (
+	"errors"
+	"math"
+
+	"geospanner/internal/geom"
+)
+
+// ErrNoPoints is returned by Nearest on an empty tree.
+var ErrNoPoints = errors.New("quadtree: empty tree")
+
+// DefaultBucketSize is the leaf capacity used when New is given a
+// non-positive one.
+const DefaultBucketSize = 8
+
+// Tree is a bucketed point quadtree. It is immutable after New.
+type Tree struct {
+	pts    []geom.Point
+	root   *nodeQT
+	bucket int
+}
+
+type nodeQT struct {
+	// Bounds of this cell.
+	minX, minY, maxX, maxY float64
+	// ids holds point indices in a leaf; nil for internal nodes.
+	ids []int
+	// children are the NW, NE, SW, SE quadrants (nil in leaves).
+	children *[4]*nodeQT
+}
+
+// New builds a quadtree over pts. The slice is retained, not copied.
+func New(pts []geom.Point, bucketSize int) *Tree {
+	if bucketSize <= 0 {
+		bucketSize = DefaultBucketSize
+	}
+	t := &Tree{pts: pts, bucket: bucketSize}
+	if len(pts) == 0 {
+		return t
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	// Grow to a non-degenerate square cell.
+	side := math.Max(maxX-minX, maxY-minY)
+	if side == 0 {
+		side = 1
+	}
+	t.root = &nodeQT{minX: minX, minY: minY, maxX: minX + side, maxY: minY + side}
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	t.build(t.root, ids, 0)
+	return t
+}
+
+// maxDepth caps subdivision so coincident-ish points cannot recurse
+// forever; leaves at the cap may exceed the bucket size.
+const maxDepth = 40
+
+func (t *Tree) build(n *nodeQT, ids []int, depth int) {
+	if len(ids) <= t.bucket || depth >= maxDepth {
+		n.ids = ids
+		return
+	}
+	midX := (n.minX + n.maxX) / 2
+	midY := (n.minY + n.maxY) / 2
+	quads := [4][]int{}
+	for _, id := range ids {
+		p := t.pts[id]
+		q := 0
+		if p.X > midX {
+			q |= 1
+		}
+		if p.Y > midY {
+			q |= 2
+		}
+		quads[q] = append(quads[q], id)
+	}
+	var children [4]*nodeQT
+	bounds := [4][4]float64{
+		{n.minX, n.minY, midX, midY},
+		{midX, n.minY, n.maxX, midY},
+		{n.minX, midY, midX, n.maxY},
+		{midX, midY, n.maxX, n.maxY},
+	}
+	for q := 0; q < 4; q++ {
+		children[q] = &nodeQT{
+			minX: bounds[q][0], minY: bounds[q][1],
+			maxX: bounds[q][2], maxY: bounds[q][3],
+		}
+		t.build(children[q], quads[q], depth+1)
+	}
+	n.children = &children
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// RangeRect returns the indices of all points p with
+// minX <= p.X <= maxX and minY <= p.Y <= maxY, in ascending index order.
+func (t *Tree) RangeRect(minX, minY, maxX, maxY float64) []int {
+	var out []int
+	if t.root != nil {
+		out = t.rangeRect(t.root, minX, minY, maxX, maxY, out)
+	}
+	sortInts(out)
+	return out
+}
+
+func (t *Tree) rangeRect(n *nodeQT, minX, minY, maxX, maxY float64, out []int) []int {
+	if n.maxX < minX || maxX < n.minX || n.maxY < minY || maxY < n.minY {
+		return out
+	}
+	if n.children == nil {
+		for _, id := range n.ids {
+			p := t.pts[id]
+			if p.X >= minX && p.X <= maxX && p.Y >= minY && p.Y <= maxY {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for _, c := range n.children {
+		out = t.rangeRect(c, minX, minY, maxX, maxY, out)
+	}
+	return out
+}
+
+// RangeCircle returns the indices of all points within Euclidean distance
+// radius of center (closed disk), in ascending index order.
+func (t *Tree) RangeCircle(center geom.Point, radius float64) []int {
+	var out []int
+	if t.root != nil && radius >= 0 {
+		out = t.rangeCircle(t.root, center, radius, radius*radius, out)
+	}
+	sortInts(out)
+	return out
+}
+
+func (t *Tree) rangeCircle(n *nodeQT, c geom.Point, r, r2 float64, out []int) []int {
+	if cellDist2(n, c) > r2 {
+		return out
+	}
+	if n.children == nil {
+		for _, id := range n.ids {
+			if t.pts[id].Dist2(c) <= r2 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for _, child := range n.children {
+		out = t.rangeCircle(child, c, r, r2, out)
+	}
+	return out
+}
+
+// cellDist2 returns the squared distance from p to the cell rectangle
+// (zero when inside).
+func cellDist2(n *nodeQT, p geom.Point) float64 {
+	dx := math.Max(0, math.Max(n.minX-p.X, p.X-n.maxX))
+	dy := math.Max(0, math.Max(n.minY-p.Y, p.Y-n.maxY))
+	return dx*dx + dy*dy
+}
+
+// Nearest returns the index of the point closest to q (ties broken by the
+// smaller index) and its distance. It returns ErrNoPoints on an empty
+// tree.
+func (t *Tree) Nearest(q geom.Point) (int, float64, error) {
+	if len(t.pts) == 0 {
+		return 0, 0, ErrNoPoints
+	}
+	best, bestD2 := -1, math.Inf(1)
+	var walk func(n *nodeQT)
+	walk = func(n *nodeQT) {
+		if cellDist2(n, q) >= bestD2 {
+			return
+		}
+		if n.children == nil {
+			for _, id := range n.ids {
+				d2 := t.pts[id].Dist2(q)
+				if d2 < bestD2 || (d2 == bestD2 && id < best) {
+					best, bestD2 = id, d2
+				}
+			}
+			return
+		}
+		// Visit the quadrant containing q first for tight early bounds.
+		order := [4]int{0, 1, 2, 3}
+		midX := (n.minX + n.maxX) / 2
+		midY := (n.minY + n.maxY) / 2
+		first := 0
+		if q.X > midX {
+			first |= 1
+		}
+		if q.Y > midY {
+			first |= 2
+		}
+		order[0], order[first] = order[first], order[0]
+		for _, i := range order {
+			walk(n.children[i])
+		}
+	}
+	walk(t.root)
+	return best, math.Sqrt(bestD2), nil
+}
+
+func sortInts(a []int) {
+	// Insertion sort is fine for query-result sizes; avoids an import in
+	// the hot path.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

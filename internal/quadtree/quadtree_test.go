@@ -1,0 +1,159 @@
+package quadtree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"geospanner/internal/geom"
+)
+
+func randomPts(r *rand.Rand, n int, span float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*span, r.Float64()*span)
+	}
+	return pts
+}
+
+func bruteRangeCircle(pts []geom.Point, c geom.Point, radius float64) []int {
+	var out []int
+	r2 := radius * radius
+	for i, p := range pts {
+		if p.Dist2(c) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func bruteRangeRect(pts []geom.Point, minX, minY, maxX, maxY float64) []int {
+	var out []int
+	for i, p := range pts {
+		if p.X >= minX && p.X <= maxX && p.Y >= minY && p.Y <= maxY {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestRangeCircleMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		pts := randomPts(r, n, 100)
+		tree := New(pts, 1+r.Intn(16))
+		for q := 0; q < 10; q++ {
+			c := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			radius := r.Float64() * 50
+			got := tree.RangeCircle(c, radius)
+			want := bruteRangeCircle(pts, c, radius)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: RangeCircle mismatch: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestRangeRectMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPts(r, 1+r.Intn(200), 100)
+		tree := New(pts, 4)
+		for q := 0; q < 10; q++ {
+			x1, y1 := r.Float64()*100, r.Float64()*100
+			x2, y2 := x1+r.Float64()*40, y1+r.Float64()*40
+			got := tree.RangeRect(x1, y1, x2, y2)
+			want := bruteRangeRect(pts, x1, y1, x2, y2)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: RangeRect mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPts(r, 1+r.Intn(300), 100)
+		tree := New(pts, 6)
+		for q := 0; q < 20; q++ {
+			query := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			got, gotD, err := tree.Nearest(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best, bestD := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := p.Dist(query); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			if got != best || math.Abs(gotD-bestD) > 1e-12 {
+				t.Fatalf("trial %d: Nearest = (%d, %v), want (%d, %v)", trial, got, gotD, best, bestD)
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(nil, 0)
+	if tree.Len() != 0 {
+		t.Fatal("empty tree has points")
+	}
+	if got := tree.RangeCircle(geom.Pt(0, 0), 10); len(got) != 0 {
+		t.Fatal("range on empty tree returned points")
+	}
+	if _, _, err := tree.Nearest(geom.Pt(0, 0)); !errors.Is(err, ErrNoPoints) {
+		t.Fatalf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tree := New([]geom.Point{geom.Pt(5, 5)}, 0)
+	id, d, err := tree.Nearest(geom.Pt(8, 9))
+	if err != nil || id != 0 || d != 5 {
+		t.Fatalf("Nearest = (%d, %v, %v)", id, d, err)
+	}
+	if got := tree.RangeCircle(geom.Pt(5, 5), 0); len(got) != 1 {
+		t.Fatal("zero-radius query should include the point itself")
+	}
+}
+
+func TestCoincidentPointsDepthCap(t *testing.T) {
+	// 100 identical points: subdivision cannot separate them; the depth
+	// cap must keep construction terminating.
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(1, 1)
+	}
+	tree := New(pts, 2)
+	got := tree.RangeCircle(geom.Pt(1, 1), 0.5)
+	if len(got) != 100 {
+		t.Fatalf("got %d points, want 100", len(got))
+	}
+}
+
+func TestClusteredQueries(t *testing.T) {
+	// Heavily clustered data (the quadtree's reason to exist): results
+	// must still match brute force.
+	r := rand.New(rand.NewSource(9))
+	var pts []geom.Point
+	for c := 0; c < 5; c++ {
+		cx, cy := r.Float64()*100, r.Float64()*100
+		for i := 0; i < 60; i++ {
+			pts = append(pts, geom.Pt(cx+r.NormFloat64(), cy+r.NormFloat64()))
+		}
+	}
+	tree := New(pts, 8)
+	for q := 0; q < 20; q++ {
+		c := pts[r.Intn(len(pts))]
+		got := tree.RangeCircle(c, 3)
+		want := bruteRangeCircle(pts, c, 3)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("clustered RangeCircle mismatch")
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package routing
+
+import (
+	"testing"
+
+	"geospanner/internal/core"
+	"geospanner/internal/udg"
+)
+
+func TestDiscoverRouteBasic(t *testing.T) {
+	inst, err := udg.ConnectedInstance(3, 60, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < inst.UDG.N(); s += 7 {
+		for d := 1; d < inst.UDG.N(); d += 9 {
+			if s == d {
+				continue
+			}
+			disc, err := DiscoverRoute(inst.UDG, res.Conn.InBackbone, s, d, 0)
+			if err != nil {
+				t.Fatalf("discovery %d->%d: %v", s, d, err)
+			}
+			route := disc.Route
+			if route[0] != s || route[len(route)-1] != d {
+				t.Fatalf("bad endpoints: %v", route)
+			}
+			if err := ValidatePath(route, inst.UDG); err != nil {
+				t.Fatal(err)
+			}
+			// Interior nodes are backbone members.
+			for _, v := range route[1 : len(route)-1] {
+				if !res.Conn.InBackbone[v] {
+					t.Fatalf("non-backbone relay %d in route %v", v, route)
+				}
+			}
+		}
+	}
+}
+
+// TestDiscoveryCheaperThanFlooding: backbone-restricted discovery sends
+// far fewer messages than blind flooding (which costs ~n RREQ
+// transmissions).
+func TestDiscoveryCheaperThanFlooding(t *testing.T) {
+	inst, err := udg.ConnectedInstance(9, 150, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, err := DiscoverRoute(inst.UDG, res.Conn.InBackbone, 0, inst.UDG.N()-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood, err := DiscoverRoute(inst.UDG, nil, 0, inst.UDG.N()-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backbone.Transmissions >= flood.Transmissions {
+		t.Fatalf("backbone discovery (%d msgs) not cheaper than flooding (%d)",
+			backbone.Transmissions, flood.Transmissions)
+	}
+	t.Logf("discovery cost: backbone %d msgs vs flooding %d msgs (n=%d)",
+		backbone.Transmissions, flood.Transmissions, inst.UDG.N())
+}
+
+func TestDiscoverRouteSelf(t *testing.T) {
+	inst, err := udg.ConnectedInstance(1, 20, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := DiscoverRoute(inst.UDG, nil, 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc.Route) != 1 || disc.Route[0] != 4 {
+		t.Fatalf("self route = %v", disc.Route)
+	}
+}
+
+func TestDiscoverRouteUnreachable(t *testing.T) {
+	inst, err := udg.ConnectedInstance(2, 10, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.UDG.Clone()
+	// Isolate the destination completely.
+	dst := 3
+	for _, u := range g.Neighbors(dst) {
+		g.RemoveEdge(dst, u)
+	}
+	if _, err := DiscoverRoute(g, nil, 0, dst, 50); err == nil {
+		t.Fatal("unreachable destination should fail")
+	}
+}

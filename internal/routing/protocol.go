@@ -1,0 +1,166 @@
+package routing
+
+import (
+	"fmt"
+
+	"geospanner/internal/graph"
+	"geospanner/internal/sim"
+)
+
+// This file implements GPSR-style routing as an actual distributed
+// protocol on the message-passing simulator: packets are messages, each
+// node knows only its own neighbors, and the perimeter-mode state (the
+// point where greedy failed, the current face anchor) travels in the
+// packet header exactly as GPSR prescribes. It complements the
+// path-oracle functions in routing.go: those compute routes centrally;
+// this one forwards real packets and is what a deployment would run on
+// the planar backbone.
+
+// MsgPacket is a routed data packet.
+type MsgPacket struct {
+	// Src and Dst are the packet's endpoints.
+	Src, Dst int
+	// NextHop names the neighbor that should process this broadcast
+	// (radio broadcasts are heard by all neighbors; others ignore it).
+	NextHop int
+	// Hops is the number of hops traveled so far.
+	Hops int
+	// Perimeter is true while the packet is in face-traversal recovery.
+	Perimeter bool
+	// FailDist2 is the squared distance to Dst at the node where greedy
+	// failed (the GPSR "Lp" entry distance); greedy resumes when the
+	// current node is strictly closer.
+	FailDist2 float64
+	// PrevHop is the node the packet arrived from in perimeter mode (the
+	// right-hand rule pivots around the incoming edge).
+	PrevHop int
+}
+
+// Type implements sim.Message.
+func (MsgPacket) Type() string { return "Packet" }
+
+// PacketOutcome records a delivered or dropped packet.
+type PacketOutcome struct {
+	Src, Dst  int
+	Delivered bool
+	Hops      int
+}
+
+// gpsrNode forwards packets with greedy mode plus right-hand-rule
+// perimeter recovery.
+type gpsrNode struct {
+	id      int
+	inject  []MsgPacket // packets this node originates at start
+	deliver func(PacketOutcome)
+	maxHops int
+	router  *router // shared geometry helper (angular neighbor tables)
+	round   int
+}
+
+var _ sim.Protocol = (*gpsrNode)(nil)
+
+func (n *gpsrNode) Init(ctx *sim.Context) {
+	for _, p := range n.inject {
+		n.forward(ctx, p)
+	}
+}
+
+func (n *gpsrNode) Handle(ctx *sim.Context, from int, m sim.Message) {
+	p, ok := m.(MsgPacket)
+	if !ok || p.NextHop != n.id {
+		return // not addressed to us (overheard broadcast)
+	}
+	p.Hops++
+	p.PrevHop = from
+	n.forward(ctx, p)
+}
+
+func (n *gpsrNode) Tick(ctx *sim.Context, round int) { n.round = round }
+func (n *gpsrNode) Done() bool                       { return true }
+
+// forward applies the GPSR forwarding decision at this node and
+// re-broadcasts the packet (or reports delivery/drop).
+func (n *gpsrNode) forward(ctx *sim.Context, p MsgPacket) {
+	if n.id == p.Dst {
+		n.deliver(PacketOutcome{Src: p.Src, Dst: p.Dst, Delivered: true, Hops: p.Hops})
+		return
+	}
+	if p.Hops >= n.maxHops {
+		n.deliver(PacketOutcome{Src: p.Src, Dst: p.Dst, Delivered: false, Hops: p.Hops})
+		return
+	}
+
+	r := n.router
+	myD := r.dist2(n.id, p.Dst)
+
+	if p.Perimeter && myD < p.FailDist2 {
+		// GPSR resume rule: strictly closer than where greedy failed.
+		p.Perimeter = false
+	}
+
+	if !p.Perimeter {
+		// Greedy mode: neighbor strictly closest to the destination.
+		next, bestD := -1, myD
+		for _, v := range r.g.Neighbors(n.id) {
+			if d := r.dist2(v, p.Dst); d < bestD {
+				next, bestD = v, d
+			}
+		}
+		if next >= 0 {
+			p.NextHop = next
+			ctx.Broadcast(p)
+			return
+		}
+		// Local minimum: enter perimeter mode on the face toward Dst.
+		p.Perimeter = true
+		p.FailDist2 = myD
+		first, ok := r.firstEdge(n.id, p.Dst)
+		if !ok {
+			n.deliver(PacketOutcome{Src: p.Src, Dst: p.Dst, Delivered: false, Hops: p.Hops})
+			return
+		}
+		p.NextHop = first
+		ctx.Broadcast(p)
+		return
+	}
+
+	// Perimeter mode: right-hand rule around the incoming edge.
+	next := r.orbitNext(dirEdge{from: p.PrevHop, to: n.id})
+	p.NextHop = next.to
+	ctx.Broadcast(p)
+}
+
+// SimulateGPSR injects one packet per (src, dst) pair into a network whose
+// links are the edges of g (typically the planar LDel(ICDS) backbone) and
+// runs the distributed GPSR protocol to quiescence. maxHops bounds each
+// packet's travel (0 = default 8·n). It returns the outcome of every
+// packet, ordered by injection.
+func SimulateGPSR(g *graph.Graph, pairs [][2]int, maxHops int) ([]PacketOutcome, error) {
+	if maxHops <= 0 {
+		maxHops = 8*g.N() + 20
+	}
+	shared := &router{g: g, pts: g.Points(), maxSteps: 1 << 30}
+	var outcomes []PacketOutcome
+	inject := make(map[int][]MsgPacket)
+	for _, pr := range pairs {
+		inject[pr[0]] = append(inject[pr[0]], MsgPacket{
+			Src: pr[0], Dst: pr[1], NextHop: pr[0],
+		})
+	}
+	net := sim.NewNetwork(g, func(id int) sim.Protocol {
+		return &gpsrNode{
+			id:      id,
+			inject:  inject[id],
+			deliver: func(o PacketOutcome) { outcomes = append(outcomes, o) },
+			maxHops: maxHops,
+			router:  shared,
+		}
+	})
+	if _, err := net.Run(4 * maxHops); err != nil {
+		return outcomes, fmt.Errorf("gpsr simulation: %w", err)
+	}
+	if len(outcomes) != len(pairs) {
+		return outcomes, fmt.Errorf("gpsr simulation: %d packets injected, %d resolved", len(pairs), len(outcomes))
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,116 @@
+package routing
+
+import (
+	"testing"
+
+	"geospanner/internal/core"
+	"geospanner/internal/proximity"
+	"geospanner/internal/udg"
+)
+
+func TestSimulateGPSRLineDelivery(t *testing.T) {
+	g, src, dst := cShape()
+	outcomes, err := SimulateGPSR(g, [][2]int{{src, dst}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 || !outcomes[0].Delivered {
+		t.Fatalf("outcomes = %+v", outcomes)
+	}
+	if outcomes[0].Hops < 5 {
+		t.Fatalf("C-shape needs 5 hops, got %d", outcomes[0].Hops)
+	}
+}
+
+func TestSimulateGPSRSelfPacket(t *testing.T) {
+	g, src, _ := cShape()
+	outcomes, err := SimulateGPSR(g, [][2]int{{src, src}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomes[0].Delivered || outcomes[0].Hops != 0 {
+		t.Fatalf("self packet: %+v", outcomes[0])
+	}
+}
+
+// TestSimulateGPSROnBackbone runs the distributed GPSR protocol between
+// every backbone pair of planar LDel(ICDS) backbones.
+func TestSimulateGPSROnBackbone(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb := res.Conn.Backbone
+		var pairs [][2]int
+		for _, s := range bb {
+			for _, d := range bb {
+				if s != d {
+					pairs = append(pairs, [2]int{s, d})
+				}
+			}
+		}
+		outcomes, err := SimulateGPSR(res.LDelICDS, pairs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		for _, o := range outcomes {
+			if o.Delivered {
+				delivered++
+			}
+		}
+		if delivered != len(pairs) {
+			t.Fatalf("seed %d: GPSR delivered %d/%d on planar backbone", seed, delivered, len(pairs))
+		}
+	}
+}
+
+// TestSimulateGPSROnGabriel exercises the packet protocol on a denser
+// planar graph and sanity-checks hop counts against the BFS optimum.
+func TestSimulateGPSROnGabriel(t *testing.T) {
+	inst, err := udg.ConnectedInstance(7, 40, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg := proximity.Gabriel(inst.UDG)
+	var pairs [][2]int
+	for s := 0; s < gg.N(); s += 3 {
+		for d := 1; d < gg.N(); d += 4 {
+			if s != d {
+				pairs = append(pairs, [2]int{s, d})
+			}
+		}
+	}
+	outcomes, err := SimulateGPSR(gg, pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outcomes {
+		if !o.Delivered {
+			t.Fatalf("packet %d (%d->%d) dropped", i, o.Src, o.Dst)
+		}
+		if opt := gg.HopDist(o.Src, o.Dst); o.Hops < opt {
+			t.Fatalf("packet %d beat the BFS optimum: %d < %d", i, o.Hops, opt)
+		}
+	}
+}
+
+// TestSimulateGPSRDropOnBudget: an unreachable destination must come back
+// as an explicit drop, not a hang.
+func TestSimulateGPSRDropOnBudget(t *testing.T) {
+	g, src, _ := cShape()
+	// Disconnect the destination.
+	g.RemoveEdge(0, 1)
+	outcomes, err := SimulateGPSR(g, [][2]int{{src, 0}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Delivered {
+		t.Fatal("packet to disconnected destination was delivered")
+	}
+}

@@ -1,0 +1,384 @@
+// Package routing implements the localized routing algorithms the paper's
+// backbone is built to serve: greedy geographic forwarding, GFG/GPSR-style
+// greedy-face-greedy routing with guaranteed delivery on planar graphs
+// (greedy forwarding plus FACE-1 perimeter recovery with the right-hand
+// rule), and dominating-set-based routing that tunnels through the backbone
+// (Wu & Li style, as referenced in the paper's simulation section).
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+)
+
+// Routing failures.
+var (
+	// ErrGreedyStuck is returned by RouteGreedy at a local minimum: no
+	// neighbor is closer to the destination than the current node.
+	ErrGreedyStuck = errors.New("routing: greedy forwarding stuck at local minimum")
+	// ErrNoRoute is returned when face recovery cannot make progress
+	// (disconnected destination or step budget exhausted).
+	ErrNoRoute = errors.New("routing: no route found")
+)
+
+// RouteGreedy forwards greedily: each step moves to the neighbor strictly
+// closest to the destination. It returns ErrGreedyStuck at a local minimum.
+func RouteGreedy(g *graph.Graph, src, dst int, maxSteps int) ([]int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 4 * g.N()
+	}
+	pts := g.Points()
+	path := []int{src}
+	cur := src
+	for steps := 0; cur != dst; steps++ {
+		if steps > maxSteps {
+			return path, fmt.Errorf("%w: step budget exhausted", ErrNoRoute)
+		}
+		next, bestD := -1, pts[cur].Dist2(pts[dst])
+		for _, v := range g.Neighbors(cur) {
+			if d := pts[v].Dist2(pts[dst]); d < bestD {
+				next, bestD = v, d
+			}
+		}
+		if next == -1 {
+			return path, fmt.Errorf("%w (at node %d)", ErrGreedyStuck, cur)
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+// RouteGFG routes from src to dst with greedy forwarding, falling back to
+// FACE-1 perimeter traversal (right-hand rule over the planar embedding)
+// at local minima and resuming greedy as soon as a node closer to the
+// destination than the minimum is reached. On a connected planar graph
+// delivery is guaranteed (Bose, Morin, Stojmenović, Urrutia 2001); the
+// paper's LDel(ICDS) backbone is constructed planar precisely to enable
+// this family of algorithms.
+func RouteGFG(g *graph.Graph, src, dst int, maxSteps int) ([]int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 20*g.NumEdges() + 10*g.N() + 50
+	}
+	r := &router{g: g, pts: g.Points(), maxSteps: maxSteps}
+	return r.route(src, dst)
+}
+
+type router struct {
+	g        *graph.Graph
+	pts      []geom.Point
+	maxSteps int
+	steps    int
+	byAngle  map[int][]angled // cached angular neighbor order per node
+}
+
+type angled struct {
+	id    int
+	theta float64
+}
+
+type dirEdge struct{ from, to int }
+
+func (r *router) route(src, dst int) ([]int, error) {
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		var err error
+		cur, path, err = r.greedyRun(path, cur, dst)
+		if err == nil {
+			return path, nil // reached dst
+		}
+		if !errors.Is(err, ErrGreedyStuck) {
+			return path, err
+		}
+		cur, path, err = r.facePhase(path, cur, dst)
+		if err != nil {
+			return path, err
+		}
+		if cur == dst {
+			return path, nil
+		}
+	}
+	return path, nil
+}
+
+// greedyRun forwards greedily until dst or a local minimum.
+func (r *router) greedyRun(path []int, cur, dst int) (int, []int, error) {
+	for cur != dst {
+		if r.budget() != nil {
+			return cur, path, fmt.Errorf("%w: step budget exhausted", ErrNoRoute)
+		}
+		next, bestD := -1, r.dist2(cur, dst)
+		for _, v := range r.g.Neighbors(cur) {
+			if d := r.dist2(v, dst); d < bestD {
+				next, bestD = v, d
+			}
+		}
+		if next == -1 {
+			return cur, path, ErrGreedyStuck
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return cur, path, nil
+}
+
+// facePhase runs FACE-1 from the local minimum u: traverse the face
+// containing the segment u→dst with the right-hand rule; on completing a
+// face boundary, cross the boundary edge whose intersection with the fixed
+// segment lies closest to the destination, and continue on the adjacent
+// face. The phase ends as soon as any visited node is strictly closer to
+// dst than u was (GFG resume rule) or the destination itself is reached.
+func (r *router) facePhase(path []int, u, dst int) (int, []int, error) {
+	sA := r.pts[u]
+	sB := r.pts[dst]
+	resumeD := r.dist2(u, dst)
+	// anchorD tracks the squared distance from the best crossing found so
+	// far (initially the local minimum itself) to the destination; each
+	// face switch must strictly improve it.
+	anchorD := resumeD
+
+	entryFrom := u
+	entryTo, ok := r.firstEdge(u, dst)
+	if !ok {
+		return u, path, fmt.Errorf("%w: node %d has no neighbors", ErrNoRoute, u)
+	}
+
+	for faceIter := 0; faceIter <= r.g.NumEdges()+2; faceIter++ {
+		// Walk the face boundary fully, recording the node sequence.
+		var walk []int
+		e := dirEdge{from: entryFrom, to: entryTo}
+		bestIdx, bestQD := -1, anchorD
+		for {
+			if err := r.budget(); err != nil {
+				return u, path, fmt.Errorf("%w: step budget exhausted in face traversal", ErrNoRoute)
+			}
+			walk = append(walk, e.to)
+			if e.to == dst || r.dist2(e.to, dst) < resumeD {
+				// GFG resume: commit the walk up to this node.
+				path = append(path, walk...)
+				return e.to, path, nil
+			}
+			// Crossing of edge e with the fixed segment.
+			if q, crosses := segCross(r.pts[e.from], r.pts[e.to], sA, sB); crosses {
+				if qd := pdist2(q, sB); qd < bestQD-1e-12 {
+					bestQD = qd
+					bestIdx = len(walk) - 1
+				}
+			}
+			e = r.orbitNext(e)
+			if e.from == entryFrom && e.to == entryTo {
+				break // face boundary complete
+			}
+		}
+		if bestIdx < 0 {
+			return u, path, fmt.Errorf("%w: face traversal found no progress toward node %d", ErrNoRoute, dst)
+		}
+		// Commit the walk up to (and across) the best crossing edge, then
+		// continue on the adjacent face entered through that edge.
+		path = append(path, walk[:bestIdx+1]...)
+		crossedTo := walk[bestIdx]
+		crossedFrom := entryFrom
+		if bestIdx > 0 {
+			crossedFrom = walk[bestIdx-1]
+		}
+		anchorD = bestQD
+		entryFrom, entryTo = crossedTo, crossedFrom
+	}
+	return u, path, fmt.Errorf("%w: face budget exhausted", ErrNoRoute)
+}
+
+func (r *router) budget() error {
+	r.steps++
+	if r.steps > r.maxSteps {
+		return ErrNoRoute
+	}
+	return nil
+}
+
+func (r *router) dist2(a, b int) float64 { return pdist2(r.pts[a], r.pts[b]) }
+
+func pdist2(a, b geom.Point) float64 { return a.Dist2(b) }
+
+// neighborsByAngle returns u's neighbors sorted by bearing, cached.
+func (r *router) neighborsByAngle(u int) []angled {
+	if r.byAngle == nil {
+		r.byAngle = make(map[int][]angled)
+	}
+	if cached, ok := r.byAngle[u]; ok {
+		return cached
+	}
+	nbrs := r.g.Neighbors(u)
+	out := make([]angled, len(nbrs))
+	for i, v := range nbrs {
+		out[i] = angled{id: v, theta: math.Atan2(r.pts[v].Y-r.pts[u].Y, r.pts[v].X-r.pts[u].X)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].theta != out[j].theta {
+			return out[i].theta < out[j].theta
+		}
+		return out[i].id < out[j].id
+	})
+	r.byAngle[u] = out
+	return out
+}
+
+// prevCW returns the neighbor of u whose bearing is the cyclic predecessor
+// of theta (the first edge encountered sweeping clockwise from theta).
+// excluding nothing; returns false only when u has no neighbors.
+func (r *router) prevCW(u int, theta float64) (int, bool) {
+	nbrs := r.neighborsByAngle(u)
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	// Largest bearing strictly less than theta; wrap to the overall
+	// largest when none is smaller.
+	best := -1
+	for i := range nbrs {
+		if nbrs[i].theta < theta {
+			best = i
+		} else {
+			break
+		}
+	}
+	if best == -1 {
+		best = len(nbrs) - 1
+	}
+	return nbrs[best].id, true
+}
+
+// firstEdge picks the first boundary edge of the face at u containing the
+// ray toward dst: the neighbor immediately clockwise of the ray.
+func (r *router) firstEdge(u, dst int) (int, bool) {
+	theta := math.Atan2(r.pts[dst].Y-r.pts[u].Y, r.pts[dst].X-r.pts[u].X)
+	return r.prevCW(u, theta)
+}
+
+// orbitNext advances a directed edge along its face boundary with the
+// right-hand rule: at the head, take the neighbor immediately clockwise of
+// the reversed edge.
+func (r *router) orbitNext(e dirEdge) dirEdge {
+	theta := math.Atan2(r.pts[e.from].Y-r.pts[e.to].Y, r.pts[e.from].X-r.pts[e.to].X)
+	next, _ := r.prevCW(e.to, theta) // e.to has >= 1 neighbor (e.from)
+	return dirEdge{from: e.to, to: next}
+}
+
+// segCross returns the intersection point of properly crossing segments
+// (a1,a2) and (b1,b2), using the exact predicates.
+func segCross(a1, a2, b1, b2 geom.Point) (geom.Point, bool) {
+	return geom.Seg(a1, a2).IntersectionPoint(geom.Seg(b1, b2))
+}
+
+// RouteDS performs dominating-set-based routing: adjacent nodes talk
+// directly; otherwise the packet climbs to a dominator gateway, crosses the
+// backbone graph with GFG, and descends to the destination. domsOf[v]
+// lists v's adjacent dominators (empty for backbone members, who act as
+// their own gateway).
+func RouteDS(udgG, backbone *graph.Graph, domsOf [][]int, inBackbone []bool, src, dst int, maxSteps int) ([]int, error) {
+	if src == dst {
+		return []int{src}, nil
+	}
+	if udgG.HasEdge(src, dst) {
+		return []int{src, dst}, nil
+	}
+	gateway := func(v int) (int, error) {
+		if inBackbone[v] {
+			return v, nil
+		}
+		if len(domsOf[v]) == 0 {
+			return 0, fmt.Errorf("%w: node %d has no dominator", ErrNoRoute, v)
+		}
+		return domsOf[v][0], nil
+	}
+	gs, err := gateway(src)
+	if err != nil {
+		return nil, err
+	}
+	gd, err := gateway(dst)
+	if err != nil {
+		return nil, err
+	}
+	var core []int
+	if gs == gd {
+		core = []int{gs}
+	} else {
+		core, err = RouteGFG(backbone, gs, gd, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("backbone route %d->%d: %w", gs, gd, err)
+		}
+	}
+	path := make([]int, 0, len(core)+2)
+	path = append(path, src)
+	for _, v := range core {
+		if path[len(path)-1] != v {
+			path = append(path, v)
+		}
+	}
+	if path[len(path)-1] != dst {
+		path = append(path, dst)
+	}
+	return path, nil
+}
+
+// ValidatePath checks that every consecutive pair of a path is an edge of
+// at least one of the given graphs (the DS route mixes UDG up/down links
+// with backbone links).
+func ValidatePath(path []int, gs ...*graph.Graph) error {
+	for i := 1; i < len(path); i++ {
+		ok := false
+		for _, g := range gs {
+			if g.HasEdge(path[i-1], path[i]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("routing: path step (%d,%d) is not an edge", path[i-1], path[i])
+		}
+	}
+	return nil
+}
+
+// RouteCompass implements compass routing (Kranakis, Singh, Urrutia): each
+// step forwards to the neighbor whose direction forms the smallest angle
+// with the straight line to the destination. Unlike greedy forwarding it
+// can take locally non-shortening steps — and unlike GFG it can loop
+// forever on some instances, which the step budget converts into
+// ErrNoRoute. It exists as a comparison baseline for the routing
+// experiments.
+func RouteCompass(g *graph.Graph, src, dst int, maxSteps int) ([]int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 4 * g.N()
+	}
+	pts := g.Points()
+	path := []int{src}
+	cur := src
+	for steps := 0; cur != dst; steps++ {
+		if steps > maxSteps {
+			return path, fmt.Errorf("%w: compass step budget exhausted", ErrNoRoute)
+		}
+		target := pts[dst]
+		best, bestAngle := -1, math.Inf(1)
+		for _, v := range g.Neighbors(cur) {
+			if v == dst {
+				best = dst
+				break
+			}
+			a := geom.AngleAt(pts[cur], target, pts[v])
+			if a < bestAngle || (a == bestAngle && v < best) {
+				best, bestAngle = v, a
+			}
+		}
+		if best == -1 {
+			return path, fmt.Errorf("%w: node %d has no neighbors", ErrNoRoute, cur)
+		}
+		path = append(path, best)
+		cur = best
+	}
+	return path, nil
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// AsyncProtocol is a per-node state machine for asynchronous execution:
+// purely event-driven, with no round structure. The paper notes the
+// clustering protocol "can also be implemented using asynchronous
+// communications" when each node knows its neighbor count; AsyncNetwork
+// lets tests verify that claim by running the same logic under adversarial
+// (randomized, seeded) message delays.
+type AsyncProtocol interface {
+	// Init runs once at time zero.
+	Init(ctx *AsyncContext)
+	// Handle is invoked for each delivered message.
+	Handle(ctx *AsyncContext, from int, m Message)
+	// Done reports protocol completion at this node.
+	Done() bool
+}
+
+// AsyncContext is the node's interface to an AsyncNetwork.
+type AsyncContext struct {
+	net *AsyncNetwork
+	id  int
+}
+
+// ID returns the node's identifier.
+func (c *AsyncContext) ID() int { return c.id }
+
+// Neighbors returns the node's 1-hop neighbors in increasing ID order.
+func (c *AsyncContext) Neighbors() []int { return c.net.g.Neighbors(c.id) }
+
+// Broadcast sends m to every neighbor; each copy is delivered after an
+// independent random delay in [1, MaxDelay] time units.
+func (c *AsyncContext) Broadcast(m Message) {
+	n := c.net
+	n.sent[c.id]++
+	n.byType[m.Type()]++
+	for _, v := range n.g.Neighbors(c.id) {
+		delay := 1 + n.rng.Intn(n.maxDelay)
+		heap.Push(&n.queue, asyncEvent{
+			at:   n.now + delay,
+			seq:  n.seq,
+			from: c.id,
+			to:   v,
+			msg:  m,
+		})
+		n.seq++
+	}
+}
+
+type asyncEvent struct {
+	at   int
+	seq  int
+	from int
+	to   int
+	msg  Message
+}
+
+type eventQueue []asyncEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(asyncEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// AsyncNetwork executes event-driven protocols under randomized,
+// seeded per-message delays (an adversarial but reproducible scheduler).
+type AsyncNetwork struct {
+	g        graphLike
+	procs    []AsyncProtocol
+	ctxs     []AsyncContext
+	rng      *rand.Rand
+	maxDelay int
+	queue    eventQueue
+	now      int
+	seq      int
+	sent     []int
+	byType   map[string]int
+}
+
+// graphLike is the subset of graph.Graph the simulator needs; it keeps the
+// async engine decoupled for tests.
+type graphLike interface {
+	N() int
+	Neighbors(i int) []int
+}
+
+// NewAsyncNetwork builds an asynchronous network over g. maxDelay is the
+// largest per-message delay in time units (minimum 1).
+func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int) AsyncProtocol) *AsyncNetwork {
+	if maxDelay < 1 {
+		maxDelay = 1
+	}
+	n := &AsyncNetwork{
+		g:        g,
+		procs:    make([]AsyncProtocol, g.N()),
+		ctxs:     make([]AsyncContext, g.N()),
+		rng:      rand.New(rand.NewSource(seed)),
+		maxDelay: maxDelay,
+		sent:     make([]int, g.N()),
+		byType:   make(map[string]int),
+	}
+	for i := range n.procs {
+		n.procs[i] = newProc(i)
+		n.ctxs[i] = AsyncContext{net: n, id: i}
+	}
+	return n
+}
+
+// Run delivers events until the queue drains or maxEvents deliveries have
+// occurred (0 = default of 1000·n + 1000). It returns the number of
+// deliveries and the final simulated time.
+func (n *AsyncNetwork) Run(maxEvents int) (deliveries, endTime int, err error) {
+	if maxEvents <= 0 {
+		maxEvents = 1000*n.g.N() + 1000
+	}
+	for i := range n.procs {
+		n.procs[i].Init(&n.ctxs[i])
+	}
+	for n.queue.Len() > 0 {
+		if deliveries >= maxEvents {
+			return deliveries, n.now, fmt.Errorf("sim: async event budget exhausted at t=%d", n.now)
+		}
+		ev, ok := heap.Pop(&n.queue).(asyncEvent)
+		if !ok {
+			return deliveries, n.now, fmt.Errorf("sim: corrupt event queue")
+		}
+		n.now = ev.at
+		n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
+		deliveries++
+	}
+	for id, p := range n.procs {
+		if !p.Done() {
+			return deliveries, n.now, fmt.Errorf("sim: async run quiescent but node %d not done", id)
+		}
+	}
+	return deliveries, n.now, nil
+}
+
+// Protocol returns node id's protocol instance.
+func (n *AsyncNetwork) Protocol(id int) AsyncProtocol { return n.procs[id] }
+
+// Sent returns the number of broadcasts by node id.
+func (n *AsyncNetwork) Sent(id int) int { return n.sent[id] }
+
+// TotalSent returns the total number of broadcasts.
+func (n *AsyncNetwork) TotalSent() int {
+	var total int
+	for _, s := range n.sent {
+		total += s
+	}
+	return total
+}

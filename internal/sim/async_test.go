@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+)
+
+// asyncFlooder rebroadcasts the first flood it hears.
+type asyncFlooder struct {
+	started bool
+	heard   bool
+}
+
+func (f *asyncFlooder) Init(ctx *AsyncContext) {
+	if f.started {
+		f.heard = true
+		ctx.Broadcast(floodMsg{})
+	}
+}
+
+func (f *asyncFlooder) Handle(ctx *AsyncContext, from int, m Message) {
+	if !f.heard {
+		f.heard = true
+		ctx.Broadcast(floodMsg{})
+	}
+}
+
+func (f *asyncFlooder) Done() bool { return true }
+
+func TestAsyncFloodReachesAll(t *testing.T) {
+	g := pathGraph(8)
+	net := NewAsyncNetwork(g, 1, 5, func(id int) AsyncProtocol {
+		return &asyncFlooder{started: id == 0}
+	})
+	deliveries, endTime, err := net.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.N(); id++ {
+		if !net.Protocol(id).(*asyncFlooder).heard {
+			t.Fatalf("node %d never heard the flood", id)
+		}
+		if net.Sent(id) != 1 {
+			t.Fatalf("node %d sent %d, want 1", id, net.Sent(id))
+		}
+	}
+	if net.TotalSent() != 8 {
+		t.Fatalf("TotalSent = %d", net.TotalSent())
+	}
+	if deliveries == 0 || endTime == 0 {
+		t.Fatalf("deliveries=%d endTime=%d", deliveries, endTime)
+	}
+}
+
+func TestAsyncDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (int, int) {
+		g := pathGraph(10)
+		net := NewAsyncNetwork(g, seed, 7, func(id int) AsyncProtocol {
+			return &asyncFlooder{started: id == 4}
+		})
+		d, end, err := net.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, end
+	}
+	d1, e1 := run(3)
+	d2, e2 := run(3)
+	if d1 != d2 || e1 != e2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, e1, d2, e2)
+	}
+}
+
+func TestAsyncDelaysVaryWithSeed(t *testing.T) {
+	end := make(map[int]bool)
+	for seed := int64(0); seed < 10; seed++ {
+		g := pathGraph(10)
+		net := NewAsyncNetwork(g, seed, 9, func(id int) AsyncProtocol {
+			return &asyncFlooder{started: id == 0}
+		})
+		_, e, err := net.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end[e] = true
+	}
+	if len(end) < 2 {
+		t.Fatal("all seeds produced identical schedules; delays not randomized")
+	}
+}
+
+// asyncChatter floods forever (every delivery triggers a rebroadcast),
+// exhausting the event budget.
+type asyncChatter struct{}
+
+func (asyncChatter) Init(ctx *AsyncContext) { ctx.Broadcast(floodMsg{}) }
+func (asyncChatter) Handle(ctx *AsyncContext, from int, m Message) {
+	ctx.Broadcast(floodMsg{})
+}
+func (asyncChatter) Done() bool { return true }
+
+func TestAsyncEventBudget(t *testing.T) {
+	g := pathGraph(3)
+	net := NewAsyncNetwork(g, 1, 2, func(id int) AsyncProtocol { return asyncChatter{} })
+	if _, _, err := net.Run(50); err == nil {
+		t.Fatal("expected event budget error")
+	}
+}
+
+// asyncNeverDone stays quiet but incomplete.
+type asyncNeverDone struct{}
+
+func (asyncNeverDone) Init(ctx *AsyncContext)                        {}
+func (asyncNeverDone) Handle(ctx *AsyncContext, from int, m Message) {}
+func (asyncNeverDone) Done() bool                                    { return false }
+
+func TestAsyncDetectsIncomplete(t *testing.T) {
+	g := pathGraph(2)
+	net := NewAsyncNetwork(g, 1, 1, func(id int) AsyncProtocol { return asyncNeverDone{} })
+	if _, _, err := net.Run(0); err == nil {
+		t.Fatal("expected not-done error on quiescence")
+	}
+}
+
+func TestAsyncMinDelayClamped(t *testing.T) {
+	g := pathGraph(2)
+	net := NewAsyncNetwork(g, 1, 0, func(id int) AsyncProtocol {
+		return &asyncFlooder{started: id == 0}
+	})
+	if _, _, err := net.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

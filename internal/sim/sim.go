@@ -1,0 +1,254 @@
+// Package sim is a deterministic, synchronous, round-based message-passing
+// simulator for localized wireless protocols. It is the substrate on which
+// the paper's distributed algorithms (clustering, connector election, and
+// localized Delaunay construction) execute, and it is where the paper's
+// communication costs are measured: each Broadcast is one radio
+// transmission heard by every 1-hop neighbor in the unit disk graph, and
+// the per-node send counters are exactly the "number of messages sent by
+// each node" reported in the paper's figures.
+//
+// Execution model (bulk-synchronous):
+//
+//  1. Init is called on every protocol instance in node-ID order.
+//  2. In each round, messages broadcast in the previous round are delivered
+//     to all neighbors of the sender — receivers in ID order, messages at a
+//     receiver in (sender ID, send sequence) order — then Tick is called on
+//     every node in ID order.
+//  3. The run ends when no messages are in flight and every protocol
+//     reports Done.
+//
+// Determinism: given the same graph and protocols, every run produces the
+// same message trace, so experiments are reproducible bit-for-bit.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+)
+
+// ErrNotQuiescent is returned by Run when the round budget is exhausted
+// before the network goes quiescent.
+var ErrNotQuiescent = errors.New("sim: round budget exhausted before quiescence")
+
+// Message is a protocol message. Type names group the per-type counters.
+type Message interface {
+	Type() string
+}
+
+// Protocol is a per-node protocol state machine.
+type Protocol interface {
+	// Init runs once before the first round.
+	Init(ctx *Context)
+	// Handle is invoked for each delivered message.
+	Handle(ctx *Context, from int, m Message)
+	// Tick runs once per round after all deliveries of that round. It
+	// gives phase-structured protocols a barrier: by round r every
+	// message sent in rounds < r has been delivered.
+	Tick(ctx *Context, round int)
+	// Done reports whether the node has finished its protocol. The run
+	// ends when all nodes are Done and no messages are in flight.
+	Done() bool
+}
+
+// DropFunc decides whether the link transmission from -> to of message m is
+// lost. A nil DropFunc drops nothing. Loss is per-receiver: one broadcast
+// can reach some neighbors and not others, as with real radios.
+type DropFunc func(round, from, to int, m Message) bool
+
+// Context is the interface a protocol uses to interact with the network.
+type Context struct {
+	net *Network
+	id  int
+}
+
+// ID returns the node's identifier (its index in the underlying graph).
+func (c *Context) ID() int { return c.id }
+
+// Pos returns the node's position.
+func (c *Context) Pos() geom.Point { return c.net.g.Point(c.id) }
+
+// PosOf returns the position of an arbitrary node. Protocols use it only
+// for nodes whose coordinates they have legitimately learned; the paper
+// assumes each node knows the positions of its 1-hop neighbors.
+func (c *Context) PosOf(id int) geom.Point { return c.net.g.Point(id) }
+
+// Neighbors returns the node's 1-hop neighbors in the unit disk graph, in
+// increasing ID order.
+func (c *Context) Neighbors() []int { return c.net.g.Neighbors(c.id) }
+
+// Broadcast queues m for delivery to all 1-hop neighbors next round and
+// increments the node's send counter.
+func (c *Context) Broadcast(m Message) {
+	n := c.net
+	n.sent[c.id]++
+	n.byType[m.Type()]++
+	n.outbox = append(n.outbox, envelope{from: c.id, seq: n.seq, msg: m})
+	n.seq++
+}
+
+type envelope struct {
+	from int
+	seq  int
+	msg  Message
+}
+
+// Network couples a unit disk graph with one protocol instance per node.
+type Network struct {
+	g      *graph.Graph
+	procs  []Protocol
+	ctxs   []Context
+	drop   DropFunc
+	outbox []envelope // messages sent this round, delivered next round
+	sent   []int
+	byType map[string]int
+	rounds int
+	seq    int
+	trace  []RoundStats
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDrop installs a message-loss function for failure-injection tests.
+func WithDrop(f DropFunc) Option {
+	return func(n *Network) { n.drop = f }
+}
+
+// NewNetwork builds a network over g, creating one protocol per node with
+// newProc. The graph must not be mutated during a run.
+func NewNetwork(g *graph.Graph, newProc func(id int) Protocol, opts ...Option) *Network {
+	n := &Network{
+		g:      g,
+		procs:  make([]Protocol, g.N()),
+		ctxs:   make([]Context, g.N()),
+		sent:   make([]int, g.N()),
+		byType: make(map[string]int),
+	}
+	for i := range n.procs {
+		n.procs[i] = newProc(i)
+		n.ctxs[i] = Context{net: n, id: i}
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+// Run executes the protocol until quiescence or until maxRounds rounds have
+// elapsed (0 means a default of 10·n + 50 rounds). It returns the number of
+// rounds executed.
+func (n *Network) Run(maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10*n.g.N() + 50
+	}
+	for i := range n.procs {
+		n.procs[i].Init(&n.ctxs[i])
+	}
+	for round := 1; round <= maxRounds; round++ {
+		n.rounds = round
+		inbox := n.outbox
+		n.outbox = nil
+
+		// Deliver: receivers in ID order; at each receiver, messages in
+		// (sender, seq) order — inbox is already seq-ordered and seq is
+		// globally increasing, so a stable pass per receiver suffices.
+		delivered := 0
+		for id := 0; id < n.g.N(); id++ {
+			for _, env := range inbox {
+				if !n.g.HasEdge(env.from, id) {
+					continue
+				}
+				if n.drop != nil && n.drop(round, env.from, id, env.msg) {
+					continue
+				}
+				n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
+				delivered++
+			}
+		}
+		for id := 0; id < n.g.N(); id++ {
+			n.procs[id].Tick(&n.ctxs[id], round)
+		}
+		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: len(n.outbox)})
+
+		if len(n.outbox) == 0 && n.allDone() {
+			return round, nil
+		}
+	}
+	return n.rounds, fmt.Errorf("%w (after %d rounds, %d messages in flight)",
+		ErrNotQuiescent, n.rounds, len(n.outbox))
+}
+
+func (n *Network) allDone() bool {
+	for _, p := range n.procs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Protocol returns the protocol instance of node id, for extracting results
+// after the run.
+func (n *Network) Protocol(id int) Protocol { return n.procs[id] }
+
+// Rounds returns the number of rounds executed so far.
+func (n *Network) Rounds() int { return n.rounds }
+
+// Sent returns the number of messages node id has broadcast.
+func (n *Network) Sent(id int) int { return n.sent[id] }
+
+// SentAll returns a copy of the per-node send counters.
+func (n *Network) SentAll() []int {
+	out := make([]int, len(n.sent))
+	copy(out, n.sent)
+	return out
+}
+
+// SentByType returns a copy of the per-message-type send counters.
+func (n *Network) SentByType() map[string]int {
+	out := make(map[string]int, len(n.byType))
+	for k, v := range n.byType {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalSent returns the total number of messages broadcast by all nodes.
+func (n *Network) TotalSent() int {
+	var total int
+	for _, s := range n.sent {
+		total += s
+	}
+	return total
+}
+
+// AddSent adds external message counts into the per-node counters. The
+// pipeline uses it to account for the initial position/ID beacon every node
+// sends once before any protocol runs.
+func (n *Network) AddSent(perNode int, msgType string) {
+	for i := range n.sent {
+		n.sent[i] += perNode
+	}
+	n.byType[msgType] += perNode * len(n.sent)
+}
+
+// RoundStats describes one executed round.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Delivered is the number of message deliveries (per-receiver).
+	Delivered int
+	// Sent is the number of broadcasts issued during the round.
+	Sent int
+}
+
+// Trace returns per-round statistics of the completed run. Tracing is
+// always on; the slice is a copy.
+func (n *Network) Trace() []RoundStats {
+	out := make([]RoundStats, len(n.trace))
+	copy(out, n.trace)
+	return out
+}

@@ -1,0 +1,139 @@
+package udg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geospanner/internal/geom"
+)
+
+// Distribution names a spatial node-placement model. The paper evaluates
+// uniform placement only; the other models stress the pipeline's
+// guarantees on the irregular deployments real networks have (clustered
+// sensor drops, corridors, perimeter rings).
+type Distribution int
+
+// Supported distributions.
+const (
+	// Uniform places nodes uniformly in the square (the paper's model).
+	Uniform Distribution = iota + 1
+	// Clustered places nodes in Gaussian blobs around a few random
+	// centers (village/obstacle deployments).
+	Clustered
+	// Corridor confines nodes to a thin horizontal band (road/tunnel
+	// deployments) — long diameters, many collinear-ish placements.
+	Corridor
+	// Ring places nodes in an annulus around the region center
+	// (perimeter surveillance) — a built-in routing void.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Corridor:
+		return "corridor"
+	case Ring:
+		return "ring"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// GeneratePoints places n distinct points in the region×region square
+// according to the distribution.
+func GeneratePoints(r *rand.Rand, dist Distribution, n int, region float64) ([]geom.Point, error) {
+	switch dist {
+	case Uniform:
+		return RandomPoints(r, n, region), nil
+	case Clustered:
+		return clusteredPoints(r, n, region), nil
+	case Corridor:
+		return corridorPoints(r, n, region), nil
+	case Ring:
+		return ringPoints(r, n, region), nil
+	default:
+		return nil, fmt.Errorf("udg: unknown distribution %v", dist)
+	}
+}
+
+// dedupAppend adds p to pts if inside the region and not a duplicate.
+func dedupAppend(pts []geom.Point, seen map[geom.Point]struct{}, p geom.Point, region float64) []geom.Point {
+	if p.X < 0 || p.X > region || p.Y < 0 || p.Y > region {
+		return pts
+	}
+	if _, dup := seen[p]; dup {
+		return pts
+	}
+	seen[p] = struct{}{}
+	return append(pts, p)
+}
+
+func clusteredPoints(r *rand.Rand, n int, region float64) []geom.Point {
+	centers := 3 + r.Intn(3)
+	cx := make([]geom.Point, centers)
+	for i := range cx {
+		cx[i] = geom.Pt(region*(0.2+0.6*r.Float64()), region*(0.2+0.6*r.Float64()))
+	}
+	sigma := region / 8
+	pts := make([]geom.Point, 0, n)
+	seen := make(map[geom.Point]struct{}, n)
+	for len(pts) < n {
+		c := cx[r.Intn(centers)]
+		p := geom.Pt(c.X+r.NormFloat64()*sigma, c.Y+r.NormFloat64()*sigma)
+		pts = dedupAppend(pts, seen, p, region)
+	}
+	return pts
+}
+
+func corridorPoints(r *rand.Rand, n int, region float64) []geom.Point {
+	band := region / 8
+	mid := region / 2
+	pts := make([]geom.Point, 0, n)
+	seen := make(map[geom.Point]struct{}, n)
+	for len(pts) < n {
+		p := geom.Pt(r.Float64()*region, mid+(r.Float64()-0.5)*band)
+		pts = dedupAppend(pts, seen, p, region)
+	}
+	return pts
+}
+
+func ringPoints(r *rand.Rand, n int, region float64) []geom.Point {
+	center := geom.Pt(region/2, region/2)
+	rOuter := region * 0.45
+	rInner := region * 0.3
+	pts := make([]geom.Point, 0, n)
+	seen := make(map[geom.Point]struct{}, n)
+	for len(pts) < n {
+		theta := r.Float64() * 2 * math.Pi
+		rho := math.Sqrt(rInner*rInner + (rOuter*rOuter-rInner*rInner)*r.Float64())
+		p := geom.Pt(center.X+rho*math.Cos(theta), center.Y+rho*math.Sin(theta))
+		pts = dedupAppend(pts, seen, p, region)
+	}
+	return pts
+}
+
+// ConnectedInstanceDist is ConnectedInstance with a placement model.
+func ConnectedInstanceDist(seed int64, dist Distribution, n int, region, radius float64, maxTries int) (*Instance, error) {
+	if maxTries <= 0 {
+		maxTries = 1000
+	}
+	r := rand.New(rand.NewSource(seed))
+	for try := 0; try < maxTries; try++ {
+		pts, err := GeneratePoints(r, dist, n, region)
+		if err != nil {
+			return nil, err
+		}
+		g := Build(pts, radius)
+		if g.Connected() {
+			return &Instance{Points: pts, Radius: radius, Region: region, UDG: g}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d tries (dist=%v n=%d region=%g radius=%g)",
+		ErrDisconnected, maxTries, dist, n, region, radius)
+}

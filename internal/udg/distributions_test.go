@@ -1,0 +1,120 @@
+package udg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/geom"
+)
+
+func TestGeneratePointsInRegionAndDistinct(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, dist := range []Distribution{Uniform, Clustered, Corridor, Ring} {
+		pts, err := GeneratePoints(r, dist, 200, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 200 {
+			t.Fatalf("%v: got %d points", dist, len(pts))
+		}
+		seen := make(map[geom.Point]struct{})
+		for _, p := range pts {
+			if p.X < 0 || p.X > 150 || p.Y < 0 || p.Y > 150 {
+				t.Fatalf("%v: point %v outside region", dist, p)
+			}
+			if _, dup := seen[p]; dup {
+				t.Fatalf("%v: duplicate point", dist)
+			}
+			seen[p] = struct{}{}
+		}
+	}
+}
+
+func TestGeneratePointsUnknownDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := GeneratePoints(r, Distribution(99), 10, 100); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestCorridorIsThin(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts, err := GeneratePoints(r, Corridor, 300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if math.Abs(p.Y-100) > 13 { // band is region/8 = 25 wide
+			t.Fatalf("corridor point %v outside band", p)
+		}
+	}
+}
+
+func TestRingHasHole(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts, err := GeneratePoints(r, Ring, 300, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := geom.Pt(100, 100)
+	for _, p := range pts {
+		d := p.Dist(center)
+		if d < 200*0.3-1e-9 || d > 200*0.45+1e-9 {
+			t.Fatalf("ring point %v at radius %v outside annulus", p, d)
+		}
+	}
+}
+
+func TestClusteredIsClumped(t *testing.T) {
+	// Clustered placements have a much smaller mean nearest-neighbor
+	// distance than uniform ones at equal density.
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	uni := RandomPoints(r1, 150, 200)
+	clu, err := GeneratePoints(r2, Clustered, 150, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnMean := func(pts []geom.Point) float64 {
+		var sum float64
+		for i, p := range pts {
+			best := math.Inf(1)
+			for j, q := range pts {
+				if i != j {
+					best = math.Min(best, p.Dist2(q))
+				}
+			}
+			sum += math.Sqrt(best)
+		}
+		return sum / float64(len(pts))
+	}
+	if nnMean(clu) >= nnMean(uni) {
+		t.Fatalf("clustered nn-dist %v >= uniform %v", nnMean(clu), nnMean(uni))
+	}
+}
+
+func TestConnectedInstanceDist(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Clustered, Corridor, Ring} {
+		inst, err := ConnectedInstanceDist(7, dist, 80, 200, 60, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if !inst.UDG.Connected() {
+			t.Fatalf("%v: disconnected instance", dist)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for d, want := range map[Distribution]string{
+		Uniform: "uniform", Clustered: "clustered", Corridor: "corridor", Ring: "ring",
+	} {
+		if d.String() != want {
+			t.Fatalf("String(%d) = %q", d, d.String())
+		}
+	}
+	if Distribution(42).String() == "" {
+		t.Fatal("unknown distribution should still print")
+	}
+}

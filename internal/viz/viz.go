@@ -1,0 +1,102 @@
+// Package viz renders network topologies as SVG, reproducing the kind of
+// pictures shown in the paper's Figures 6 and 7 (the unit disk graph and
+// every derived topology of one instance).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+)
+
+// Style configures edge and node rendering for one layer.
+type Style struct {
+	Stroke      string  // edge color, e.g. "#888"
+	StrokeWidth float64 // edge width in user units
+	NodeFill    string  // node color
+	NodeRadius  float64 // node radius in user units
+}
+
+// DefaultStyle is a reasonable single-layer style.
+var DefaultStyle = Style{Stroke: "#555555", StrokeWidth: 0.5, NodeFill: "#d62728", NodeRadius: 1.6}
+
+// Drawing accumulates layers and writes a standalone SVG.
+type Drawing struct {
+	region  float64
+	margin  float64
+	layers  []layer
+	classes map[int]string // node id -> fill override
+}
+
+type layer struct {
+	g     *graph.Graph
+	style Style
+}
+
+// NewDrawing creates a drawing for a region×region coordinate space.
+func NewDrawing(region float64) *Drawing {
+	return &Drawing{region: region, margin: region * 0.04, classes: make(map[int]string)}
+}
+
+// AddLayer adds a graph layer drawn with the given style. Layers render in
+// insertion order, so add background graphs first.
+func (d *Drawing) AddLayer(g *graph.Graph, style Style) { d.layers = append(d.layers, layer{g, style}) }
+
+// MarkNode overrides the fill color of one node (e.g. dominators vs
+// connectors vs dominatees).
+func (d *Drawing) MarkNode(id int, fill string) { d.classes[id] = fill }
+
+// WriteSVG writes the drawing. The y axis is flipped so larger y is up,
+// matching the plots in the paper.
+func (d *Drawing) WriteSVG(w io.Writer) error {
+	size := d.region + 2*d.margin
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.2f %.2f" width="640" height="640">`+"\n",
+		size, size); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n"); err != nil {
+		return err
+	}
+	tx := func(p geom.Point) (float64, float64) {
+		return p.X + d.margin, d.region - p.Y + d.margin
+	}
+	for _, l := range d.layers {
+		for _, e := range l.g.Edges() {
+			x1, y1 := tx(l.g.Point(e.U))
+			x2, y2 := tx(l.g.Point(e.V))
+			if _, err := fmt.Fprintf(w,
+				`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+				x1, y1, x2, y2, l.style.Stroke, l.style.StrokeWidth); err != nil {
+				return err
+			}
+		}
+	}
+	// Nodes from the last layer's graph (all layers share node sets in
+	// this library).
+	if len(d.layers) > 0 {
+		l := d.layers[len(d.layers)-1]
+		ids := make([]int, 0, l.g.N())
+		for i := 0; i < l.g.N(); i++ {
+			ids = append(ids, i)
+		}
+		sort.Ints(ids)
+		for _, i := range ids {
+			fill := l.style.NodeFill
+			if c, ok := d.classes[i]; ok {
+				fill = c
+			}
+			x, y := tx(l.g.Point(i))
+			if _, err := fmt.Fprintf(w,
+				`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n",
+				x, y, l.style.NodeRadius, fill); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+)
+
+func sample() *graph.Graph {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10)}
+	g := graph.New(pts)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	return g
+}
+
+func TestWriteSVGStructure(t *testing.T) {
+	d := NewDrawing(10)
+	d.AddLayer(sample(), DefaultStyle)
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an svg document:\n%s", out)
+	}
+	if got := strings.Count(out, "<line"); got != 2 {
+		t.Fatalf("line count = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Fatalf("circle count = %d, want 3", got)
+	}
+}
+
+func TestMarkNodeOverridesFill(t *testing.T) {
+	d := NewDrawing(10)
+	d.AddLayer(sample(), DefaultStyle)
+	d.MarkNode(1, "#0000ff")
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#0000ff") {
+		t.Fatal("node color override missing")
+	}
+}
+
+func TestMultipleLayers(t *testing.T) {
+	g := sample()
+	d := NewDrawing(10)
+	d.AddLayer(g, Style{Stroke: "#cccccc", StrokeWidth: 0.2, NodeFill: "#000", NodeRadius: 1})
+	d.AddLayer(g, DefaultStyle)
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "<line"); got != 4 {
+		t.Fatalf("line count = %d, want 4 (two layers)", got)
+	}
+	if !strings.Contains(b.String(), "#cccccc") {
+		t.Fatal("background layer color missing")
+	}
+}
+
+func TestEmptyDrawing(t *testing.T) {
+	d := NewDrawing(10)
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "</svg>") {
+		t.Fatal("empty drawing should still be valid svg")
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// Node at y=0 must render near the bottom (large svg y).
+	pts := []geom.Point{geom.Pt(0, 0)}
+	g := graph.New(pts)
+	d := NewDrawing(10)
+	d.AddLayer(g, DefaultStyle)
+	var b strings.Builder
+	if err := d.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `cy="10.40"`) {
+		t.Fatalf("expected flipped y coordinate in:\n%s", b.String())
+	}
+}
