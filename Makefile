@@ -1,0 +1,38 @@
+# Developer entry points. `make check` is the tier-1 gate: formatting,
+# vet, build, full tests, and the race detector on the packages with
+# concurrency (the parallel experiment runner and the graph snapshots it
+# shares across workers).
+
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: check fmt vet build test race bench clean
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/
+
+# bench runs the full benchmark suite once and records it as
+# BENCH_<date>.json (name, ns/op, B/op, allocs/op per benchmark).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/... | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_$(DATE).json
+	@echo "wrote BENCH_$(DATE).json"
+
+clean:
+	$(GO) clean ./...

@@ -34,19 +34,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, all")
-		trials = fs.Int("trials", 10, "random vertex sets per configuration")
-		n      = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
-		radius = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
-		region = fs.Float64("region", experiments.DefaultRegion, "side of the square deployment region")
-		seed   = fs.Int64("seed", 1, "base random seed")
-		outDir = fs.String("out", ".", "output directory for SVG figures")
-		asCSV  = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		exp     = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, all")
+		trials  = fs.Int("trials", 10, "random vertex sets per configuration")
+		n       = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
+		radius  = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
+		region  = fs.Float64("region", experiments.DefaultRegion, "side of the square deployment region")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		outDir  = fs.String("out", ".", "output directory for SVG figures")
+		asCSV   = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers = fs.Int("workers", 1, "goroutines running trials concurrently (output is identical for any value; 0 or 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed}
+	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers}
 
 	names := []string{*exp}
 	if *exp == "all" {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"geospanner/internal/graph"
+	"geospanner/internal/udg"
+)
+
+// buildSnapshot serializes everything observable about one distributed
+// build: the edge lists of each constructed structure and the per-type
+// message totals. Two runs of the pipeline on the same input must produce
+// the same snapshot, byte for byte.
+func buildSnapshot(res *Result) string {
+	var b strings.Builder
+	edgeList := func(name string, g *graph.Graph) {
+		fmt.Fprintf(&b, "%s %d:", name, g.NumEdges())
+		for _, e := range g.Edges() {
+			fmt.Fprintf(&b, " %d-%d", e.U, e.V)
+		}
+		b.WriteByte('\n')
+	}
+	edgeList("CDS", res.Conn.CDS)
+	edgeList("ICDS", res.Conn.ICDS)
+	edgeList("LDel(ICDS)", res.LDelICDS)
+	edgeList("LDel(ICDS')", res.LDelICDSPrime)
+	msgTypes := func(name string, ms MessageStats) {
+		keys := make([]string, 0, len(ms.ByType))
+		for k := range ms.ByType {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s:", name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, ms.ByType[k])
+		}
+		b.WriteByte('\n')
+	}
+	msgTypes("msgsCDS", res.MsgsCDS)
+	msgTypes("msgsICDS", res.MsgsICDS)
+	msgTypes("msgsLDel", res.MsgsLDel)
+	return b.String()
+}
+
+// TestBuildSnapshotDeterministic runs the full distributed pipeline twice
+// on the same instance and demands identical edge lists and per-type
+// message counts across every constructed structure — the property that
+// makes the parallel experiment runner's output reproducible. (The older
+// TestBuildDeterministic in core_test.go checks a narrower slice; this one
+// covers all four graphs and the per-type message ledger.)
+func TestBuildSnapshotDeterministic(t *testing.T) {
+	for _, seed := range []int64{2, 11, 29} {
+		inst, err := udg.ConnectedInstance(seed, 60, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Build(inst.UDG.Clone(), inst.Radius, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := buildSnapshot(first), buildSnapshot(second)
+		if a != b {
+			t.Fatalf("seed %d: two builds differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestBuildGolden compares one build against a checked-in snapshot, so a
+// change that silently perturbs the protocol's outcome (an iteration-order
+// bug, a tie-break change) fails loudly instead of shifting every
+// downstream table. Regenerate with -update after an intentional change.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestBuildGolden(t *testing.T) {
+	inst, err := udg.ConnectedInstance(7, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buildSnapshot(res)
+	path := filepath.Join("testdata", "build_seed7_n50.golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("build output changed from golden snapshot.\nIf intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -35,6 +35,11 @@ type Config struct {
 	Seed int64
 	// MaxTries bounds connectivity resampling per instance (0 = default).
 	MaxTries int
+	// Workers is the number of goroutines running trials concurrently
+	// (0 or 1 = sequential). Results are bit-identical for any value:
+	// each trial is seeded independently and trial results are folded
+	// into the aggregates in trial order regardless of completion order.
+	Workers int
 }
 
 // Defaults for the paper's setup.
@@ -72,6 +77,17 @@ type instData struct {
 	rng  *graph.Graph
 	gg   *graph.Graph
 	flat *graph.Graph // PLDel over all nodes (the paper's LDel row)
+	st   *metrics.Stretcher
+}
+
+// stretcher returns the instance's base-distance precomputation, built on
+// first use and shared by every structure measured against this UDG
+// (Table I measures up to seven structures per instance).
+func (d *instData) stretcher() *metrics.Stretcher {
+	if d.st == nil {
+		d.st = metrics.NewStretcher(d.inst.UDG)
+	}
+	return d.st
 }
 
 func buildAll(seed int64, n int, radius float64, cfg Config, distributed bool) (*instData, error) {
@@ -151,23 +167,63 @@ type rowAccum struct {
 	measuredStretch bool
 }
 
-func (a *rowAccum) add(d *instData, spec structSpec) {
+// specMeasure is one trial's measurement of one structure — the value a
+// worker goroutine computes; folding into rowAccum happens sequentially in
+// trial order so that parallel runs accumulate identically to sequential.
+type specMeasure struct {
+	degAvg   float64
+	degMax   int
+	edges    int
+	stretch  metrics.StretchStats
+	measured bool
+}
+
+func measureSpec(d *instData, spec structSpec) specMeasure {
 	g := spec.get(d)
 	deg := metrics.Degrees(g, spec.nodes(d))
-	a.degAvg.Add(deg.Avg)
-	a.degMax.AddInt(deg.Max)
-	a.edges.AddInt(g.NumEdges())
+	m := specMeasure{degAvg: deg.Avg, degMax: deg.Max, edges: g.NumEdges()}
 	if spec.stretch == stretchNone {
+		return m
+	}
+	m.measured = true
+	m.stretch = d.stretcher().Stretch(g, metrics.StretchOptions{
+		DirectEdges: spec.stretch == stretchDirect,
+	})
+	return m
+}
+
+func measureSpecs(d *instData, specs []structSpec) []specMeasure {
+	out := make([]specMeasure, len(specs))
+	for i := range specs {
+		out[i] = measureSpec(d, specs[i])
+	}
+	return out
+}
+
+func (a *rowAccum) fold(m specMeasure) {
+	a.degAvg.Add(m.degAvg)
+	a.degMax.AddInt(m.degMax)
+	a.edges.AddInt(m.edges)
+	if !m.measured {
 		return
 	}
 	a.measuredStretch = true
-	s := metrics.Stretch(d.inst.UDG, g, metrics.StretchOptions{
-		DirectEdges: spec.stretch == stretchDirect,
-	})
-	a.lenAvg.Add(s.LengthAvg)
-	a.lenMax.Add(s.LengthMax)
-	a.hopAvg.Add(s.HopAvg)
-	a.hopMax.Add(s.HopMax)
+	a.lenAvg.Add(m.stretch.LengthAvg)
+	a.lenMax.Add(m.stretch.LengthMax)
+	a.hopAvg.Add(m.stretch.HopAvg)
+	a.hopMax.Add(m.stretch.HopMax)
+}
+
+// foldSpecTrials replays per-trial measurements into fresh accumulators in
+// trial order.
+func foldSpecTrials(trials [][]specMeasure, nspecs int) []rowAccum {
+	accums := make([]rowAccum, nspecs)
+	for _, ms := range trials {
+		for i := range ms {
+			accums[i].fold(ms[i])
+		}
+	}
+	return accums
 }
 
 // Table1 regenerates Table I: topology quality measurements for every
@@ -175,16 +231,17 @@ func (a *rowAccum) add(d *instData, spec structSpec) {
 func Table1(n int, radius float64, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
 	specs := table1Specs()
-	accums := make([]rowAccum, len(specs))
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]specMeasure, error) {
 		d, err := buildAll(cfg.Seed+int64(trial), n, radius, cfg, false)
 		if err != nil {
 			return nil, fmt.Errorf("table1 trial %d: %w", trial, err)
 		}
-		for i := range specs {
-			accums[i].add(d, specs[i])
-		}
+		return measureSpecs(d, specs), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	accums := foldSpecTrials(trials, len(specs))
 	tb := stats.NewTable("graph", "deg_avg", "deg_max", "len_avg", "len_max", "hop_avg", "hop_max", "edges")
 	for i, spec := range specs {
 		a := &accums[i]
@@ -215,16 +272,18 @@ func Fig8(ns []int, radius float64, cfg Config) (*stats.Table, error) {
 	tb := stats.NewTable("n", "graph", "deg_max", "deg_avg")
 	specs := fig8Specs()
 	for _, n := range ns {
-		accums := make([]rowAccum, len(specs))
-		for trial := 0; trial < cfg.Trials; trial++ {
+		n := n
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]specMeasure, error) {
 			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 n=%d trial %d: %w", n, trial, err)
 			}
-			for i := range specs {
-				accums[i].add(d, specs[i])
-			}
+			return measureSpecs(d, specs), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		accums := foldSpecTrials(trials, len(specs))
 		for i, spec := range specs {
 			tb.AddRow(n, spec.name, accums[i].degMax.Summary().Max, accums[i].degAvg.Summary().Mean)
 		}
@@ -258,16 +317,18 @@ func Fig9(ns []int, radius float64, cfg Config) (*stats.Table, error) {
 	tb := stats.NewTable("n", "graph", "len_max", "len_avg", "hop_max", "hop_avg")
 	specs := primedSpecs()
 	for _, n := range ns {
-		accums := make([]rowAccum, len(specs))
-		for trial := 0; trial < cfg.Trials; trial++ {
+		n := n
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]specMeasure, error) {
 			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig9 n=%d trial %d: %w", n, trial, err)
 			}
-			for i := range specs {
-				accums[i].add(d, specs[i])
-			}
+			return measureSpecs(d, specs), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		accums := foldSpecTrials(trials, len(specs))
 		for i, spec := range specs {
 			a := &accums[i]
 			tb.AddRow(n, spec.name,
@@ -299,17 +360,28 @@ func Fig10(ns []int, radius float64, cfg Config) (*stats.Table, error) {
 	tb := stats.NewTable("n", "graph", "comm_max", "comm_avg")
 	specs := commSpecs()
 	for _, n := range ns {
-		maxA := make([]stats.Accumulator, len(specs))
-		avgA := make([]stats.Accumulator, len(specs))
-		for trial := 0; trial < cfg.Trials; trial++ {
+		n := n
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]commMeasure, error) {
 			d, err := buildAll(cfg.Seed+int64(1000*n+trial), n, radius, cfg, true)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 n=%d trial %d: %w", n, trial, err)
 			}
+			out := make([]commMeasure, len(specs))
 			for i, spec := range specs {
 				ms := spec.get(d.res)
-				maxA[i].AddInt(ms.Max())
-				avgA[i].Add(ms.Avg())
+				out[i] = commMeasure{max: ms.Max(), avg: ms.Avg()}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxA := make([]stats.Accumulator, len(specs))
+		avgA := make([]stats.Accumulator, len(specs))
+		for _, ms := range trials {
+			for i := range ms {
+				maxA[i].AddInt(ms[i].max)
+				avgA[i].Add(ms[i].avg)
 			}
 		}
 		for i, spec := range specs {
@@ -319,6 +391,15 @@ func Fig10(ns []int, radius float64, cfg Config) (*stats.Table, error) {
 	return tb, nil
 }
 
+// commMeasure is one trial's communication-cost measurement of one
+// milestone (plus the degree statistics Figure 12 reports alongside).
+type commMeasure struct {
+	max    int
+	avg    float64
+	degMax int
+	degAvg float64
+}
+
 // Fig11 regenerates Figure 11: spanning ratios of the primed structures
 // versus the transmission radius at fixed n.
 func Fig11(radii []float64, n int, cfg Config) (*stats.Table, error) {
@@ -326,16 +407,18 @@ func Fig11(radii []float64, n int, cfg Config) (*stats.Table, error) {
 	tb := stats.NewTable("radius", "graph", "len_max", "len_avg", "hop_max", "hop_avg")
 	specs := primedSpecs()
 	for _, r := range radii {
-		accums := make([]rowAccum, len(specs))
-		for trial := 0; trial < cfg.Trials; trial++ {
+		r := r
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]specMeasure, error) {
 			d, err := buildAll(cfg.Seed+int64(1000*int(r)+trial), n, r, cfg, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig11 r=%g trial %d: %w", r, trial, err)
 			}
-			for i := range specs {
-				accums[i].add(d, specs[i])
-			}
+			return measureSpecs(d, specs), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		accums := foldSpecTrials(trials, len(specs))
 		for i, spec := range specs {
 			a := &accums[i]
 			tb.AddRow(r, spec.name,
@@ -363,22 +446,33 @@ func Fig12(radii []float64, n int, cfg Config) (*stats.Table, error) {
 		}
 	}
 	for _, r := range radii {
-		maxC := make([]stats.Accumulator, len(specs))
-		avgC := make([]stats.Accumulator, len(specs))
-		maxD := make([]stats.Accumulator, len(specs))
-		avgD := make([]stats.Accumulator, len(specs))
-		for trial := 0; trial < cfg.Trials; trial++ {
+		r := r
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]commMeasure, error) {
 			d, err := buildAll(cfg.Seed+int64(1000*int(r)+trial), n, r, cfg, true)
 			if err != nil {
 				return nil, fmt.Errorf("fig12 r=%g trial %d: %w", r, trial, err)
 			}
+			out := make([]commMeasure, len(specs))
 			for i, spec := range specs {
 				ms := spec.get(d.res)
-				maxC[i].AddInt(ms.Max())
-				avgC[i].Add(ms.Avg())
 				deg := degOf(d, spec.name)
-				maxD[i].AddInt(deg.Max)
-				avgD[i].Add(deg.Avg)
+				out[i] = commMeasure{max: ms.Max(), avg: ms.Avg(), degMax: deg.Max, degAvg: deg.Avg}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		maxC := make([]stats.Accumulator, len(specs))
+		avgC := make([]stats.Accumulator, len(specs))
+		maxD := make([]stats.Accumulator, len(specs))
+		avgD := make([]stats.Accumulator, len(specs))
+		for _, ms := range trials {
+			for i := range ms {
+				maxC[i].AddInt(ms[i].max)
+				avgC[i].Add(ms[i].avg)
+				maxD[i].AddInt(ms[i].degMax)
+				avgD[i].Add(ms[i].degAvg)
 			}
 		}
 		for i, spec := range specs {

@@ -32,31 +32,50 @@ func Ablation(n int, radius float64, cfg Config) (*stats.Table, error) {
 		{"bidirectional (paper)", connector.Options{}},
 		{"single-orientation", connector.Options{SingleOrientation: true}},
 	}
+	type measure struct {
+		backbone, cdsEdges, ldelEdges, commMax int
+		commAvg                                float64
+		s                                      metrics.StretchStats
+	}
 	for _, variant := range variants {
-		var backboneA, cdsA, ldelA, commMaxA, commAvgA stats.Accumulator
-		var lenAvgA, lenMaxA, hopAvgA, hopMaxA stats.Accumulator
-		for trial := 0; trial < cfg.Trials; trial++ {
+		variant := variant
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
 			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
 			if err != nil {
-				return nil, fmt.Errorf("ablation trial %d: %w", trial, err)
+				return measure{}, fmt.Errorf("ablation trial %d: %w", trial, err)
 			}
 			res, msgs, err := buildWithOptions(inst, variant.opts)
 			if err != nil {
-				return nil, fmt.Errorf("ablation trial %d: %w", trial, err)
+				return measure{}, fmt.Errorf("ablation trial %d: %w", trial, err)
 			}
-			backboneA.AddInt(len(res.Conn.Backbone))
-			cdsA.AddInt(res.Conn.CDS.NumEdges())
-			ldelA.AddInt(res.LDelICDS.NumEdges())
-			commMaxA.AddInt(msgs.Max())
-			commAvgA.Add(msgs.Avg())
 			s := metrics.Stretch(inst.UDG, res.LDelICDSPrime, metrics.StretchOptions{DirectEdges: true})
-			lenAvgA.Add(s.LengthAvg)
-			lenMaxA.Add(s.LengthMax)
-			hopAvgA.Add(s.HopAvg)
-			hopMaxA.Add(s.HopMax)
 			if s.Disconnected > 0 {
-				return nil, fmt.Errorf("ablation: variant %q disconnected %d pairs", variant.name, s.Disconnected)
+				return measure{}, fmt.Errorf("ablation: variant %q disconnected %d pairs", variant.name, s.Disconnected)
 			}
+			return measure{
+				backbone:  len(res.Conn.Backbone),
+				cdsEdges:  res.Conn.CDS.NumEdges(),
+				ldelEdges: res.LDelICDS.NumEdges(),
+				commMax:   msgs.Max(),
+				commAvg:   msgs.Avg(),
+				s:         s,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var backboneA, cdsA, ldelA, commMaxA, commAvgA stats.Accumulator
+		var lenAvgA, lenMaxA, hopAvgA, hopMaxA stats.Accumulator
+		for _, m := range trials {
+			backboneA.AddInt(m.backbone)
+			cdsA.AddInt(m.cdsEdges)
+			ldelA.AddInt(m.ldelEdges)
+			commMaxA.AddInt(m.commMax)
+			commAvgA.Add(m.commAvg)
+			lenAvgA.Add(m.s.LengthAvg)
+			lenMaxA.Add(m.s.LengthMax)
+			hopAvgA.Add(m.s.HopAvg)
+			hopMaxA.Add(m.s.HopMax)
 		}
 		tb.AddRow(variant.name,
 			backboneA.Summary().Mean, cdsA.Summary().Mean, ldelA.Summary().Mean,
@@ -112,19 +131,22 @@ func buildWithOptions(inst *udg.Instance, opts connector.Options) (*core.Result,
 // routing, against the UDG shortest-hop optimum over all node pairs.
 func RoutingQuality(n int, radius float64, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
-	type agg struct {
+	// routeAgg is one strategy's subtotal over one trial's node pairs;
+	// per-trial subtotals are summed in trial order, so the result is
+	// identical for any worker count.
+	type routeAgg struct {
 		attempts  int
 		delivered int
 		ratioSum  float64
 		ratioMax  float64
 	}
 	strategies := []string{"greedy/UDG", "greedy/GG", "GFG/GG", "DS/LDel(ICDS)"}
-	results := make(map[string]*agg, len(strategies))
-	for _, s := range strategies {
-		results[s] = &agg{}
+	index := make(map[string]int, len(strategies))
+	for i, s := range strategies {
+		index[s] = i
 	}
 
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]routeAgg, error) {
 		inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
 		if err != nil {
 			return nil, fmt.Errorf("routing trial %d: %w", trial, err)
@@ -134,9 +156,14 @@ func RoutingQuality(n int, radius float64, cfg Config) (*stats.Table, error) {
 			return nil, fmt.Errorf("routing trial %d: %w", trial, err)
 		}
 		gg := proximity.Gabriel(inst.UDG)
+		// Plan each topology once per trial; the n^2 routing calls below
+		// then share the frozen snapshots and rotation systems.
+		ggPlanner := routing.NewPlanner(gg)
+		ds := routing.NewDSRouter(inst.UDG, res.LDelICDS, res.Cluster.DominatorsOf, res.Conn.InBackbone)
 
+		aggs := make([]routeAgg, len(strategies))
 		record := func(name string, dst int, opt int, path []int, err error) {
-			a := results[name]
+			a := &aggs[index[name]]
 			a.attempts++
 			if err != nil {
 				return
@@ -170,25 +197,40 @@ func RoutingQuality(n int, radius float64, cfg Config) (*stats.Table, error) {
 				}
 				record("greedy/GG", d, optHops[d], path, err)
 
-				path, err = routing.RouteGFG(gg, s, d, 0)
+				path, err = ggPlanner.RouteGFG(s, d, 0)
 				if err != nil {
 					return nil, fmt.Errorf("GFG/GG %d->%d: %w", s, d, err)
 				}
 				record("GFG/GG", d, optHops[d], path, err)
 
-				path, err = routing.RouteDS(inst.UDG, res.LDelICDS, res.Cluster.DominatorsOf,
-					res.Conn.InBackbone, s, d, 0)
+				path, err = ds.Route(s, d, 0)
 				if err != nil {
 					return nil, fmt.Errorf("DS %d->%d: %w", s, d, err)
 				}
 				record("DS/LDel(ICDS)", d, optHops[d], path, err)
 			}
 		}
+		return aggs, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	totals := make([]routeAgg, len(strategies))
+	for _, aggs := range trials {
+		for i, a := range aggs {
+			t := &totals[i]
+			t.attempts += a.attempts
+			t.delivered += a.delivered
+			t.ratioSum += a.ratioSum
+			if a.ratioMax > t.ratioMax {
+				t.ratioMax = a.ratioMax
+			}
+		}
+	}
 	tb := stats.NewTable("strategy", "delivery_%", "hop_ratio_avg", "hop_ratio_max")
-	for _, name := range strategies {
-		a := results[name]
+	for i, name := range strategies {
+		a := &totals[i]
 		rate := 100 * float64(a.delivered) / float64(a.attempts)
 		avg := 0.0
 		if a.delivered > 0 {
@@ -218,18 +260,27 @@ func PowerStretch(n int, radius, beta float64, cfg Config) (*stats.Table, error)
 		{"CDS'", func(d *instData) *graph.Graph { return d.res.Conn.CDSPrime }, true},
 		{"LDel(ICDS')", func(d *instData) *graph.Graph { return d.res.LDelICDSPrime }, true},
 	}
-	avgs := make([]stats.Accumulator, len(rows))
-	maxes := make([]stats.Accumulator, len(rows))
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) ([]metrics.StretchStats, error) {
 		d, err := buildAll(cfg.Seed+int64(trial), n, radius, cfg, false)
 		if err != nil {
 			return nil, fmt.Errorf("power trial %d: %w", trial, err)
 		}
+		out := make([]metrics.StretchStats, len(rows))
 		for i, r := range rows {
-			s := metrics.PowerStretch(d.inst.UDG, r.get(d), beta,
+			out[i] = metrics.PowerStretch(d.inst.UDG, r.get(d), beta,
 				metrics.StretchOptions{DirectEdges: r.direct})
-			avgs[i].Add(s.LengthAvg)
-			maxes[i].Add(s.LengthMax)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	avgs := make([]stats.Accumulator, len(rows))
+	maxes := make([]stats.Accumulator, len(rows))
+	for _, ms := range trials {
+		for i := range ms {
+			avgs[i].Add(ms[i].LengthAvg)
+			maxes[i].Add(ms[i].LengthMax)
 		}
 	}
 	for i, r := range rows {
@@ -246,26 +297,40 @@ func PowerStretch(n int, radius, beta float64, cfg Config) (*stats.Table, error)
 func LDelK(n int, radius float64, ks []int, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
 	tb := stats.NewTable("k", "ldel_edges", "pruned_edges", "planar_pre_prune", "len_avg", "len_max")
+	type measure struct {
+		edges, pruned int
+		planarPre     bool
+		s             metrics.StretchStats
+	}
 	for _, k := range ks {
-		var edgesA, prunedA, lenAvgA, lenMaxA stats.Accumulator
-		planarPre := true
-		for trial := 0; trial < cfg.Trials; trial++ {
+		k := k
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
 			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
 			if err != nil {
-				return nil, fmt.Errorf("ldelk trial %d: %w", trial, err)
+				return measure{}, fmt.Errorf("ldelk trial %d: %w", trial, err)
 			}
 			res, err := ldel.CentralizedK(inst.UDG, nil, inst.Radius, k)
 			if err != nil {
-				return nil, fmt.Errorf("ldelk k=%d: %w", k, err)
+				return measure{}, fmt.Errorf("ldelk k=%d: %w", k, err)
 			}
-			edgesA.AddInt(res.LDel.NumEdges())
-			prunedA.AddInt(res.LDel.NumEdges() - res.PLDel.NumEdges())
-			if !res.LDel.IsPlanarEmbedding() {
-				planarPre = false
-			}
-			s := metrics.Stretch(inst.UDG, res.PLDel, metrics.StretchOptions{})
-			lenAvgA.Add(s.LengthAvg)
-			lenMaxA.Add(s.LengthMax)
+			return measure{
+				edges:     res.LDel.NumEdges(),
+				pruned:    res.LDel.NumEdges() - res.PLDel.NumEdges(),
+				planarPre: res.LDel.IsPlanarEmbedding(),
+				s:         metrics.Stretch(inst.UDG, res.PLDel, metrics.StretchOptions{}),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var edgesA, prunedA, lenAvgA, lenMaxA stats.Accumulator
+		planarPre := true
+		for _, m := range trials {
+			edgesA.AddInt(m.edges)
+			prunedA.AddInt(m.pruned)
+			planarPre = planarPre && m.planarPre
+			lenAvgA.Add(m.s.LengthAvg)
+			lenMaxA.Add(m.s.LengthMax)
 		}
 		tb.AddRow(k, edgesA.Summary().Mean, prunedA.Summary().Mean,
 			fmt.Sprint(planarPre), lenAvgA.Summary().Mean, lenMaxA.Summary().Max)
@@ -281,31 +346,45 @@ func Robustness(n int, radius float64, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
 	tb := stats.NewTable("distribution", "backbone", "ldel_edges", "deg_max",
 		"len_avg", "hop_avg", "planar", "spanning")
+	type measure struct {
+		backbone, edges, degMax int
+		planar                  bool
+		s                       metrics.StretchStats
+	}
 	for _, dist := range []udg.Distribution{udg.Uniform, udg.Clustered, udg.Corridor, udg.Ring} {
-		var backboneA, edgesA, degA, lenA, hopA stats.Accumulator
-		planar, spanning := true, true
-		for trial := 0; trial < cfg.Trials; trial++ {
+		dist := dist
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
 			inst, err := udg.ConnectedInstanceDist(cfg.Seed+int64(trial), dist, n, cfg.Region, radius, cfg.MaxTries)
 			if err != nil {
-				return nil, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
+				return measure{}, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
 			}
 			res, err := core.BuildCentralized(inst.UDG, inst.Radius)
 			if err != nil {
-				return nil, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
+				return measure{}, fmt.Errorf("robustness %v trial %d: %w", dist, trial, err)
 			}
-			backboneA.AddInt(len(res.Conn.Backbone))
-			edgesA.AddInt(res.LDelICDS.NumEdges())
-			deg := metrics.Degrees(res.LDelICDS, res.Conn.Backbone)
-			degA.AddInt(deg.Max)
-			if !res.LDelICDS.IsPlanarEmbedding() {
-				planar = false
-			}
-			s := metrics.Stretch(inst.UDG, res.LDelICDSPrime, metrics.StretchOptions{DirectEdges: true})
-			if s.Disconnected > 0 {
+			return measure{
+				backbone: len(res.Conn.Backbone),
+				edges:    res.LDelICDS.NumEdges(),
+				degMax:   metrics.Degrees(res.LDelICDS, res.Conn.Backbone).Max,
+				planar:   res.LDelICDS.IsPlanarEmbedding(),
+				s:        metrics.Stretch(inst.UDG, res.LDelICDSPrime, metrics.StretchOptions{DirectEdges: true}),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var backboneA, edgesA, degA, lenA, hopA stats.Accumulator
+		planar, spanning := true, true
+		for _, m := range trials {
+			backboneA.AddInt(m.backbone)
+			edgesA.AddInt(m.edges)
+			degA.AddInt(m.degMax)
+			planar = planar && m.planar
+			if m.s.Disconnected > 0 {
 				spanning = false
 			}
-			lenA.Add(s.LengthAvg)
-			hopA.Add(s.HopAvg)
+			lenA.Add(m.s.LengthAvg)
+			hopA.Add(m.s.HopAvg)
 		}
 		tb.AddRow(dist.String(),
 			backboneA.Summary().Mean, edgesA.Summary().Mean, degA.Summary().Max,
@@ -333,21 +412,25 @@ func Clusterheads(n int, radius float64, cfg Config) (*stats.Table, error) {
 			return cluster.CentralizedWeighted(g, cluster.DegreeWeights(g))
 		}},
 	}
+	type measure struct {
+		dominators, backbone, edges int
+		s                           metrics.StretchStats
+	}
 	for _, crit := range criteria {
-		var domA, backboneA, edgesA, lenA, hopA stats.Accumulator
-		for trial := 0; trial < cfg.Trials; trial++ {
+		crit := crit
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
 			inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
 			if err != nil {
-				return nil, fmt.Errorf("clusterheads trial %d: %w", trial, err)
+				return measure{}, fmt.Errorf("clusterheads trial %d: %w", trial, err)
 			}
 			cl, err := crit.elect(inst.UDG)
 			if err != nil {
-				return nil, err
+				return measure{}, err
 			}
 			conn := connector.Centralized(inst.UDG, cl)
 			ld, err := ldel.Centralized(conn.ICDS, conn.InBackbone, inst.Radius)
 			if err != nil {
-				return nil, err
+				return measure{}, err
 			}
 			prime := ld.PLDel.Clone()
 			for v := 0; v < inst.UDG.N(); v++ {
@@ -355,15 +438,27 @@ func Clusterheads(n int, radius float64, cfg Config) (*stats.Table, error) {
 					prime.AddEdge(v, u)
 				}
 			}
-			domA.AddInt(len(cl.Dominators))
-			backboneA.AddInt(len(conn.Backbone))
-			edgesA.AddInt(ld.PLDel.NumEdges())
 			s := metrics.Stretch(inst.UDG, prime, metrics.StretchOptions{DirectEdges: true})
 			if s.Disconnected > 0 {
-				return nil, fmt.Errorf("clusterheads: %s disconnected %d pairs", crit.name, s.Disconnected)
+				return measure{}, fmt.Errorf("clusterheads: %s disconnected %d pairs", crit.name, s.Disconnected)
 			}
-			lenA.Add(s.LengthAvg)
-			hopA.Add(s.HopAvg)
+			return measure{
+				dominators: len(cl.Dominators),
+				backbone:   len(conn.Backbone),
+				edges:      ld.PLDel.NumEdges(),
+				s:          s,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var domA, backboneA, edgesA, lenA, hopA stats.Accumulator
+		for _, m := range trials {
+			domA.AddInt(m.dominators)
+			backboneA.AddInt(m.backbone)
+			edgesA.AddInt(m.edges)
+			lenA.Add(m.s.LengthAvg)
+			hopA.Add(m.s.HopAvg)
 		}
 		tb.AddRow(crit.name,
 			domA.Summary().Mean, backboneA.Summary().Mean, edgesA.Summary().Mean,

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"geospanner/internal/stats"
+)
+
+// TestRunTrialsOrderAndErrors pins the runner contract directly: results
+// arrive in trial order, and the reported error is the one a sequential run
+// would hit first.
+func TestRunTrialsOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		got, err := runTrials(workers, 20, func(trial int) (int, error) {
+			return trial * trial, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 20 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// Lowest failing index wins regardless of scheduling.
+	for _, workers := range []int{1, 4} {
+		_, err := runTrials(workers, 10, func(trial int) (int, error) {
+			if trial == 3 || trial == 7 {
+				return 0, fmt.Errorf("trial %d failed", trial)
+			}
+			return trial, nil
+		})
+		if err == nil || err.Error() != "trial 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want trial 3 failed", workers, err)
+		}
+	}
+	if out, err := runTrials(4, 0, func(int) (int, error) { return 0, errors.New("never") }); err != nil || out != nil {
+		t.Fatalf("n=0 should be a no-op, got %v, %v", out, err)
+	}
+}
+
+// TestWorkersBitIdentical is the acceptance check for the parallel
+// experiment engine: every experiment's rendered output is byte-for-byte
+// identical between a sequential run and a parallel one, floating-point
+// accumulation included.
+func TestWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seq := Config{Region: 200, Trials: 3, Seed: 5}
+	par := seq
+	par.Workers = 4
+
+	runs := []struct {
+		name string
+		fn   func(Config) (*stats.Table, error)
+	}{
+		{"Table1", func(c Config) (*stats.Table, error) { return Table1(40, 60, c) }},
+		{"Fig8", func(c Config) (*stats.Table, error) { return Fig8([]int{20, 30}, 60, c) }},
+		{"Fig9", func(c Config) (*stats.Table, error) { return Fig9([]int{20, 30}, 60, c) }},
+		{"Fig10", func(c Config) (*stats.Table, error) { return Fig10([]int{20, 30}, 60, c) }},
+		{"Fig11", func(c Config) (*stats.Table, error) { return Fig11([]float64{50, 60}, 60, c) }},
+		{"Fig12", func(c Config) (*stats.Table, error) { return Fig12([]float64{50, 60}, 60, c) }},
+		{"Ablation", func(c Config) (*stats.Table, error) { return Ablation(40, 60, c) }},
+		{"RoutingQuality", func(c Config) (*stats.Table, error) { return RoutingQuality(25, 60, c) }},
+		{"PowerStretch", func(c Config) (*stats.Table, error) { return PowerStretch(40, 60, 2, c) }},
+		{"LDelK", func(c Config) (*stats.Table, error) { return LDelK(40, 60, []int{1, 2}, c) }},
+		{"Robustness", func(c Config) (*stats.Table, error) { return Robustness(40, 60, c) }},
+		{"Clusterheads", func(c Config) (*stats.Table, error) { return Clusterheads(40, 60, c) }},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			want, err := r.fn(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			got, err := r.fn(par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if got.CSV() != want.CSV() {
+				t.Fatalf("parallel output differs from sequential:\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+					want.CSV(), got.CSV())
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "sync"
+
+// runTrials executes fn for every trial index in [0, n) and returns the
+// per-trial results in trial order. With workers <= 1 the trials run
+// sequentially on the calling goroutine; with workers > 1 they run on a
+// pool of that many goroutines.
+//
+// Determinism contract: fn(i) must depend only on i (every experiment
+// seeds its instance generator from the trial index), and callers fold the
+// returned slice into their accumulators sequentially, in trial order.
+// Under that discipline the worker count changes only the wall-clock
+// schedule, never the result — parallel output is bit-identical to
+// sequential, floating-point accumulation order included.
+//
+// When trials fail, the error of the lowest failing trial index is
+// returned, matching what a sequential run would report first.
+func runTrials[T any](workers, n int, fn func(trial int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -59,7 +59,9 @@ func Build(g *graph.Graph) *Subdivision {
 	}
 	rots := make([]rot, g.N())
 	for v := 0; v < g.N(); v++ {
-		nbrs := g.Neighbors(v)
+		// Copy: Neighbors aliases the graph's adjacency storage, and the
+		// rotation system sorts by bearing in place.
+		nbrs := g.NeighborsAppend(nil, v)
 		r := rot{ids: nbrs, thetas: make([]float64, len(nbrs))}
 		for i, u := range nbrs {
 			r.thetas[i] = math.Atan2(pts[u].Y-pts[v].Y, pts[u].X-pts[v].X)

@@ -36,7 +36,7 @@ func (g *Graph) Components() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			for v := range g.adj[u] {
+			for _, v := range g.adj[u] {
 				if !seen[v] {
 					seen[v] = true
 					stack = append(stack, v)
@@ -74,7 +74,7 @@ func (g *Graph) SubsetConnected(nodes []int) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := range g.adj[u] {
+		for _, v := range g.adj[u] {
 			if in[v] && !seen[v] {
 				seen[v] = true
 				count++
@@ -126,10 +126,19 @@ func (g *Graph) IsPlanarEmbedding() bool { return len(g.CrossingEdges()) == 0 }
 // shortest-hop distance over all node pairs. Disconnected pairs are
 // ignored; a graph with no edges has diameter 0. The paper varies the UDG
 // diameter through the transmission radius in its Figure 11–12 sweeps.
+// The all-sources sweep runs on a Frozen snapshot with reused buffers.
 func (g *Graph) Diameter() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	f := g.Freeze()
+	dist := make([]int, n)
+	parent := make([]int, n)
+	queue := make([]int32, 0, n)
 	var diameter int
-	for v := 0; v < g.N(); v++ {
-		dist, _ := g.BFS(v)
+	for v := 0; v < n; v++ {
+		f.BFSInto(v, dist, parent, queue)
 		for _, d := range dist {
 			if d > diameter {
 				diameter = d
@@ -142,9 +151,17 @@ func (g *Graph) Diameter() int {
 // AvgHopDistance returns the mean shortest-hop distance over connected
 // ordered pairs (0 when no pair is connected).
 func (g *Graph) AvgHopDistance() float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	f := g.Freeze()
+	dist := make([]int, n)
+	parent := make([]int, n)
+	queue := make([]int32, 0, n)
 	var sum, count int
-	for v := 0; v < g.N(); v++ {
-		dist, _ := g.BFS(v)
+	for v := 0; v < n; v++ {
+		f.BFSInto(v, dist, parent, queue)
 		for u, d := range dist {
 			if u != v && d != Unreachable {
 				sum += d

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64) *Graph {
+	return randomGraph(rand.New(rand.NewSource(1)), n, p)
+}
+
+// BenchmarkNeighbors measures the tentpole guarantee: neighbor access is a
+// slice header copy, not a map iteration plus sort.
+func BenchmarkNeighbors(b *testing.B) {
+	g := benchGraph(200, 0.1)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, v := range g.Neighbors(i % 200) {
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkAddRemoveEdge(b *testing.B) {
+	g := benchGraph(200, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % 199
+		g.AddEdge(u, u+1)
+		g.RemoveEdge(u, u+1)
+	}
+}
+
+func BenchmarkFreeze(b *testing.B) {
+	g := benchGraph(200, 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Freeze()
+	}
+}
+
+// BenchmarkBFS compares the mutable graph's BFS against the frozen
+// snapshot's buffer-reusing sweep, the pattern the stretch metrics run
+// n times per instance.
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(200, 0.1)
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.BFS(i % 200)
+		}
+	})
+	f := g.Freeze()
+	dist := make([]int, f.N())
+	parent := make([]int, f.N())
+	queue := make([]int32, 0, f.N())
+	b.Run("frozen-into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.BFSInto(i%200, dist, parent, queue)
+		}
+	})
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := benchGraph(200, 0.1)
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Dijkstra(i % 200)
+		}
+	})
+	f := g.Freeze()
+	dist := make([]float64, f.N())
+	parent := make([]int, f.N())
+	scratch := NewDijkstraScratch(f.N())
+	b.Run("frozen-into", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.DijkstraInto(i%200, dist, parent, scratch)
+		}
+	})
+}

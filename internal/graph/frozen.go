@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math"
+	"sort"
+
+	"geospanner/internal/geom"
+)
+
+// Frozen is an immutable compressed-sparse-row (CSR) snapshot of a Graph.
+// The neighbor indices of node i occupy nbr[off[i]:off[i+1]] in increasing
+// order, with the Euclidean length of each directed entry precomputed in
+// lens at the same position. A Frozen never changes after Freeze returns,
+// so it may be shared freely across goroutines; the read-heavy consumers
+// (stretch metrics, routing planners, graph analysis) build one snapshot
+// per finished graph and query it thereafter.
+//
+// Frozen shares the position slice with the source graph but copies the
+// adjacency structure, so later mutation of the source graph does not
+// affect the snapshot.
+type Frozen struct {
+	pts  []geom.Point
+	off  []int32 // len N()+1, prefix sums of degrees
+	nbr  []int32 // len 2·NumEdges(), neighbor indices
+	lens []float64
+	m    int
+}
+
+// Freeze builds an immutable CSR snapshot of the graph's current edges.
+func (g *Graph) Freeze() *Frozen {
+	n := len(g.adj)
+	f := &Frozen{
+		pts: g.pts,
+		off: make([]int32, n+1),
+		m:   g.m,
+	}
+	total := 0
+	for i, s := range g.adj {
+		f.off[i] = int32(total)
+		total += len(s)
+	}
+	f.off[n] = int32(total)
+	f.nbr = make([]int32, total)
+	f.lens = make([]float64, total)
+	for i, s := range g.adj {
+		base := f.off[i]
+		pi := g.pts[i]
+		for k, j := range s {
+			f.nbr[base+int32(k)] = int32(j)
+			f.lens[base+int32(k)] = pi.Dist(g.pts[j])
+		}
+	}
+	return f
+}
+
+// N returns the number of nodes.
+func (f *Frozen) N() int { return len(f.off) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (f *Frozen) NumEdges() int { return f.m }
+
+// Point returns the position of node i.
+func (f *Frozen) Point(i int) geom.Point { return f.pts[i] }
+
+// Points returns the shared position slice (read-only).
+func (f *Frozen) Points() []geom.Point { return f.pts }
+
+// Degree returns the degree of node i.
+func (f *Frozen) Degree(i int) int { return int(f.off[i+1] - f.off[i]) }
+
+// Neighbors returns the neighbor indices of node i in increasing order.
+// The slice aliases the snapshot's internal storage and must be treated as
+// read-only.
+func (f *Frozen) Neighbors(i int) []int32 { return f.nbr[f.off[i]:f.off[i+1]] }
+
+// NeighborRange returns the half-open CSR index range [lo, hi) of node i's
+// entries. Consumers that maintain per-directed-edge side arrays (for
+// example a routing planner's angular order) index them with this range.
+func (f *Frozen) NeighborRange(i int) (lo, hi int) { return int(f.off[i]), int(f.off[i+1]) }
+
+// EdgeLens returns the Euclidean lengths of node i's incident edges, in
+// the same order as Neighbors(i). Read-only.
+func (f *Frozen) EdgeLens(i int) []float64 { return f.lens[f.off[i]:f.off[i+1]] }
+
+// HasEdge reports whether {i, j} is an edge, by binary search over the
+// smaller of the two neighbor lists. Panics on out-of-range indices,
+// matching the Graph bounds policy.
+func (f *Frozen) HasEdge(i, j int) bool {
+	if f.Degree(j) < f.Degree(i) {
+		i, j = j, i
+	}
+	s := f.Neighbors(i)
+	t := int32(j)
+	pos := sort.Search(len(s), func(k int) bool { return s[k] >= t })
+	return pos < len(s) && s[pos] == t
+}
+
+// MapLengths returns a snapshot sharing this one's topology (positions,
+// offsets, neighbor array) with every precomputed edge length transformed
+// by fn. It is how weighted Dijkstra variants (for example power-cost
+// length^beta) reuse the CSR structure without rebuilding it.
+func (f *Frozen) MapLengths(fn func(float64) float64) *Frozen {
+	lens := make([]float64, len(f.lens))
+	for i, l := range f.lens {
+		lens[i] = fn(l)
+	}
+	return &Frozen{pts: f.pts, off: f.off, nbr: f.nbr, lens: lens, m: f.m}
+}
+
+// BFS returns hop distances from src (Unreachable when disconnected) and a
+// parent array (-1 for src and unreachable nodes). For repeated sweeps use
+// BFSInto with caller-owned buffers.
+func (f *Frozen) BFS(src int) (dist []int, parent []int) {
+	n := f.N()
+	dist = make([]int, n)
+	parent = make([]int, n)
+	f.BFSInto(src, dist, parent, make([]int32, 0, n))
+	return dist, parent
+}
+
+// BFSInto runs BFS from src into caller-owned buffers. dist and parent
+// must have length N(); queue is scratch space whose capacity is reused
+// (pass nil to allocate internally). Neighbor iteration order is
+// ascending, so the parent array is deterministic.
+func (f *Frozen) BFSInto(src int, dist, parent []int, queue []int32) {
+	for i := range dist {
+		dist[i] = Unreachable
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue = append(queue[:0], int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range f.nbr[f.off[u]:f.off[u+1]] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				parent[v] = int(u)
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// Dijkstra returns Euclidean shortest-path lengths from src (math.Inf(1)
+// when disconnected) and a parent array. For repeated sweeps use
+// DijkstraInto with caller-owned buffers.
+func (f *Frozen) Dijkstra(src int) (dist []float64, parent []int) {
+	n := f.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	scratch := NewDijkstraScratch(n)
+	f.DijkstraInto(src, dist, parent, scratch)
+	return dist, parent
+}
+
+// DijkstraScratch holds the reusable working memory of DijkstraInto: the
+// typed binary heap and the settled marks. One scratch may be reused
+// across any number of runs on graphs with at most its node count, but
+// never concurrently.
+type DijkstraScratch struct {
+	heap distHeap
+	done []bool
+}
+
+// NewDijkstraScratch returns scratch space for graphs of up to n nodes.
+func NewDijkstraScratch(n int) *DijkstraScratch {
+	return &DijkstraScratch{heap: make(distHeap, 0, n), done: make([]bool, n)}
+}
+
+// DijkstraInto runs Dijkstra from src into caller-owned buffers. dist and
+// parent must have length N(); scratch must come from NewDijkstraScratch
+// with capacity for at least N() nodes.
+func (f *Frozen) DijkstraInto(src int, dist []float64, parent []int, scratch *DijkstraScratch) {
+	done := scratch.done[:f.N()]
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+		done[i] = false
+	}
+	dist[src] = 0
+	h := scratch.heap[:0]
+	h = h.push(heapItem{node: int32(src)})
+	for len(h) > 0 {
+		var it heapItem
+		it, h = h.pop()
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		nbrs := f.nbr[f.off[u]:f.off[u+1]]
+		lens := f.lens[f.off[u]:f.off[u+1]]
+		for k, v := range nbrs {
+			if done[v] {
+				continue
+			}
+			if d := it.dist + lens[k]; d < dist[v] {
+				dist[v] = d
+				parent[v] = int(u)
+				h = h.push(heapItem{node: v, dist: d})
+			}
+		}
+	}
+	scratch.heap = h[:0]
+}

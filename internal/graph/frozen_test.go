@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFrozenMirrorsGraph checks that a Frozen snapshot agrees with its
+// source graph on every structural query.
+func TestFrozenMirrorsGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 3+r.Intn(25), 0.3)
+		f := g.Freeze()
+		if f.N() != g.N() || f.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: size mismatch", trial)
+		}
+		for i := 0; i < g.N(); i++ {
+			if f.Degree(i) != g.Degree(i) {
+				t.Fatalf("trial %d: Degree(%d) = %d, want %d", trial, i, f.Degree(i), g.Degree(i))
+			}
+			nbrs := g.Neighbors(i)
+			fn := f.Neighbors(i)
+			lens := f.EdgeLens(i)
+			if len(fn) != len(nbrs) {
+				t.Fatalf("trial %d: Neighbors(%d) length mismatch", trial, i)
+			}
+			for k, j := range nbrs {
+				if int(fn[k]) != j {
+					t.Fatalf("trial %d: Neighbors(%d)[%d] = %d, want %d", trial, i, k, fn[k], j)
+				}
+				if lens[k] != g.EdgeLength(i, j) {
+					t.Fatalf("trial %d: EdgeLens(%d)[%d] = %v, want %v", trial, i, k, lens[k], g.EdgeLength(i, j))
+				}
+			}
+			for j := 0; j < g.N(); j++ {
+				if f.HasEdge(i, j) != g.HasEdge(i, j) {
+					t.Fatalf("trial %d: HasEdge(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenImmutableUnderMutation checks that mutating the source graph
+// after Freeze leaves the snapshot untouched.
+func TestFrozenImmutableUnderMutation(t *testing.T) {
+	g := New(linePoints(5))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	f := g.Freeze()
+	g.AddEdge(0, 4)
+	g.RemoveEdge(0, 1)
+	if !f.HasEdge(0, 1) || f.HasEdge(0, 4) {
+		t.Fatal("snapshot changed with the source graph")
+	}
+	if f.NumEdges() != 2 {
+		t.Fatalf("snapshot NumEdges = %d, want 2", f.NumEdges())
+	}
+}
+
+// TestFrozenBFSDijkstraMatchGraph checks that the snapshot algorithms
+// produce exactly the distances of the Graph implementations.
+func TestFrozenBFSDijkstraMatchGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(r, 4+r.Intn(30), 0.2)
+		f := g.Freeze()
+		for src := 0; src < g.N(); src++ {
+			gh, gp := g.BFS(src)
+			fh, fp := f.BFS(src)
+			for v := range gh {
+				if gh[v] != fh[v] {
+					t.Fatalf("BFS dist mismatch at src=%d v=%d: %d vs %d", src, v, gh[v], fh[v])
+				}
+				if gp[v] != fp[v] {
+					t.Fatalf("BFS parent mismatch at src=%d v=%d: %d vs %d", src, v, gp[v], fp[v])
+				}
+			}
+			gd, _ := g.Dijkstra(src)
+			fd, fpar := f.Dijkstra(src)
+			for v := range gd {
+				if gd[v] != fd[v] && !(math.IsInf(gd[v], 1) && math.IsInf(fd[v], 1)) {
+					t.Fatalf("Dijkstra mismatch at src=%d v=%d: %v vs %v", src, v, gd[v], fd[v])
+				}
+				if v != src && !math.IsInf(fd[v], 1) && fpar[v] == -1 {
+					t.Fatalf("Dijkstra parent missing for reachable node %d", v)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenIntoBuffersReusable checks that the Into variants produce
+// correct results when the same buffers are reused across sources.
+func TestFrozenIntoBuffersReusable(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	g := randomGraph(r, 25, 0.25)
+	f := g.Freeze()
+	n := f.N()
+	hop := make([]int, n)
+	par := make([]int, n)
+	queue := make([]int32, 0, n)
+	dist := make([]float64, n)
+	dpar := make([]int, n)
+	scratch := NewDijkstraScratch(n)
+	for src := 0; src < n; src++ {
+		f.BFSInto(src, hop, par, queue)
+		wantHop, _ := g.BFS(src)
+		for v := range wantHop {
+			if hop[v] != wantHop[v] {
+				t.Fatalf("BFSInto src=%d v=%d: %d want %d", src, v, hop[v], wantHop[v])
+			}
+		}
+		f.DijkstraInto(src, dist, dpar, scratch)
+		wantDist, _ := g.Dijkstra(src)
+		for v := range wantDist {
+			if dist[v] != wantDist[v] && !(math.IsInf(dist[v], 1) && math.IsInf(wantDist[v], 1)) {
+				t.Fatalf("DijkstraInto src=%d v=%d: %v want %v", src, v, dist[v], wantDist[v])
+			}
+		}
+	}
+}
+
+// TestFrozenMapLengths checks the weighted-view transform used by the
+// power-stretch metric.
+func TestFrozenMapLengths(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	f := g.Freeze()
+	sq := f.MapLengths(func(l float64) float64 { return l * l })
+	dist, _ := sq.Dijkstra(0)
+	// Unit-length chain: squared weights are still 1 per hop.
+	for v, want := range []float64{0, 1, 2, 3} {
+		if dist[v] != want {
+			t.Fatalf("squared-weight dist[%d] = %v, want %v", v, dist[v], want)
+		}
+	}
+	// The original snapshot is untouched.
+	od, _ := f.Dijkstra(0)
+	if od[3] != 3 {
+		t.Fatalf("original snapshot modified: dist[3] = %v", od[3])
+	}
+}
+
+// TestFrozenEmptyAndIsolated covers degenerate shapes.
+func TestFrozenEmptyAndIsolated(t *testing.T) {
+	empty := New(nil).Freeze()
+	if empty.N() != 0 || empty.NumEdges() != 0 {
+		t.Fatal("empty snapshot not empty")
+	}
+	g := New(linePoints(3)) // no edges
+	f := g.Freeze()
+	dist, _ := f.BFS(1)
+	if dist[0] != Unreachable || dist[1] != 0 || dist[2] != Unreachable {
+		t.Fatalf("isolated BFS = %v", dist)
+	}
+}

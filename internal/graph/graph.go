@@ -6,6 +6,24 @@
 //
 // Nodes are identified by dense indices 0..n-1 with fixed positions; edges
 // are undirected and weighted implicitly by Euclidean length.
+//
+// Adjacency is stored as one sorted []int slice per node, maintained
+// incrementally by binary-search insertion and removal. Neighbors therefore
+// iterates in increasing index order without allocating or sorting, which
+// is what every hot path in the repository (simulator delivery, LDel
+// construction, BFS/Dijkstra, stretch metrics) does per node per step. For
+// read-only consumers that query a finished graph many times, Freeze
+// produces an immutable CSR snapshot (see frozen.go) that is even cheaper
+// to traverse and safe to share across goroutines.
+//
+// # Bounds policy
+//
+// Node indices passed to any method of Graph must be in [0, N()). Every
+// method panics on an out-of-range index — including HasEdge, which in an
+// earlier revision silently reported false. A query about a node that does
+// not exist is a programming error, not an answerable question, and the
+// uniform panic surfaces index bugs at their source instead of masking
+// them as missing edges.
 package graph
 
 import (
@@ -35,18 +53,14 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 // The zero value is not usable; construct with New.
 type Graph struct {
 	pts []geom.Point
-	adj []map[int]struct{}
-	m   int // number of edges
+	adj [][]int // adj[i] is sorted ascending and duplicate-free
+	m   int     // number of edges
 }
 
 // New returns an empty graph over the given node positions. The positions
 // slice is retained (not copied); callers must not mutate it afterwards.
 func New(pts []geom.Point) *Graph {
-	adj := make([]map[int]struct{}, len(pts))
-	for i := range adj {
-		adj[i] = make(map[int]struct{})
-	}
-	return &Graph{pts: pts, adj: adj}
+	return &Graph{pts: pts, adj: make([][]int, len(pts))}
 }
 
 // N returns the number of nodes.
@@ -62,68 +76,122 @@ func (g *Graph) Point(i int) geom.Point { return g.pts[i] }
 // read-only.
 func (g *Graph) Points() []geom.Point { return g.pts }
 
+// check panics with a descriptive message when i is not a node index.
+func (g *Graph) check(i int) {
+	if i < 0 || i >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node index %d out of range [0,%d)", i, len(g.adj)))
+	}
+}
+
+// searchNbr returns the insertion position of j in the sorted slice s and
+// whether j is already present.
+func searchNbr(s []int, j int) (int, bool) {
+	pos := sort.SearchInts(s, j)
+	return pos, pos < len(s) && s[pos] == j
+}
+
+// insertNbr inserts j into the sorted slice s, preserving order.
+func insertNbr(s []int, j int) []int {
+	pos, ok := searchNbr(s, j)
+	if ok {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = j
+	return s
+}
+
+// removeNbr removes j from the sorted slice s if present.
+func removeNbr(s []int, j int) []int {
+	pos, ok := searchNbr(s, j)
+	if !ok {
+		return s
+	}
+	copy(s[pos:], s[pos+1:])
+	return s[:len(s)-1]
+}
+
 // AddEdge inserts the undirected edge {i, j}. Self-loops and duplicate
 // insertions are ignored.
 func (g *Graph) AddEdge(i, j int) {
+	g.check(i)
+	g.check(j)
 	if i == j {
 		return
 	}
-	if _, ok := g.adj[i][j]; ok {
+	if _, ok := searchNbr(g.adj[i], j); ok {
 		return
 	}
-	g.adj[i][j] = struct{}{}
-	g.adj[j][i] = struct{}{}
+	g.adj[i] = insertNbr(g.adj[i], j)
+	g.adj[j] = insertNbr(g.adj[j], i)
 	g.m++
 }
 
 // RemoveEdge deletes the undirected edge {i, j} if present.
 func (g *Graph) RemoveEdge(i, j int) {
-	if _, ok := g.adj[i][j]; !ok {
+	g.check(i)
+	g.check(j)
+	if _, ok := searchNbr(g.adj[i], j); !ok {
 		return
 	}
-	delete(g.adj[i], j)
-	delete(g.adj[j], i)
+	g.adj[i] = removeNbr(g.adj[i], j)
+	g.adj[j] = removeNbr(g.adj[j], i)
 	g.m--
 }
 
-// HasEdge reports whether {i, j} is an edge.
+// HasEdge reports whether {i, j} is an edge. Like every Graph method it
+// panics when either index is out of range (see the package bounds policy).
 func (g *Graph) HasEdge(i, j int) bool {
-	if i < 0 || j < 0 || i >= len(g.adj) || j >= len(g.adj) {
-		return false
+	g.check(i)
+	g.check(j)
+	// Search the smaller adjacency list of the two.
+	s := g.adj[i]
+	if len(g.adj[j]) < len(s) {
+		s, j = g.adj[j], i
 	}
-	_, ok := g.adj[i][j]
+	_, ok := searchNbr(s, j)
 	return ok
 }
 
 // Neighbors returns the neighbors of node i in increasing index order.
-func (g *Graph) Neighbors(i int) []int {
-	out := make([]int, 0, len(g.adj[i]))
-	for j := range g.adj[i] {
-		out = append(out, j)
+// The returned slice is the graph's internal adjacency storage: it must be
+// treated as read-only, and it is invalidated by the next AddEdge or
+// RemoveEdge touching node i. Copy it (or use NeighborsAppend) when it has
+// to survive mutation.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// NeighborsAppend appends the neighbors of node i, in increasing index
+// order, to buf and returns the extended slice. It allocates only when buf
+// lacks capacity, so callers can reuse one buffer across many nodes.
+func (g *Graph) NeighborsAppend(buf []int, i int) []int {
+	return append(buf, g.adj[i]...)
+}
+
+// EachNeighbor calls fn for every neighbor of node i in increasing index
+// order, stopping early when fn returns false. The graph must not be
+// mutated during the iteration.
+func (g *Graph) EachNeighbor(i int, fn func(j int) bool) {
+	for _, j := range g.adj[i] {
+		if !fn(j) {
+			return
+		}
 	}
-	sort.Ints(out)
-	return out
 }
 
 // Degree returns the degree of node i.
 func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
 
-// Edges returns all edges in deterministic (sorted) order.
+// Edges returns all edges in deterministic (U, then V) ascending order.
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
 	for i := range g.adj {
-		for j := range g.adj[i] {
+		for _, j := range g.adj[i] {
 			if i < j {
 				edges = append(edges, Edge{U: i, V: j})
 			}
 		}
 	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].U != edges[b].U {
-			return edges[a].U < edges[b].U
-		}
-		return edges[a].V < edges[b].V
-	})
 	return edges
 }
 
@@ -133,12 +201,10 @@ func (g *Graph) EdgeLength(i, j int) float64 { return g.pts[i].Dist(g.pts[j]) }
 
 // Clone returns a deep copy of the graph sharing the position slice.
 func (g *Graph) Clone() *Graph {
-	c := New(g.pts)
-	for i := range g.adj {
-		for j := range g.adj[i] {
-			if i < j {
-				c.AddEdge(i, j)
-			}
+	c := &Graph{pts: g.pts, adj: make([][]int, len(g.adj)), m: g.m}
+	for i, s := range g.adj {
+		if len(s) > 0 {
+			c.adj[i] = append([]int(nil), s...)
 		}
 	}
 	return c
@@ -147,8 +213,8 @@ func (g *Graph) Clone() *Graph {
 // AddAll inserts every edge of other into g. The graphs must be over the
 // same node set.
 func (g *Graph) AddAll(other *Graph) {
-	for i := range other.adj {
-		for j := range other.adj[i] {
+	for i, s := range other.adj {
+		for _, j := range s {
 			if i < j {
 				g.AddEdge(i, j)
 			}
@@ -168,11 +234,11 @@ func Union(a, b *Graph) *Graph {
 // with both endpoints in keep.
 func (g *Graph) Subgraph(keep map[int]bool) *Graph {
 	s := New(g.pts)
-	for i := range g.adj {
+	for i, nbrs := range g.adj {
 		if !keep[i] {
 			continue
 		}
-		for j := range g.adj[i] {
+		for _, j := range nbrs {
 			if i < j && keep[j] {
 				s.AddEdge(i, j)
 			}
@@ -184,8 +250,8 @@ func (g *Graph) Subgraph(keep map[int]bool) *Graph {
 // TotalLength returns the sum of Euclidean lengths of all edges.
 func (g *Graph) TotalLength() float64 {
 	var total float64
-	for i := range g.adj {
-		for j := range g.adj[i] {
+	for i, nbrs := range g.adj {
+		for _, j := range nbrs {
 			if i < j {
 				total += g.EdgeLength(i, j)
 			}

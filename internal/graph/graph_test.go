@@ -52,10 +52,115 @@ func TestAddRemoveEdge(t *testing.T) {
 	}
 }
 
-func TestHasEdgeOutOfRange(t *testing.T) {
+// TestOutOfRangePanics enforces the package bounds policy: every method
+// taking a node index panics on out-of-range input, HasEdge included
+// (it used to silently report false, unlike its siblings).
+func TestOutOfRangePanics(t *testing.T) {
 	g := New(linePoints(3))
-	if g.HasEdge(-1, 0) || g.HasEdge(0, 7) {
-		t.Fatal("out-of-range HasEdge should be false")
+	g.AddEdge(0, 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on out-of-range index", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("HasEdge(-1,0)", func() { g.HasEdge(-1, 0) })
+	mustPanic("HasEdge(0,7)", func() { g.HasEdge(0, 7) })
+	mustPanic("Neighbors(3)", func() { g.Neighbors(3) })
+	mustPanic("Neighbors(-1)", func() { g.Neighbors(-1) })
+	mustPanic("Degree(5)", func() { g.Degree(5) })
+	mustPanic("AddEdge(0,3)", func() { g.AddEdge(0, 3) })
+	mustPanic("AddEdge(-2,1)", func() { g.AddEdge(-2, 1) })
+	mustPanic("RemoveEdge(0,9)", func() { g.RemoveEdge(0, 9) })
+	mustPanic("EachNeighbor(4)", func() { g.EachNeighbor(4, func(int) bool { return true }) })
+	// In-range queries still behave.
+	if !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatal("in-range HasEdge broken")
+	}
+}
+
+// TestNeighborsZeroAlloc pins the tentpole guarantee: Neighbors returns
+// the internal adjacency slice without allocating or sorting.
+func TestNeighborsZeroAlloc(t *testing.T) {
+	g := New(linePoints(64))
+	for i := 1; i < 64; i++ {
+		g.AddEdge(0, i)
+	}
+	var sink []int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = g.Neighbors(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Neighbors allocated %v times per call, want 0", allocs)
+	}
+	if len(sink) != 63 {
+		t.Fatalf("Neighbors length = %d, want 63", len(sink))
+	}
+	// EachNeighbor with a pre-declared closure is also allocation-free.
+	count := 0
+	visit := func(int) bool { count++; return true }
+	allocs = testing.AllocsPerRun(100, func() {
+		g.EachNeighbor(0, visit)
+	})
+	if allocs != 0 {
+		t.Fatalf("EachNeighbor allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestNeighborsAppendReusesBuffer(t *testing.T) {
+	g := New(linePoints(8))
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 7)
+	g.AddEdge(3, 5)
+	buf := make([]int, 0, 8)
+	got := g.NeighborsAppend(buf, 3)
+	want := []int{1, 5, 7}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("NeighborsAppend = %v, want %v", got, want)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("NeighborsAppend did not reuse the buffer capacity")
+	}
+	// Appending for a second node extends rather than resets.
+	got = g.NeighborsAppend(got, 1)
+	if len(got) != 4 || got[3] != 3 {
+		t.Fatalf("second NeighborsAppend = %v", got)
+	}
+}
+
+func TestEachNeighborEarlyStop(t *testing.T) {
+	g := New(linePoints(6))
+	for _, v := range []int{1, 2, 4, 5} {
+		g.AddEdge(0, v)
+	}
+	var seen []int
+	g.EachNeighbor(0, func(j int) bool {
+		seen = append(seen, j)
+		return j < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("EachNeighbor early stop visited %v, want [1 2]", seen)
+	}
+}
+
+// TestNeighborsViewInvalidation documents the aliasing contract: the slice
+// returned by Neighbors reflects subsequent mutations (it is a view, not a
+// copy).
+func TestNeighborsViewInvalidation(t *testing.T) {
+	g := New(linePoints(4))
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	view := g.Neighbors(0)
+	if len(view) != 2 {
+		t.Fatalf("view = %v", view)
+	}
+	g.RemoveEdge(0, 1)
+	fresh := g.Neighbors(0)
+	if len(fresh) != 1 || fresh[0] != 2 {
+		t.Fatalf("after removal Neighbors = %v, want [2]", fresh)
 	}
 }
 

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -11,7 +10,8 @@ const Unreachable = -1
 
 // BFS returns the hop distance from src to every node (Unreachable when
 // disconnected) and a parent array (-1 for src and unreachable nodes) from
-// which shortest-hop paths can be reconstructed.
+// which shortest-hop paths can be reconstructed. Neighbors are visited in
+// increasing index order, so the parent array is deterministic.
 func (g *Graph) BFS(src int) (dist []int, parent []int) {
 	n := g.N()
 	dist = make([]int, n)
@@ -23,10 +23,9 @@ func (g *Graph) BFS(src int) (dist []int, parent []int) {
 	dist[src] = 0
 	queue := make([]int, 0, n)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for v := range g.adj[u] {
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[u] {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
 				parent[v] = u
@@ -44,23 +43,54 @@ func (g *Graph) HopDist(u, v int) int {
 	return dist[v]
 }
 
+// heapItem is one entry of the Dijkstra priority queue.
 type heapItem struct {
-	node int
+	node int32
 	dist float64
 }
 
+// distHeap is a typed binary min-heap ordered by dist. It replaces the
+// former container/heap implementation, whose interface{} Push boxed a
+// heapItem allocation on every relaxation — measurable in the all-pairs
+// stretch loops, which run Dijkstra n times per structure per trial.
 type distHeap []heapItem
 
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+func (h distHeap) push(it heapItem) distHeap {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func (h distHeap) pop() (heapItem, distHeap) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].dist < h[small].dist {
+			small = l
+		}
+		if r < len(h) && h[r].dist < h[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
 }
 
 // Dijkstra returns the Euclidean shortest-path length from src to every
@@ -76,22 +106,25 @@ func (g *Graph) Dijkstra(src int) (dist []float64, parent []int) {
 		parent[i] = -1
 	}
 	dist[src] = 0
-	h := &distHeap{{node: src}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(heapItem)
+	h := make(distHeap, 0, n)
+	h = h.push(heapItem{node: int32(src)})
+	for len(h) > 0 {
+		var it heapItem
+		it, h = h.pop()
 		u := it.node
 		if done[u] {
 			continue
 		}
 		done[u] = true
-		for v := range g.adj[u] {
+		pu := g.pts[u]
+		for _, v := range g.adj[u] {
 			if done[v] {
 				continue
 			}
-			if d := it.dist + g.EdgeLength(u, v); d < dist[v] {
+			if d := it.dist + pu.Dist(g.pts[v]); d < dist[v] {
 				dist[v] = d
-				parent[v] = u
-				heap.Push(h, heapItem{node: v, dist: d})
+				parent[v] = int(u)
+				h = h.push(heapItem{node: int32(v), dist: d})
 			}
 		}
 	}

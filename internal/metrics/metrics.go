@@ -7,6 +7,12 @@
 // (ratio 1); otherwise the route runs inside the evaluated structure (for
 // the primed graphs that is source → dominator → backbone → dominator →
 // destination, whose edges the structure already contains).
+//
+// All shortest-path sweeps run on immutable graph.Frozen CSR snapshots
+// with reused scratch buffers: a Stretcher freezes the base graph once,
+// precomputes its all-source hop and length distances, and amortizes them
+// across every structure measured against that base (Table I measures
+// seven structures per instance against the same UDG).
 package metrics
 
 import (
@@ -40,23 +46,65 @@ type StretchStats struct {
 	Disconnected int
 }
 
-// Stretch measures the stretch factors of structure sub relative to base.
-// Both graphs must share the same node set and positions.
-func Stretch(base, sub *graph.Graph, opt StretchOptions) StretchStats {
-	n := base.N()
+// Stretcher measures structures against one fixed base graph. It freezes
+// the base once and precomputes every source's hop and length distances,
+// so measuring k structures against the same base performs the base
+// sweeps once instead of k times. A Stretcher is immutable after
+// construction and safe for concurrent use by multiple goroutines.
+type Stretcher struct {
+	n      int
+	hop    [][]int     // hop[u][v]: base hop distance
+	length [][]float64 // length[u][v]: base Euclidean distance
+}
+
+// NewStretcher precomputes all-source base distances (n BFS + n Dijkstra
+// runs on the frozen snapshot).
+func NewStretcher(base *graph.Graph) *Stretcher {
+	f := base.Freeze()
+	n := f.N()
+	st := &Stretcher{
+		n:      n,
+		hop:    make([][]int, n),
+		length: make([][]float64, n),
+	}
+	parent := make([]int, n)
+	queue := make([]int32, 0, n)
+	scratch := graph.NewDijkstraScratch(n)
+	for u := 0; u < n; u++ {
+		hop := make([]int, n)
+		f.BFSInto(u, hop, parent, queue)
+		st.hop[u] = hop
+		length := make([]float64, n)
+		f.DijkstraInto(u, length, parent, scratch)
+		st.length[u] = length
+	}
+	return st
+}
+
+// Stretch measures the stretch factors of structure sub relative to the
+// base graph. sub must share the base's node set and positions.
+func (st *Stretcher) Stretch(sub *graph.Graph, opt StretchOptions) StretchStats {
+	f := sub.Freeze()
+	n := st.n
 	var s StretchStats
 	var lengthSum, hopSum float64
+	subHop := make([]int, n)
+	parent := make([]int, n)
+	queue := make([]int32, 0, n)
+	subLen := make([]float64, n)
+	scratch := graph.NewDijkstraScratch(n)
 	for u := 0; u < n; u++ {
-		baseHop, _ := base.BFS(u)
-		baseLen, _ := base.Dijkstra(u)
-		subHop, _ := sub.BFS(u)
-		subLen, _ := sub.Dijkstra(u)
+		baseHop := st.hop[u]
+		baseLen := st.length[u]
+		f.BFSInto(u, subHop, parent, queue)
+		f.DijkstraInto(u, subLen, parent, scratch)
 		for v := u + 1; v < n; v++ {
 			if baseHop[v] == graph.Unreachable {
 				continue
 			}
 			var lr, hr float64
-			if opt.DirectEdges && base.HasEdge(u, v) {
+			// Base hop distance 1 is exactly adjacency in the base graph.
+			if opt.DirectEdges && baseHop[v] == 1 {
 				lr, hr = 1, 1
 			} else {
 				if subHop[v] == graph.Unreachable {
@@ -80,6 +128,14 @@ func Stretch(base, sub *graph.Graph, opt StretchOptions) StretchStats {
 	return s
 }
 
+// Stretch measures the stretch factors of structure sub relative to base.
+// Both graphs must share the same node set and positions. When several
+// structures are measured against one base, build a Stretcher once
+// instead.
+func Stretch(base, sub *graph.Graph, opt StretchOptions) StretchStats {
+	return NewStretcher(base).Stretch(sub, opt)
+}
+
 // DegreeStats summarizes node degrees over an optional node subset.
 type DegreeStats struct {
 	Max int
@@ -100,16 +156,23 @@ func Degrees(g *graph.Graph, nodes []int) DegreeStats {
 // PowerStretch measures the power stretch factor with path loss exponent
 // beta (paper Section I: link cost = length^beta, beta in [2,5]): the ratio
 // of the minimum-power path cost in sub to that in base. It reports average
-// and maximum over connected pairs, with the same direct-edge rule.
+// and maximum over connected pairs, with the same direct-edge rule. The
+// power-weighted shortest paths run on MapLengths views of the frozen
+// snapshots, so the CSR topology is built once per graph.
 func PowerStretch(base, sub *graph.Graph, beta float64, opt StretchOptions) StretchStats {
-	n := base.N()
+	pow := func(l float64) float64 { return math.Pow(l, beta) }
+	basePow := base.Freeze().MapLengths(pow)
+	subPow := sub.Freeze().MapLengths(pow)
+	n := basePow.N()
 	var s StretchStats
 	var sum float64
-	basePow := powerGraph(base, beta)
-	subPow := powerGraph(sub, beta)
+	baseDist := make([]float64, n)
+	subDist := make([]float64, n)
+	parent := make([]int, n)
+	scratch := graph.NewDijkstraScratch(n)
 	for u := 0; u < n; u++ {
-		baseDist, _ := basePow.Dijkstra(u)
-		subDist, _ := subPow.Dijkstra(u)
+		basePow.DijkstraInto(u, baseDist, parent, scratch)
+		subPow.DijkstraInto(u, subDist, parent, scratch)
 		for v := u + 1; v < n; v++ {
 			if math.IsInf(baseDist[v], 1) {
 				continue
@@ -135,56 +198,6 @@ func PowerStretch(base, sub *graph.Graph, beta float64, opt StretchOptions) Stre
 	return s
 }
 
-// powerGraph reimplements edge weights as length^beta by scaling node
-// positions is impossible, so it builds a weighted view: we emulate it by
-// constructing a graph whose Dijkstra uses transformed lengths. Since
-// graph.Graph weights edges by Euclidean length implicitly, we instead run
-// Dijkstra on a wrapper that exponentiates per-edge lengths.
-func powerGraph(g *graph.Graph, beta float64) *weighted {
-	return &weighted{g: g, beta: beta}
-}
-
-// weighted is a minimal Dijkstra over g with edge weight length^beta.
-type weighted struct {
-	g    *graph.Graph
-	beta float64
-}
-
-// Dijkstra returns minimum-power path costs from src.
-func (w *weighted) Dijkstra(src int) ([]float64, []int) {
-	n := w.g.N()
-	dist := make([]float64, n)
-	parent := make([]int, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parent[i] = -1
-	}
-	dist[src] = 0
-	for {
-		u, best := -1, math.Inf(1)
-		for v := 0; v < n; v++ {
-			if !done[v] && dist[v] < best {
-				u, best = v, dist[v]
-			}
-		}
-		if u == -1 {
-			return dist, parent
-		}
-		done[u] = true
-		for _, v := range w.g.Neighbors(u) {
-			if done[v] {
-				continue
-			}
-			cost := math.Pow(w.g.EdgeLength(u, v), w.beta)
-			if d := dist[u] + cost; d < dist[v] {
-				dist[v] = d
-				parent[v] = u
-			}
-		}
-	}
-}
-
 // PairSample is the stretch measurement of one node pair.
 type PairSample struct {
 	U, V        int
@@ -196,18 +209,27 @@ type PairSample struct {
 // for distribution plots (CDFs) and per-pair diagnostics. Pairs that are
 // disconnected in the structure are omitted (Stretch counts them).
 func StretchSamples(base, sub *graph.Graph, opt StretchOptions) []PairSample {
-	n := base.N()
+	fb := base.Freeze()
+	fs := sub.Freeze()
+	n := fb.N()
 	var out []PairSample
+	baseHop := make([]int, n)
+	subHop := make([]int, n)
+	parent := make([]int, n)
+	queue := make([]int32, 0, n)
+	baseLen := make([]float64, n)
+	subLen := make([]float64, n)
+	scratch := graph.NewDijkstraScratch(n)
 	for u := 0; u < n; u++ {
-		baseHop, _ := base.BFS(u)
-		baseLen, _ := base.Dijkstra(u)
-		subHop, _ := sub.BFS(u)
-		subLen, _ := sub.Dijkstra(u)
+		fb.BFSInto(u, baseHop, parent, queue)
+		fs.BFSInto(u, subHop, parent, queue)
+		fb.DijkstraInto(u, baseLen, parent, scratch)
+		fs.DijkstraInto(u, subLen, parent, scratch)
 		for v := u + 1; v < n; v++ {
 			if baseHop[v] == graph.Unreachable {
 				continue
 			}
-			if opt.DirectEdges && base.HasEdge(u, v) {
+			if opt.DirectEdges && baseHop[v] == 1 {
 				out = append(out, PairSample{U: u, V: v, LengthRatio: 1, HopRatio: 1})
 				continue
 			}

@@ -92,7 +92,9 @@ func TestDiscoverRouteUnreachable(t *testing.T) {
 	g := inst.UDG.Clone()
 	// Isolate the destination completely.
 	dst := 3
-	for _, u := range g.Neighbors(dst) {
+	// Copy the neighbor list: Neighbors returns a live view that the
+	// RemoveEdge calls below would otherwise invalidate mid-iteration.
+	for _, u := range g.NeighborsAppend(nil, dst) {
 		g.RemoveEdge(dst, u)
 	}
 	if _, err := DiscoverRoute(g, nil, 0, dst, 50); err == nil {

@@ -53,7 +53,7 @@ type gpsrNode struct {
 	inject  []MsgPacket // packets this node originates at start
 	deliver func(PacketOutcome)
 	maxHops int
-	router  *router // shared geometry helper (angular neighbor tables)
+	planner *Planner // shared immutable geometry (frozen adjacency + rotation system)
 	round   int
 }
 
@@ -90,7 +90,7 @@ func (n *gpsrNode) forward(ctx *sim.Context, p MsgPacket) {
 		return
 	}
 
-	r := n.router
+	r := n.planner
 	myD := r.dist2(n.id, p.Dst)
 
 	if p.Perimeter && myD < p.FailDist2 {
@@ -101,9 +101,9 @@ func (n *gpsrNode) forward(ctx *sim.Context, p MsgPacket) {
 	if !p.Perimeter {
 		// Greedy mode: neighbor strictly closest to the destination.
 		next, bestD := -1, myD
-		for _, v := range r.g.Neighbors(n.id) {
-			if d := r.dist2(v, p.Dst); d < bestD {
-				next, bestD = v, d
+		for _, v := range r.f.Neighbors(n.id) {
+			if d := r.dist2(int(v), p.Dst); d < bestD {
+				next, bestD = int(v), d
 			}
 		}
 		if next >= 0 {
@@ -139,7 +139,7 @@ func SimulateGPSR(g *graph.Graph, pairs [][2]int, maxHops int) ([]PacketOutcome,
 	if maxHops <= 0 {
 		maxHops = 8*g.N() + 20
 	}
-	shared := &router{g: g, pts: g.Points(), maxSteps: 1 << 30}
+	shared := NewPlanner(g)
 	var outcomes []PacketOutcome
 	inject := make(map[int][]MsgPacket)
 	for _, pr := range pairs {
@@ -153,7 +153,7 @@ func SimulateGPSR(g *graph.Graph, pairs [][2]int, maxHops int) ([]PacketOutcome,
 			inject:  inject[id],
 			deliver: func(o PacketOutcome) { outcomes = append(outcomes, o) },
 			maxHops: maxHops,
-			router:  shared,
+			planner: shared,
 		}
 	})
 	if _, err := net.Run(4 * maxHops); err != nil {

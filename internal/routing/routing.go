@@ -61,20 +61,77 @@ func RouteGreedy(g *graph.Graph, src, dst int, maxSteps int) ([]int, error) {
 // delivery is guaranteed (Bose, Morin, Stojmenović, Urrutia 2001); the
 // paper's LDel(ICDS) backbone is constructed planar precisely to enable
 // this family of algorithms.
+//
+// RouteGFG builds a Planner per call; when routing many pairs on one
+// graph, build the Planner once with NewPlanner and call its RouteGFG.
 func RouteGFG(g *graph.Graph, src, dst int, maxSteps int) ([]int, error) {
-	if maxSteps <= 0 {
-		maxSteps = 20*g.NumEdges() + 10*g.N() + 50
+	return NewPlanner(g).RouteGFG(src, dst, maxSteps)
+}
+
+// Planner precomputes, once per graph, everything the localized routing
+// algorithms query on every step: an immutable frozen snapshot of the
+// adjacency and the angular (rotation-system) neighbor order around every
+// node, stored CSR-style. A Planner is immutable after construction and
+// safe for concurrent use; per-route mutable state lives in a router.
+type Planner struct {
+	f         *graph.Frozen
+	pts       []geom.Point
+	angIDs    []int32   // neighbor ids in (theta, id) order, CSR layout
+	angThetas []float64 // bearings matching angIDs
+}
+
+// NewPlanner freezes g and precomputes the rotation system.
+func NewPlanner(g *graph.Graph) *Planner {
+	f := g.Freeze()
+	n := f.N()
+	p := &Planner{
+		f:         f,
+		pts:       g.Points(),
+		angIDs:    make([]int32, 2*f.NumEdges()),
+		angThetas: make([]float64, 2*f.NumEdges()),
 	}
-	r := &router{g: g, pts: g.Points(), maxSteps: maxSteps}
+	var scratch []angled
+	pos := 0
+	for u := 0; u < n; u++ {
+		nbrs := f.Neighbors(u)
+		scratch = scratch[:0]
+		for _, v := range nbrs {
+			scratch = append(scratch, angled{
+				id:    int(v),
+				theta: math.Atan2(p.pts[v].Y-p.pts[u].Y, p.pts[v].X-p.pts[u].X),
+			})
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].theta != scratch[j].theta {
+				return scratch[i].theta < scratch[j].theta
+			}
+			return scratch[i].id < scratch[j].id
+		})
+		for _, a := range scratch {
+			p.angIDs[pos] = int32(a.id)
+			p.angThetas[pos] = a.theta
+			pos++
+		}
+	}
+	return p
+}
+
+// RouteGFG routes one pair on the precomputed planner; see the package
+// function of the same name for the algorithm.
+func (p *Planner) RouteGFG(src, dst int, maxSteps int) ([]int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 20*p.f.NumEdges() + 10*p.f.N() + 50
+	}
+	r := &router{p: p, maxSteps: maxSteps}
 	return r.route(src, dst)
 }
 
+// router carries the mutable per-route state (the step budget) on top of a
+// shared immutable Planner.
 type router struct {
-	g        *graph.Graph
-	pts      []geom.Point
+	p        *Planner
 	maxSteps int
 	steps    int
-	byAngle  map[int][]angled // cached angular neighbor order per node
 }
 
 type angled struct {
@@ -114,9 +171,9 @@ func (r *router) greedyRun(path []int, cur, dst int) (int, []int, error) {
 			return cur, path, fmt.Errorf("%w: step budget exhausted", ErrNoRoute)
 		}
 		next, bestD := -1, r.dist2(cur, dst)
-		for _, v := range r.g.Neighbors(cur) {
-			if d := r.dist2(v, dst); d < bestD {
-				next, bestD = v, d
+		for _, v := range r.p.f.Neighbors(cur) {
+			if d := r.dist2(int(v), dst); d < bestD {
+				next, bestD = int(v), d
 			}
 		}
 		if next == -1 {
@@ -135,8 +192,8 @@ func (r *router) greedyRun(path []int, cur, dst int) (int, []int, error) {
 // face. The phase ends as soon as any visited node is strictly closer to
 // dst than u was (GFG resume rule) or the destination itself is reached.
 func (r *router) facePhase(path []int, u, dst int) (int, []int, error) {
-	sA := r.pts[u]
-	sB := r.pts[dst]
+	sA := r.p.pts[u]
+	sB := r.p.pts[dst]
 	resumeD := r.dist2(u, dst)
 	// anchorD tracks the squared distance from the best crossing found so
 	// far (initially the local minimum itself) to the destination; each
@@ -144,12 +201,12 @@ func (r *router) facePhase(path []int, u, dst int) (int, []int, error) {
 	anchorD := resumeD
 
 	entryFrom := u
-	entryTo, ok := r.firstEdge(u, dst)
+	entryTo, ok := r.p.firstEdge(u, dst)
 	if !ok {
 		return u, path, fmt.Errorf("%w: node %d has no neighbors", ErrNoRoute, u)
 	}
 
-	for faceIter := 0; faceIter <= r.g.NumEdges()+2; faceIter++ {
+	for faceIter := 0; faceIter <= r.p.f.NumEdges()+2; faceIter++ {
 		// Walk the face boundary fully, recording the node sequence.
 		var walk []int
 		e := dirEdge{from: entryFrom, to: entryTo}
@@ -165,13 +222,13 @@ func (r *router) facePhase(path []int, u, dst int) (int, []int, error) {
 				return e.to, path, nil
 			}
 			// Crossing of edge e with the fixed segment.
-			if q, crosses := segCross(r.pts[e.from], r.pts[e.to], sA, sB); crosses {
+			if q, crosses := segCross(r.p.pts[e.from], r.p.pts[e.to], sA, sB); crosses {
 				if qd := pdist2(q, sB); qd < bestQD-1e-12 {
 					bestQD = qd
 					bestIdx = len(walk) - 1
 				}
 			}
-			e = r.orbitNext(e)
+			e = r.p.orbitNext(e)
 			if e.from == entryFrom && e.to == entryTo {
 				break // face boundary complete
 			}
@@ -201,70 +258,56 @@ func (r *router) budget() error {
 	return nil
 }
 
-func (r *router) dist2(a, b int) float64 { return pdist2(r.pts[a], r.pts[b]) }
+func (r *router) dist2(a, b int) float64 { return r.p.dist2(a, b) }
+
+func (p *Planner) dist2(a, b int) float64 { return pdist2(p.pts[a], p.pts[b]) }
 
 func pdist2(a, b geom.Point) float64 { return a.Dist2(b) }
 
-// neighborsByAngle returns u's neighbors sorted by bearing, cached.
-func (r *router) neighborsByAngle(u int) []angled {
-	if r.byAngle == nil {
-		r.byAngle = make(map[int][]angled)
-	}
-	if cached, ok := r.byAngle[u]; ok {
-		return cached
-	}
-	nbrs := r.g.Neighbors(u)
-	out := make([]angled, len(nbrs))
-	for i, v := range nbrs {
-		out[i] = angled{id: v, theta: math.Atan2(r.pts[v].Y-r.pts[u].Y, r.pts[v].X-r.pts[u].X)}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].theta != out[j].theta {
-			return out[i].theta < out[j].theta
-		}
-		return out[i].id < out[j].id
-	})
-	r.byAngle[u] = out
-	return out
+// angularRange returns the CSR segment of u's rotation system: neighbor
+// ids and bearings in (theta, id) order.
+func (p *Planner) angularRange(u int) ([]int32, []float64) {
+	lo, hi := p.f.NeighborRange(u)
+	return p.angIDs[lo:hi], p.angThetas[lo:hi]
 }
 
 // prevCW returns the neighbor of u whose bearing is the cyclic predecessor
 // of theta (the first edge encountered sweeping clockwise from theta).
 // excluding nothing; returns false only when u has no neighbors.
-func (r *router) prevCW(u int, theta float64) (int, bool) {
-	nbrs := r.neighborsByAngle(u)
-	if len(nbrs) == 0 {
+func (p *Planner) prevCW(u int, theta float64) (int, bool) {
+	ids, thetas := p.angularRange(u)
+	if len(ids) == 0 {
 		return 0, false
 	}
 	// Largest bearing strictly less than theta; wrap to the overall
 	// largest when none is smaller.
 	best := -1
-	for i := range nbrs {
-		if nbrs[i].theta < theta {
+	for i := range thetas {
+		if thetas[i] < theta {
 			best = i
 		} else {
 			break
 		}
 	}
 	if best == -1 {
-		best = len(nbrs) - 1
+		best = len(ids) - 1
 	}
-	return nbrs[best].id, true
+	return int(ids[best]), true
 }
 
 // firstEdge picks the first boundary edge of the face at u containing the
 // ray toward dst: the neighbor immediately clockwise of the ray.
-func (r *router) firstEdge(u, dst int) (int, bool) {
-	theta := math.Atan2(r.pts[dst].Y-r.pts[u].Y, r.pts[dst].X-r.pts[u].X)
-	return r.prevCW(u, theta)
+func (p *Planner) firstEdge(u, dst int) (int, bool) {
+	theta := math.Atan2(p.pts[dst].Y-p.pts[u].Y, p.pts[dst].X-p.pts[u].X)
+	return p.prevCW(u, theta)
 }
 
 // orbitNext advances a directed edge along its face boundary with the
 // right-hand rule: at the head, take the neighbor immediately clockwise of
 // the reversed edge.
-func (r *router) orbitNext(e dirEdge) dirEdge {
-	theta := math.Atan2(r.pts[e.from].Y-r.pts[e.to].Y, r.pts[e.from].X-r.pts[e.to].X)
-	next, _ := r.prevCW(e.to, theta) // e.to has >= 1 neighbor (e.from)
+func (p *Planner) orbitNext(e dirEdge) dirEdge {
+	theta := math.Atan2(p.pts[e.from].Y-p.pts[e.to].Y, p.pts[e.from].X-p.pts[e.to].X)
+	next, _ := p.prevCW(e.to, theta) // e.to has >= 1 neighbor (e.from)
 	return dirEdge{from: e.to, to: next}
 }
 
@@ -279,21 +322,50 @@ func segCross(a1, a2, b1, b2 geom.Point) (geom.Point, bool) {
 // backbone graph with GFG, and descends to the destination. domsOf[v]
 // lists v's adjacent dominators (empty for backbone members, who act as
 // their own gateway).
+//
+// RouteDS builds a DSRouter per call; when routing many pairs on one
+// topology, build the DSRouter once with NewDSRouter.
 func RouteDS(udgG, backbone *graph.Graph, domsOf [][]int, inBackbone []bool, src, dst int, maxSteps int) ([]int, error) {
+	return NewDSRouter(udgG, backbone, domsOf, inBackbone).Route(src, dst, maxSteps)
+}
+
+// DSRouter precomputes the immutable state of dominating-set routing on one
+// topology: a frozen snapshot of the flat graph (for the direct-edge check)
+// and a Planner of the backbone (for the GFG crossing). It is safe for
+// concurrent use.
+type DSRouter struct {
+	flat       *graph.Frozen
+	backbone   *Planner
+	domsOf     [][]int
+	inBackbone []bool
+}
+
+// NewDSRouter freezes the flat graph and plans the backbone once.
+func NewDSRouter(udgG, backbone *graph.Graph, domsOf [][]int, inBackbone []bool) *DSRouter {
+	return &DSRouter{
+		flat:       udgG.Freeze(),
+		backbone:   NewPlanner(backbone),
+		domsOf:     domsOf,
+		inBackbone: inBackbone,
+	}
+}
+
+// Route routes one pair; see RouteDS for the algorithm.
+func (d *DSRouter) Route(src, dst int, maxSteps int) ([]int, error) {
 	if src == dst {
 		return []int{src}, nil
 	}
-	if udgG.HasEdge(src, dst) {
+	if d.flat.HasEdge(src, dst) {
 		return []int{src, dst}, nil
 	}
 	gateway := func(v int) (int, error) {
-		if inBackbone[v] {
+		if d.inBackbone[v] {
 			return v, nil
 		}
-		if len(domsOf[v]) == 0 {
+		if len(d.domsOf[v]) == 0 {
 			return 0, fmt.Errorf("%w: node %d has no dominator", ErrNoRoute, v)
 		}
-		return domsOf[v][0], nil
+		return d.domsOf[v][0], nil
 	}
 	gs, err := gateway(src)
 	if err != nil {
@@ -307,7 +379,7 @@ func RouteDS(udgG, backbone *graph.Graph, domsOf [][]int, inBackbone []bool, src
 	if gs == gd {
 		core = []int{gs}
 	} else {
-		core, err = RouteGFG(backbone, gs, gd, maxSteps)
+		core, err = d.backbone.RouteGFG(gs, gd, maxSteps)
 		if err != nil {
 			return nil, fmt.Errorf("backbone route %d->%d: %w", gs, gd, err)
 		}

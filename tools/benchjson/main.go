@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result:
+//
+//	go test -bench=. -benchmem -run=^$ ./... | go run ./tools/benchjson > BENCH_$(date +%F).json
+//
+// Each object carries the benchmark name (with any -cpu suffix), the
+// measured ns/op, and, when -benchmem was given, B/op and allocs/op.
+// Non-benchmark lines (package headers, PASS/ok trailers) are ignored, so
+// the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine parses one benchmark output line, e.g.
+//
+//	BenchmarkTable1-8   	      10	 142000000 ns/op	19790000 B/op	  393361 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, seen
+}
