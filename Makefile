@@ -1,12 +1,14 @@
 # Developer entry points. `make check` is the tier-1 gate: formatting,
 # vet, build, full tests, and the race detector on the packages with
 # concurrency (the parallel experiment runner and the graph snapshots it
-# shares across workers).
+# shares across workers) plus the loss-tolerance campaign in core/sim.
+# `make fuzz` is a short smoke of the native fuzz targets; CI runs both.
 
 GO ?= go
 DATE := $(shell date +%F)
+FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet build test race fuzz bench clean
 
 check: fmt vet build test race
 
@@ -26,7 +28,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/
+	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/ ./internal/sim/ ./internal/core/
+
+fuzz:
+	$(GO) test ./internal/graph/ -fuzz=FuzzReadGraph -fuzztime=$(FUZZTIME)
 
 # bench runs the full benchmark suite once and records it as
 # BENCH_<date>.json (name, ns/op, B/op, allocs/op per benchmark).

@@ -34,7 +34,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, all")
+		exp     = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, all")
 		trials  = fs.Int("trials", 10, "random vertex sets per configuration")
 		n       = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
 		radius  = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
@@ -51,7 +51,7 @@ func run(args []string) error {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads"}
+		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss"}
 	}
 	for _, name := range names {
 		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV); err != nil {
@@ -146,6 +146,9 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 	case "heads":
 		tb, err := experiments.Clusterheads(pick(experiments.DefaultTable1N), radius, cfg)
 		return emit("Clusterhead criteria: lowest-ID vs highest-degree", tb, err)
+	case "loss":
+		tb, err := experiments.Loss(pick(experiments.DefaultTable1N), radius, experiments.DefaultLossRates(), cfg)
+		return emit("Loss tolerance: message overhead and round inflation vs loss rate", tb, err)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

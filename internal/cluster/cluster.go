@@ -181,9 +181,10 @@ func NewProtocol() sim.Protocol { return &syncNode{} }
 
 // Run executes the distributed clustering protocol on the unit disk graph g
 // and returns the clustering plus the network (for message accounting).
-// maxRounds of 0 uses the simulator default.
-func Run(g *graph.Graph, maxRounds int) (*Result, *sim.Network, error) {
-	net := sim.NewNetwork(g, func(id int) sim.Protocol { return &syncNode{} })
+// maxRounds of 0 uses the simulator default. Simulator options (fault
+// models, the Reliable shim) pass through to the network.
+func Run(g *graph.Graph, maxRounds int, opts ...sim.Option) (*Result, *sim.Network, error) {
+	net := sim.NewNetwork(g, func(id int) sim.Protocol { return &syncNode{} }, opts...)
 	if _, err := net.Run(maxRounds); err != nil {
 		return nil, nil, fmt.Errorf("clustering: %w", err)
 	}
@@ -217,8 +218,8 @@ func (r *Result) fill(id int, n *node) {
 // units. The lowest-ID MIS outcome is independent of message timing, so
 // RunAsync returns the same Result as Run — a property the tests assert
 // across many delay schedules.
-func RunAsync(g *graph.Graph, seed int64, maxDelay int) (*Result, *sim.AsyncNetwork, error) {
-	net := sim.NewAsyncNetwork(g, seed, maxDelay, func(id int) sim.AsyncProtocol { return &asyncNode{} })
+func RunAsync(g *graph.Graph, seed int64, maxDelay int, opts ...sim.AsyncOption) (*Result, *sim.AsyncNetwork, error) {
+	net := sim.NewAsyncNetwork(g, seed, maxDelay, func(id int) sim.AsyncProtocol { return &asyncNode{} }, opts...)
 	if _, _, err := net.Run(0); err != nil {
 		return nil, nil, fmt.Errorf("async clustering: %w", err)
 	}

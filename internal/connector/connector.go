@@ -235,13 +235,14 @@ type Result struct {
 
 // Run executes the distributed connector election on the unit disk graph g
 // given a clustering, and returns the backbone structures plus the network
-// for message accounting.
-func Run(g *graph.Graph, cl *cluster.Result, maxRounds int) (*Result, *sim.Network, error) {
-	return RunOpts(g, cl, maxRounds, Options{})
+// for message accounting. Simulator options (fault models, the Reliable
+// shim) pass through to the network.
+func Run(g *graph.Graph, cl *cluster.Result, maxRounds int, simOpts ...sim.Option) (*Result, *sim.Network, error) {
+	return RunOpts(g, cl, maxRounds, Options{}, simOpts...)
 }
 
 // RunOpts is Run with explicit election options.
-func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options) (*Result, *sim.Network, error) {
+func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options, simOpts ...sim.Option) (*Result, *sim.Network, error) {
 	net := sim.NewNetwork(g, func(id int) sim.Protocol {
 		twoHop := make(map[int]bool, len(cl.TwoHopDominators[id]))
 		for _, d := range cl.TwoHopDominators[id] {
@@ -254,7 +255,7 @@ func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options) (*
 			doms:   cl.DominatorsOf[id],
 			twoHop: twoHop,
 		}
-	})
+	}, simOpts...)
 	if _, err := net.Run(maxRounds); err != nil {
 		return nil, nil, fmt.Errorf("connector election: %w", err)
 	}

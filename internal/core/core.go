@@ -134,32 +134,54 @@ type Result struct {
 	// MsgsLDel additionally counts the LDel construction messages; it is
 	// the total cost of LDel(ICDS) / LDel(ICDS').
 	MsgsLDel MessageStats
+	// Rounds records the simulator rounds each distributed stage ran, for
+	// measuring round inflation under lossy channels.
+	Rounds StageRounds
+	// Reliable aggregates the ack/retransmission shim's counters over all
+	// stages when Build ran under sim.WithReliability; zero otherwise.
+	Reliable sim.ReliableStats
 }
+
+// StageRounds is the per-stage round count of a distributed Build.
+type StageRounds struct {
+	Cluster, Connector, LDel int
+}
+
+// Total returns the summed rounds of all stages.
+func (s StageRounds) Total() int { return s.Cluster + s.Connector + s.LDel }
 
 // Distributed reports whether the result carries message accounting.
 func (r *Result) Distributed() bool { return len(r.MsgsLDel.PerNode) > 0 }
 
 // Build runs the full distributed pipeline on the unit disk graph g with
 // the given transmission radius. maxRounds (0 = default) bounds each
-// stage's simulator rounds.
-func Build(g *graph.Graph, radius float64, maxRounds int) (*Result, error) {
+// stage's simulator rounds. Simulator options pass through to every stage:
+// Build(g, r, 0, sim.WithReliability(...), sim.WithFaults(...)) runs the
+// whole construction loss-tolerantly on a faulty channel and — under any
+// fault model that delivers each message eventually — produces output
+// graphs bit-identical to the lossless run.
+func Build(g *graph.Graph, radius float64, maxRounds int, opts ...sim.Option) (*Result, error) {
 	if radius <= 0 {
 		return nil, ErrInvalidRadius
 	}
-	cl, clNet, err := cluster.Run(g, maxRounds)
+	cl, clNet, err := cluster.Run(g, maxRounds, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("build backbone: %w", err)
 	}
-	conn, connNet, err := connector.Run(g, cl, maxRounds)
+	conn, connNet, err := connector.Run(g, cl, maxRounds, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("build backbone: %w", err)
 	}
-	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, radius, maxRounds)
+	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, radius, maxRounds, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("planarize backbone: %w", err)
 	}
 
 	res := finish(g, radius, cl, conn, ld)
+	res.Rounds = StageRounds{Cluster: clNet.Rounds(), Connector: connNet.Rounds(), LDel: ldNet.Rounds()}
+	for _, net := range []*sim.Network{clNet, connNet, ldNet} {
+		res.Reliable.Add(sim.ReliableStatsOf(net))
+	}
 
 	res.MsgsCDS = newMessageStats(g.N())
 	res.MsgsCDS.AddUniform(1, MsgTypeBeacon)

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"geospanner/internal/sim"
+	"geospanner/internal/udg"
+)
+
+// The fault campaign: the full distributed construction — clustering,
+// connector election, and PLDel over ICDS' — must produce bit-identical
+// output graphs under any seeded fault model that delivers each message
+// eventually, once the protocols run under the Reliable shim. This is the
+// acceptance test of the loss-tolerant runtime: the paper's protocols
+// assume reliable local broadcast, and the shim is what makes that
+// assumption hold on a faulty channel.
+
+// campaignGraphsEqual asserts every output structure of two builds is
+// bit-identical.
+func campaignGraphsEqual(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if !got.Conn.CDS.Equal(want.Conn.CDS) {
+		t.Fatalf("%s: CDS diverged from lossless run", label)
+	}
+	if !got.Conn.ICDS.Equal(want.Conn.ICDS) {
+		t.Fatalf("%s: ICDS diverged from lossless run", label)
+	}
+	if !got.Conn.ICDSPrime.Equal(want.Conn.ICDSPrime) {
+		t.Fatalf("%s: ICDS' diverged from lossless run", label)
+	}
+	if !got.LDelICDS.Equal(want.LDelICDS) {
+		t.Fatalf("%s: LDel(ICDS) diverged from lossless run", label)
+	}
+	if !got.LDelICDSPrime.Equal(want.LDelICDSPrime) {
+		t.Fatalf("%s: LDel(ICDS') diverged from lossless run", label)
+	}
+}
+
+func TestFaultCampaignBitIdentical(t *testing.T) {
+	rates := []float64{0, 0.05, 0.2}
+	seeds := []int64{1, 2, 3}
+	for _, seed := range seeds {
+		inst, err := udg.ConnectedInstance(seed, 50, 200, 60, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossless, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cross-check against the centralized reference too: loss tolerance
+		// must not merely be self-consistent, it must compute the paper's
+		// structures.
+		central, err := BuildCentralized(inst.UDG, inst.Radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		campaignGraphsEqual(t, fmt.Sprintf("seed %d centralized", seed), central, lossless)
+
+		for _, rate := range rates {
+			rate := rate
+			t.Run(fmt.Sprintf("seed%d/bernoulli%.2f", seed, rate), func(t *testing.T) {
+				res, err := Build(inst.UDG.Clone(), inst.Radius, 0,
+					sim.WithReliability(sim.ReliableConfig{}),
+					sim.WithFaults(sim.Bernoulli(seed*31+int64(rate*100), rate)))
+				if err != nil {
+					t.Fatalf("lossy build failed: %v", err)
+				}
+				campaignGraphsEqual(t, "lossy", lossless, res)
+				if rate == 0 {
+					if res.Reliable.Retransmissions != 0 {
+						t.Fatalf("lossless reliable run retransmitted %d slots", res.Reliable.Retransmissions)
+					}
+				} else if res.Reliable.Retransmissions == 0 {
+					t.Fatal("lossy run reports no retransmissions")
+				}
+				// Bounded overhead: at loss rate p each slot needs
+				// ~1/(1-p) transmissions in expectation; 2x its slot
+				// count is a generous deterministic ceiling at p <= 0.2.
+				if res.Reliable.Retransmissions > 2*res.Reliable.Slots {
+					t.Fatalf("unbounded retransmission overhead: %d retransmissions for %d slots",
+						res.Reliable.Retransmissions, res.Reliable.Slots)
+				}
+			})
+		}
+	}
+}
+
+func TestFaultCampaignModelMatrix(t *testing.T) {
+	inst, err := udg.ConnectedInstance(4, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []struct {
+		name string
+		fm   sim.FaultModel
+	}{
+		{"gilbert-burst", sim.Gilbert(9, 0.1, 0.4, 0.9)},
+		{"duplicate", sim.Duplicate(9, 0.3)},
+		{"loss+duplicate", sim.Compose(sim.Bernoulli(9, 0.1), sim.Duplicate(10, 0.2))},
+	}
+	for _, m := range models {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			res, err := Build(inst.UDG.Clone(), inst.Radius, 0,
+				sim.WithReliability(sim.ReliableConfig{}), sim.WithFaults(m.fm))
+			if err != nil {
+				t.Fatalf("build under %s failed: %v", m.name, err)
+			}
+			campaignGraphsEqual(t, m.name, lossless, res)
+		})
+	}
+}
+
+// TestFaultCampaignCrashDiagnostics: a crash violates eventual delivery,
+// so the build must fail — and the error must name the stuck nodes and
+// their reasons rather than being a bare budget-exhausted sentinel.
+func TestFaultCampaignCrashDiagnostics(t *testing.T) {
+	inst, err := udg.ConnectedInstance(6, 40, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(inst.UDG, inst.Radius, 80,
+		sim.WithReliability(sim.ReliableConfig{}),
+		sim.WithFaults(sim.CrashAt(map[int]int{5: 4})))
+	if !errors.Is(err, sim.ErrNotQuiescent) {
+		t.Fatalf("err = %v, want ErrNotQuiescent", err)
+	}
+	var qe *sim.QuiescenceError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err %T does not carry a *sim.QuiescenceError", err)
+	}
+	if len(qe.NotDone) == 0 {
+		t.Fatal("diagnostic names no stuck nodes")
+	}
+	if len(qe.Reasons) == 0 {
+		t.Fatal("diagnostic carries no per-node reasons")
+	}
+}
+
+// TestFaultCampaignRoundInflation: loss costs time, not correctness — the
+// lossy run takes more rounds but the same number of virtual phases per
+// protocol stage.
+func TestFaultCampaignRoundInflation(t *testing.T) {
+	inst, err := udg.ConnectedInstance(8, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless, err := Build(inst.UDG, inst.Radius, 0,
+		sim.WithReliability(sim.ReliableConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Build(inst.UDG.Clone(), inst.Radius, 0,
+		sim.WithReliability(sim.ReliableConfig{}),
+		sim.WithFaults(sim.Bernoulli(13, 0.25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Rounds.Total() <= lossless.Rounds.Total() {
+		t.Fatalf("expected round inflation under 25%% loss: lossless %d rounds, lossy %d",
+			lossless.Rounds.Total(), lossy.Rounds.Total())
+	}
+	campaignGraphsEqual(t, "inflation", lossless, lossy)
+}

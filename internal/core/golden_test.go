@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/connector"
+	"geospanner/internal/ldel"
+	"geospanner/internal/sim"
+	"geospanner/internal/udg"
+)
+
+// stageSnapshot serializes one protocol stage: rounds plus per-type
+// message counts in sorted order.
+func stageSnapshot(b *strings.Builder, name string, net *sim.Network) {
+	fmt.Fprintf(b, "%s rounds=%d total=%d:", name, net.Rounds(), net.TotalSent())
+	byType := net.SentByType()
+	keys := make([]string, 0, len(byType))
+	for k := range byType {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%d", k, byType[k])
+	}
+	b.WriteByte('\n')
+}
+
+// TestStageMessageGolden pins the per-stage, per-type message counts of
+// the distributed construction on a fixed seed: clustering
+// (IamDominator/IamDominatee), connector election (TryConnector/
+// IamConnector), and the LDel proposal round-trip (Location / proposal /
+// accept / reject / TriangleInfo / RemainingInfo). The whole-pipeline
+// golden in determinism_test.go pins cumulative ledgers; this one
+// attributes every count to its phase, so a message-complexity regression
+// names the protocol that caused it. Regenerate with UPDATE_GOLDEN=1.
+func TestStageMessageGolden(t *testing.T) {
+	inst, err := udg.ConnectedInstance(7, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, clNet, err := cluster.Run(inst.UDG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, connNet, err := connector.Run(inst.UDG, cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, inst.Radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	stageSnapshot(&b, "clustering", clNet)
+	stageSnapshot(&b, "connector", connNet)
+	stageSnapshot(&b, "ldel", ldNet)
+	got := b.String()
+
+	path := filepath.Join("testdata", "stages_seed7_n50.golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("per-stage message counts changed from golden snapshot.\nIf intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

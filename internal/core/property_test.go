@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"geospanner/internal/sim"
+	"geospanner/internal/udg"
+)
+
+// Property-based invariants of the pipeline, in the style of
+// internal/geom's quick tests: instead of hand-picked instances, PLDel's
+// structural guarantees are checked over randomly drawn connected UDG
+// instances with n ∈ [20, 200]. MaxCount is modest because each check runs
+// the full distributed construction; the point is input diversity, and the
+// suite also runs under -race in CI.
+
+// pipelineInstance identifies one random input: a generator seed and a
+// node count.
+type pipelineInstance struct {
+	Seed int64
+	N    int
+}
+
+func pipelineQuickConfig(maxCount int) *quick.Config {
+	return &quick.Config{
+		MaxCount: maxCount,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(pipelineInstance{
+					Seed: r.Int63n(1 << 30),
+					N:    20 + r.Intn(181), // n ∈ [20, 200]
+				})
+			}
+		},
+	}
+}
+
+// buildFor draws the instance and runs the distributed pipeline.
+func buildFor(t *testing.T, pi pipelineInstance) *Result {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(pi.Seed, pi.N, 200, 60, 0)
+	if err != nil {
+		t.Fatalf("instance(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
+	}
+	res, err := Build(inst.UDG, inst.Radius, 0)
+	if err != nil {
+		t.Fatalf("build(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
+	}
+	return res
+}
+
+func TestQuickPLDelPlanar(t *testing.T) {
+	property := func(pi pipelineInstance) bool {
+		res := buildFor(t, pi)
+		return res.LDelICDS.IsPlanarEmbedding()
+	}
+	if err := quick.Check(property, pipelineQuickConfig(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPLDelBoundedDegree(t *testing.T) {
+	// Planar graphs have at most 3n-6 edges; that cap is what bounds the
+	// backbone's total degree and hence the paper's O(1) expected per-node
+	// communication.
+	property := func(pi pipelineInstance) bool {
+		res := buildFor(t, pi)
+		n := res.LDelICDS.N()
+		return res.LDelICDS.NumEdges() <= 3*n-6
+	}
+	if err := quick.Check(property, pipelineQuickConfig(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPLDelPrimeConnected(t *testing.T) {
+	// LDel(ICDS') must span every node: backbone nodes through the
+	// planarized backbone, dominatees through their dominator edges.
+	property := func(pi pipelineInstance) bool {
+		res := buildFor(t, pi)
+		return res.LDelICDSPrime.Connected()
+	}
+	if err := quick.Check(property, pipelineQuickConfig(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPLDelSubgraphOfICDS(t *testing.T) {
+	// Planarization only removes edges: PLDel over the backbone is a
+	// subgraph of ICDS.
+	property := func(pi pipelineInstance) bool {
+		res := buildFor(t, pi)
+		for _, e := range res.LDelICDS.Edges() {
+			if !res.Conn.ICDS.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, pipelineQuickConfig(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLossyBuildMatchesLossless(t *testing.T) {
+	// The loss-tolerance guarantee itself, as a random property: for any
+	// instance and any Bernoulli loss seed, the reliable lossy build equals
+	// the lossless one. Smaller n keeps the lossy runs fast.
+	if testing.Short() {
+		t.Skip("lossy property sweep is slow")
+	}
+	cfg := &quick.Config{
+		MaxCount: 6,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(pipelineInstance{
+				Seed: r.Int63n(1 << 30),
+				N:    20 + r.Intn(41), // n ∈ [20, 60]
+			})
+		},
+	}
+	property := func(pi pipelineInstance) bool {
+		inst, err := udg.ConnectedInstance(pi.Seed, pi.N, 200, 60, 0)
+		if err != nil {
+			t.Fatalf("instance(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
+		}
+		lossless, err := Build(inst.UDG, inst.Radius, 0)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		lossy, err := Build(inst.UDG.Clone(), inst.Radius, 0,
+			sim.WithReliability(sim.ReliableConfig{}),
+			sim.WithFaults(sim.Bernoulli(pi.Seed, 0.15)))
+		if err != nil {
+			t.Logf("lossy build(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
+			return false
+		}
+		return lossy.LDelICDS.Equal(lossless.LDelICDS) &&
+			lossy.LDelICDSPrime.Equal(lossless.LDelICDSPrime)
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"geospanner/internal/core"
+	"geospanner/internal/sim"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+)
+
+// DefaultLossRates is the per-link loss-rate sweep of the -loss
+// experiment.
+func DefaultLossRates() []float64 { return []float64{0, 0.05, 0.1, 0.2} }
+
+// Loss quantifies what loss tolerance costs: the full distributed
+// construction runs under the Reliable shim on a Bernoulli-lossy channel
+// at each rate, and the table reports message overhead and round inflation
+// versus the plain lossless run, plus the fraction of trials whose
+// LDel(ICDS') output was bit-identical to the lossless build (which must
+// be 1 at every rate — the shim's correctness guarantee, continuously
+// re-measured rather than assumed).
+//
+// Columns:
+//
+//	loss        per-link Bernoulli loss probability
+//	identical   fraction of trials bit-identical to the lossless output
+//	msgs_plain  avg protocol messages of the plain lossless run
+//	envelopes   avg radio broadcasts of the reliable run (shim envelopes)
+//	retrans     avg slot retransmissions within those envelopes
+//	msg_ovh     envelopes / msgs_plain
+//	rounds_pln  avg simulator rounds of the plain run (all stages)
+//	rounds      avg simulator rounds of the reliable lossy run
+//	round_infl  rounds / rounds_pln
+func Loss(n int, radius float64, rates []float64, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("loss", "identical", "msgs_plain", "envelopes",
+		"retrans", "msg_ovh", "rounds_pln", "rounds", "round_infl")
+	type measure struct {
+		identical              bool
+		plainMsgs, plainRounds int
+		envelopes, retrans     int
+		rounds                 int
+	}
+	for _, rate := range rates {
+		rate := rate
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
+			seed := cfg.Seed + int64(trial)
+			inst, err := udg.ConnectedInstance(seed, n, cfg.Region, radius, cfg.MaxTries)
+			if err != nil {
+				return measure{}, fmt.Errorf("loss trial %d: %w", trial, err)
+			}
+			plain, err := core.Build(inst.UDG, inst.Radius, 0)
+			if err != nil {
+				return measure{}, fmt.Errorf("loss trial %d (plain): %w", trial, err)
+			}
+			lossy, err := core.Build(inst.UDG.Clone(), inst.Radius, 0,
+				sim.WithReliability(sim.ReliableConfig{}),
+				sim.WithFaults(sim.Bernoulli(seed*131+int64(rate*1000), rate)))
+			if err != nil {
+				return measure{}, fmt.Errorf("loss trial %d (rate %g): %w", trial, rate, err)
+			}
+			return measure{
+				identical: lossy.LDelICDSPrime.Equal(plain.LDelICDSPrime) &&
+					lossy.LDelICDS.Equal(plain.LDelICDS),
+				plainMsgs:   plain.MsgsLDel.Total(),
+				plainRounds: plain.Rounds.Total(),
+				envelopes:   lossy.Reliable.Envelopes,
+				retrans:     lossy.Reliable.Retransmissions,
+				rounds:      lossy.Rounds.Total(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var identA, plainMsgsA, envA, retransA, plainRoundsA, roundsA stats.Accumulator
+		for _, m := range trials {
+			if m.identical {
+				identA.Add(1)
+			} else {
+				identA.Add(0)
+			}
+			plainMsgsA.AddInt(m.plainMsgs)
+			envA.AddInt(m.envelopes)
+			retransA.AddInt(m.retrans)
+			plainRoundsA.AddInt(m.plainRounds)
+			roundsA.AddInt(m.rounds)
+		}
+		msgOvh := 0.0
+		if plainMsgsA.Summary().Mean > 0 {
+			msgOvh = envA.Summary().Mean / plainMsgsA.Summary().Mean
+		}
+		roundInfl := 0.0
+		if plainRoundsA.Summary().Mean > 0 {
+			roundInfl = roundsA.Summary().Mean / plainRoundsA.Summary().Mean
+		}
+		tb.AddRow(fmt.Sprintf("%.2f", rate),
+			identA.Summary().Mean, plainMsgsA.Summary().Mean, envA.Summary().Mean,
+			retransA.Summary().Mean, msgOvh,
+			plainRoundsA.Summary().Mean, roundsA.Summary().Mean, roundInfl)
+	}
+	return tb, nil
+}

@@ -210,6 +210,32 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Equal reports whether g and other have identical node positions and
+// identical edge sets. It is the bit-identity check the loss-tolerance
+// tests use to compare output graphs across runs.
+func (g *Graph) Equal(other *Graph) bool {
+	if other == nil || g.N() != other.N() || g.m != other.m {
+		return false
+	}
+	for i, p := range g.pts {
+		if !p.Eq(other.pts[i]) {
+			return false
+		}
+	}
+	for i, s := range g.adj {
+		o := other.adj[i]
+		if len(s) != len(o) {
+			return false
+		}
+		for k, v := range s {
+			if o[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // AddAll inserts every edge of other into g. The graphs must be over the
 // same node set.
 func (g *Graph) AddAll(other *Graph) {

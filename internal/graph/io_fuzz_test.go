@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadGraph drives the JSON parser with arbitrary input. Any input the
+// parser accepts must yield a structurally sound graph (symmetric,
+// sorted, in-range adjacency) that survives a WriteJSON/ReadJSON round
+// trip bit-identically; inputs it rejects must fail with an error, never a
+// panic.
+func FuzzReadGraph(f *testing.F) {
+	seeds := []string{
+		`{"points":[[0,0],[1,0]],"edges":[[0,1]]}`,
+		`{"points":[],"edges":[]}`,
+		`{"points":[[0,0]],"edges":[[0,0]]}`,
+		`{"points":[[1.5,-2.25],[3,4],[5,6]],"edges":[[0,1],[1,2],[0,2]]}`,
+		`{"points":[[0,0],[1,1]],"edges":[[0,7]]}`,
+		`{"points":[[0,0],[1,1]],"edges":[[0,1],[1,0],[0,1]]}`,
+		`{"points":[[1e308,-1e308],[0.1,0.2]],"edges":[[1,0]]}`,
+		`not json`,
+		`{"points":[[0]],"edges":[]}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		edges := 0
+		for i := 0; i < g.N(); i++ {
+			prev := -1
+			for _, j := range g.Neighbors(i) {
+				if j < 0 || j >= g.N() {
+					t.Fatalf("neighbor %d of node %d out of range [0,%d)", j, i, g.N())
+				}
+				if j == i {
+					t.Fatalf("self-loop at node %d survived parsing", i)
+				}
+				if j <= prev {
+					t.Fatalf("adjacency of node %d not sorted/deduped: %v", i, g.Neighbors(i))
+				}
+				prev = j
+				if !g.HasEdge(j, i) {
+					t.Fatalf("asymmetric adjacency: %d->%d without %d->%d", i, j, j, i)
+				}
+				edges++
+			}
+		}
+		if edges != 2*g.NumEdges() {
+			t.Fatalf("edge count %d inconsistent with adjacency size %d", g.NumEdges(), edges)
+		}
+
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatalf("serializing a parsed graph failed: %v", err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing our own output failed: %v\noutput: %s", err, buf.String())
+		}
+		if !g2.Equal(g) {
+			t.Fatalf("round trip is not the identity:\nin  %v\nout %v", g.Edges(), g2.Edges())
+		}
+	})
+}

@@ -527,8 +527,8 @@ func sortTris(keys []TriKey) {
 // given transmission radius. Only nodes with active[id] == true take part;
 // the rest stay silent. It returns the result plus the network for message
 // accounting.
-func Run(g *graph.Graph, active []bool, radius float64, maxRounds int) (*Result, *sim.Network, error) {
-	return RunK(g, active, radius, 1, maxRounds)
+func Run(g *graph.Graph, active []bool, radius float64, maxRounds int, opts ...sim.Option) (*Result, *sim.Network, error) {
+	return RunK(g, active, radius, 1, maxRounds, opts...)
 }
 
 // RunK is the distributed construction of LDel⁽ᵏ⁾: positions (and, for the
@@ -536,7 +536,7 @@ func Run(g *graph.Graph, active []bool, radius float64, maxRounds int) (*Result,
 // after which the same propose/accept/prune protocol runs on k-hop
 // knowledge. RunK(…, 1, …) is exactly Run. Tests assert RunK matches
 // CentralizedK for k = 1 and 2.
-func RunK(g *graph.Graph, active []bool, radius float64, k, maxRounds int) (*Result, *sim.Network, error) {
+func RunK(g *graph.Graph, active []bool, radius float64, k, maxRounds int, opts ...sim.Option) (*Result, *sim.Network, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("ldel: neighborhood parameter k must be >= 1, got %d", k)
 	}
@@ -548,7 +548,7 @@ func RunK(g *graph.Graph, active []bool, radius float64, k, maxRounds int) (*Res
 	}
 	net := sim.NewNetwork(g, func(id int) sim.Protocol {
 		return &node{id: id, active: active[id], radius: radius, k: k}
-	})
+	}, opts...)
 	if _, err := net.Run(maxRounds); err != nil {
 		return nil, nil, fmt.Errorf("ldel: %w", err)
 	}

@@ -21,21 +21,36 @@ type AsyncProtocol interface {
 	Done() bool
 }
 
-// AsyncContext is the node's interface to an AsyncNetwork.
+// AsyncContext is the node's interface to an AsyncNetwork. When the hook
+// fields are set (by AdaptAsync), the context is detached from any
+// AsyncNetwork and forwards to the hooks instead, which lets an
+// AsyncProtocol run on the synchronous engine — and under the Reliable
+// shim — unchanged.
 type AsyncContext struct {
-	net *AsyncNetwork
-	id  int
+	net  *AsyncNetwork
+	id   int
+	send func(m Message)
+	nbrs func() []int
 }
 
 // ID returns the node's identifier.
 func (c *AsyncContext) ID() int { return c.id }
 
 // Neighbors returns the node's 1-hop neighbors in increasing ID order.
-func (c *AsyncContext) Neighbors() []int { return c.net.g.Neighbors(c.id) }
+func (c *AsyncContext) Neighbors() []int {
+	if c.nbrs != nil {
+		return c.nbrs()
+	}
+	return c.net.g.Neighbors(c.id)
+}
 
 // Broadcast sends m to every neighbor; each copy is delivered after an
 // independent random delay in [1, MaxDelay] time units.
 func (c *AsyncContext) Broadcast(m Message) {
+	if c.send != nil {
+		c.send(m)
+		return
+	}
 	n := c.net
 	n.sent[c.id]++
 	n.byType[m.Type()]++
@@ -92,6 +107,18 @@ type AsyncNetwork struct {
 	seq      int
 	sent     []int
 	byType   map[string]int
+	faults   FaultModel
+}
+
+// AsyncOption configures an AsyncNetwork.
+type AsyncOption func(*AsyncNetwork)
+
+// WithAsyncFaults injects a fault model into the asynchronous scheduler:
+// each queued delivery is submitted to fm at its delivery time (the round
+// argument is the event's arrival time, seq its global send sequence
+// number) and delivered the returned number of times.
+func WithAsyncFaults(fm FaultModel) AsyncOption {
+	return func(n *AsyncNetwork) { n.faults = fm }
 }
 
 // graphLike is the subset of graph.Graph the simulator needs; it keeps the
@@ -103,7 +130,7 @@ type graphLike interface {
 
 // NewAsyncNetwork builds an asynchronous network over g. maxDelay is the
 // largest per-message delay in time units (minimum 1).
-func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int) AsyncProtocol) *AsyncNetwork {
+func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int) AsyncProtocol, opts ...AsyncOption) *AsyncNetwork {
 	if maxDelay < 1 {
 		maxDelay = 1
 	}
@@ -115,6 +142,9 @@ func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int)
 		maxDelay: maxDelay,
 		sent:     make([]int, g.N()),
 		byType:   make(map[string]int),
+	}
+	for _, o := range opts {
+		o(n)
 	}
 	for i := range n.procs {
 		n.procs[i] = newProc(i)
@@ -142,13 +172,26 @@ func (n *AsyncNetwork) Run(maxEvents int) (deliveries, endTime int, err error) {
 			return deliveries, n.now, fmt.Errorf("sim: corrupt event queue")
 		}
 		n.now = ev.at
-		n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
-		deliveries++
+		copies := 1
+		if n.faults != nil {
+			copies = n.faults.Copies(ev.at, ev.from, ev.to, ev.seq, ev.msg)
+		}
+		for c := 0; c < copies; c++ {
+			n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
+			deliveries++
+		}
 	}
+	qe := &QuiescenceError{Rounds: n.now, Reasons: make(map[int]string)}
 	for id, p := range n.procs {
 		if !p.Done() {
-			return deliveries, n.now, fmt.Errorf("sim: async run quiescent but node %d not done", id)
+			qe.NotDone = append(qe.NotDone, id)
+			if sr, ok := p.(StuckReporter); ok {
+				qe.Reasons[id] = sr.StuckReason()
+			}
 		}
+	}
+	if len(qe.NotDone) > 0 {
+		return deliveries, n.now, qe
 	}
 	return deliveries, n.now, nil
 }
@@ -167,3 +210,48 @@ func (n *AsyncNetwork) TotalSent() int {
 	}
 	return total
 }
+
+// AsyncAdapter runs an AsyncProtocol as a synchronous Protocol: Init and
+// Handle forward directly (an event-driven protocol needs no round
+// structure), Tick is a no-op. Its purpose is composition with the
+// synchronous engine's machinery — in particular NewReliable /
+// WithReliability, which make an event-driven protocol loss-tolerant:
+//
+//	sim.NewNetwork(g, func(id int) sim.Protocol {
+//	        return sim.AdaptAsync(newAsyncProc(id))
+//	}, sim.WithReliability(sim.ReliableConfig{}), sim.WithFaults(fm))
+type AsyncAdapter struct {
+	inner AsyncProtocol
+	actx  AsyncContext
+}
+
+var _ Protocol = (*AsyncAdapter)(nil)
+
+// AdaptAsync wraps an AsyncProtocol for use on a synchronous Network.
+func AdaptAsync(p AsyncProtocol) *AsyncAdapter { return &AsyncAdapter{inner: p} }
+
+// Inner returns the wrapped AsyncProtocol, for result extraction.
+func (a *AsyncAdapter) Inner() AsyncProtocol { return a.inner }
+
+// Init implements Protocol. The ctx pointer is captured: both the Network
+// and the Reliable shim keep each node's Context at a stable address for
+// the life of the run.
+func (a *AsyncAdapter) Init(ctx *Context) {
+	a.actx = AsyncContext{
+		id:   ctx.ID(),
+		send: func(m Message) { ctx.Broadcast(m) },
+		nbrs: func() []int { return ctx.Neighbors() },
+	}
+	a.inner.Init(&a.actx)
+}
+
+// Handle implements Protocol.
+func (a *AsyncAdapter) Handle(ctx *Context, from int, m Message) {
+	a.inner.Handle(&a.actx, from, m)
+}
+
+// Tick implements Protocol; event-driven protocols have no per-round work.
+func (a *AsyncAdapter) Tick(ctx *Context, round int) {}
+
+// Done implements Protocol.
+func (a *AsyncAdapter) Done() bool { return a.inner.Done() }

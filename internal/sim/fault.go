@@ -1,0 +1,206 @@
+package sim
+
+// This file is the composable fault-model library for the simulator: every
+// way a radio channel can mistreat a message — independent (Bernoulli)
+// loss, bursty (Gilbert–Elliott) loss, node crashes, and duplication — as
+// small deterministic values that replace the ad-hoc DropFunc closures the
+// failure-injection tests used to build by hand.
+//
+// Determinism: every model is a pure function of its seed and the delivery
+// coordinates (round, from, to, seq), or — for the stateful Gilbert model —
+// of the deterministic order in which the simulator consults it. Two runs
+// with the same graph, protocols, and fault model see the exact same loss
+// pattern, so lossy experiments are as reproducible as lossless ones.
+
+// FaultModel decides the fate of each link-level transmission. Copies
+// returns how many copies of the message arrive at the receiver: 0 means
+// the transmission is lost, 1 is normal delivery, and larger values model
+// duplication. Loss is per-receiver: one broadcast can reach some
+// neighbors and not others, as with real radios.
+//
+// round is the delivery round (synchronous network) or delivery time
+// (asynchronous network); seq is the globally unique send sequence number
+// of the transmission, so retransmissions of the same payload roll fresh
+// fates.
+type FaultModel interface {
+	Copies(round, from, to, seq int, m Message) int
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective scramble whose output is
+// uniform enough to use as one fresh 64-bit draw per distinct input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash01 maps the coordinates of one delivery attempt to a uniform float
+// in [0, 1), independently per distinct (seed, round, from, to, seq).
+func hash01(seed int64, round, from, to, seq int) float64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(round)<<1)
+	h = splitmix64(h ^ uint64(from)<<17 ^ uint64(to))
+	h = splitmix64(h ^ uint64(seq))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// bernoulli drops each delivery independently with probability p.
+type bernoulli struct {
+	seed int64
+	p    float64
+}
+
+func (b bernoulli) Copies(round, from, to, seq int, m Message) int {
+	if hash01(b.seed, round, from, to, seq) < b.p {
+		return 0
+	}
+	return 1
+}
+
+// Bernoulli returns a fault model that loses each per-receiver delivery
+// independently with probability p. The loss pattern is a deterministic
+// function of the seed.
+func Bernoulli(seed int64, p float64) FaultModel { return bernoulli{seed: seed, p: p} }
+
+// gilbert is a two-state Gilbert–Elliott burst-loss channel per directed
+// link: a link in the Good state delivers, a link in the Bad state drops
+// with probability dropBad; the state advances once per delivery attempt.
+type gilbert struct {
+	seed      int64
+	pEnterBad float64
+	pExitBad  float64
+	dropBad   float64
+	state     map[[2]int]*gilbertLink
+}
+
+type gilbertLink struct {
+	bad bool
+	rng uint64 // per-link splitmix64 stream
+}
+
+func (g *gilbert) next(l *gilbertLink) float64 {
+	l.rng = splitmix64(l.rng)
+	return float64(l.rng>>11) / float64(1<<53)
+}
+
+func (g *gilbert) Copies(round, from, to, seq int, m Message) int {
+	k := [2]int{from, to}
+	l := g.state[k]
+	if l == nil {
+		l = &gilbertLink{rng: splitmix64(uint64(g.seed) ^ uint64(from)<<32 ^ uint64(to))}
+		g.state[k] = l
+	}
+	if l.bad {
+		if g.next(l) < g.pExitBad {
+			l.bad = false
+		}
+	} else {
+		if g.next(l) < g.pEnterBad {
+			l.bad = true
+		}
+	}
+	if l.bad && g.next(l) < g.dropBad {
+		return 0
+	}
+	return 1
+}
+
+// Gilbert returns a bursty Gilbert–Elliott loss model: each directed link
+// carries a two-state Markov chain (Good/Bad) advanced once per delivery
+// attempt; a Bad link drops each delivery with probability dropBad. It is
+// stateful, so one instance must not be shared across concurrently running
+// networks; within one deterministic run it is fully reproducible.
+func Gilbert(seed int64, pEnterBad, pExitBad, dropBad float64) FaultModel {
+	return &gilbert{
+		seed:      seed,
+		pEnterBad: pEnterBad,
+		pExitBad:  pExitBad,
+		dropBad:   dropBad,
+		state:     make(map[[2]int]*gilbertLink),
+	}
+}
+
+// crashAt silences crashed nodes: from the given round on, nothing the
+// node sends is delivered anywhere and nothing sent to it arrives.
+type crashAt struct {
+	at map[int]int
+}
+
+func (c crashAt) Copies(round, from, to, seq int, m Message) int {
+	if r, ok := c.at[from]; ok && round >= r {
+		return 0
+	}
+	if r, ok := c.at[to]; ok && round >= r {
+		return 0
+	}
+	return 1
+}
+
+// CrashAt returns a fault model in which node v is crashed from round
+// at[v] onward: every delivery from or to a crashed node is lost. A crash
+// violates eventual delivery, so protocols blocked on a crashed node are
+// expected to surface a diagnostic QuiescenceError rather than converge.
+func CrashAt(at map[int]int) FaultModel {
+	cp := make(map[int]int, len(at))
+	for k, v := range at {
+		cp[k] = v
+	}
+	return crashAt{at: cp}
+}
+
+// duplicate delivers a second copy of a message with probability p.
+type duplicate struct {
+	seed int64
+	p    float64
+}
+
+func (d duplicate) Copies(round, from, to, seq int, m Message) int {
+	if hash01(d.seed^0x5bf03635, round, from, to, seq) < d.p {
+		return 2
+	}
+	return 1
+}
+
+// Duplicate returns a fault model that delivers each message twice with
+// probability p, exercising receiver-side duplicate suppression.
+func Duplicate(seed int64, p float64) FaultModel { return duplicate{seed: seed, p: p} }
+
+// compose chains fault models: each model transforms every copy the
+// previous stage let through, so loss short-circuits and duplication
+// multiplies.
+type compose struct {
+	models []FaultModel
+}
+
+func (c compose) Copies(round, from, to, seq int, m Message) int {
+	n := 1
+	for _, fm := range c.models {
+		n *= fm.Copies(round, from, to, seq, m)
+		if n == 0 {
+			return 0
+		}
+	}
+	return n
+}
+
+// Compose chains fault models left to right: a delivery survives only if
+// every stage lets it through, and copy counts multiply (so a Bernoulli
+// loss stage composed with a Duplicate stage models a channel that both
+// loses and duplicates).
+func Compose(models ...FaultModel) FaultModel { return compose{models: models} }
+
+// dropAdapter lifts a legacy DropFunc to a FaultModel.
+type dropAdapter struct {
+	f DropFunc
+}
+
+func (d dropAdapter) Copies(round, from, to, seq int, m Message) int {
+	if d.f(round, from, to, m) {
+		return 0
+	}
+	return 1
+}
+
+// FromDrop adapts a DropFunc closure to the FaultModel interface.
+func FromDrop(f DropFunc) FaultModel { return dropAdapter{f: f} }

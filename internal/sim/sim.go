@@ -24,14 +24,81 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"geospanner/internal/geom"
 	"geospanner/internal/graph"
 )
 
 // ErrNotQuiescent is returned by Run when the round budget is exhausted
-// before the network goes quiescent.
+// before the network goes quiescent. The concrete error is always a
+// *QuiescenceError carrying the stuck nodes and the in-flight traffic.
 var ErrNotQuiescent = errors.New("sim: round budget exhausted before quiescence")
+
+// QuiescenceError is the diagnostic form of ErrNotQuiescent: which nodes
+// had not finished their protocol when the round budget ran out, what was
+// still in flight, and — for protocols that can explain themselves (see
+// StuckReporter) — why each stuck node was stuck.
+type QuiescenceError struct {
+	// Rounds is the number of rounds executed before giving up.
+	Rounds int
+	// NotDone lists the nodes whose protocol had not reported Done, in
+	// increasing ID order.
+	NotDone []int
+	// InFlight counts the undelivered messages by type name.
+	InFlight map[string]int
+	// Reasons maps a stuck node to its self-diagnosis, for protocols
+	// implementing StuckReporter.
+	Reasons map[int]string
+}
+
+// Error implements error. The message names the stuck nodes and the
+// in-flight traffic so a failed lossy run is diagnosable from the error
+// alone.
+func (e *QuiescenceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (after %d rounds; %d nodes not done", ErrNotQuiescent, e.Rounds, len(e.NotDone))
+	if len(e.NotDone) > 0 {
+		show := e.NotDone
+		const maxShow = 8
+		if len(show) > maxShow {
+			show = show[:maxShow]
+		}
+		fmt.Fprintf(&b, ": %v", show)
+		if len(e.NotDone) > maxShow {
+			fmt.Fprintf(&b, " …")
+		}
+	}
+	if len(e.InFlight) > 0 {
+		types := make([]string, 0, len(e.InFlight))
+		for t := range e.InFlight {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		b.WriteString("; in flight:")
+		for _, t := range types {
+			fmt.Fprintf(&b, " %s=%d", t, e.InFlight[t])
+		}
+	}
+	b.WriteString(")")
+	for _, id := range e.NotDone {
+		if reason, ok := e.Reasons[id]; ok {
+			fmt.Fprintf(&b, "\n  node %d: %s", id, reason)
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrNotQuiescent) hold for *QuiescenceError.
+func (e *QuiescenceError) Unwrap() error { return ErrNotQuiescent }
+
+// StuckReporter is an optional Protocol extension: a protocol that can
+// explain why it has not finished reports it here, and Run includes the
+// explanation in the QuiescenceError. The Reliable shim implements it.
+type StuckReporter interface {
+	StuckReason() string
+}
 
 // Message is a protocol message. Type names group the per-type counters.
 type Message interface {
@@ -59,9 +126,13 @@ type Protocol interface {
 type DropFunc func(round, from, to int, m Message) bool
 
 // Context is the interface a protocol uses to interact with the network.
+// When send is non-nil, Broadcast is redirected to it instead of the radio
+// outbox — the hook the Reliable shim uses to capture an inner protocol's
+// sends and carry them as payloads inside its own envelopes.
 type Context struct {
-	net *Network
-	id  int
+	net  *Network
+	id   int
+	send func(m Message)
 }
 
 // ID returns the node's identifier (its index in the underlying graph).
@@ -82,6 +153,10 @@ func (c *Context) Neighbors() []int { return c.net.g.Neighbors(c.id) }
 // Broadcast queues m for delivery to all 1-hop neighbors next round and
 // increments the node's send counter.
 func (c *Context) Broadcast(m Message) {
+	if c.send != nil {
+		c.send(m)
+		return
+	}
 	n := c.net
 	n.sent[c.id]++
 	n.byType[m.Type()]++
@@ -97,24 +172,47 @@ type envelope struct {
 
 // Network couples a unit disk graph with one protocol instance per node.
 type Network struct {
-	g      *graph.Graph
-	procs  []Protocol
-	ctxs   []Context
-	drop   DropFunc
-	outbox []envelope // messages sent this round, delivered next round
-	sent   []int
-	byType map[string]int
-	rounds int
-	seq    int
-	trace  []RoundStats
+	g        *graph.Graph
+	procs    []Protocol
+	ctxs     []Context
+	faults   FaultModel
+	reliable bool
+	relCfg   ReliableConfig
+	outbox   []envelope // messages sent this round, delivered next round
+	sent     []int
+	byType   map[string]int
+	rounds   int
+	seq      int
+	trace    []RoundStats
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
 // WithDrop installs a message-loss function for failure-injection tests.
+// It is the legacy form of WithFaults(FromDrop(f)).
 func WithDrop(f DropFunc) Option {
-	return func(n *Network) { n.drop = f }
+	return func(n *Network) { n.faults = FromDrop(f) }
+}
+
+// WithFaults installs a fault model deciding the fate of every link-level
+// delivery (loss, bursts, crashes, duplication). A nil model delivers
+// everything exactly once.
+func WithFaults(fm FaultModel) Option {
+	return func(n *Network) { n.faults = fm }
+}
+
+// WithReliability wraps every protocol in the Reliable ack/retransmission
+// shim, making the run loss-tolerant: under any fault model that delivers
+// each message eventually, the wrapped protocols compute exactly what they
+// compute on a lossless network. The run then terminates when every node
+// reports Done (in-flight shim bookkeeping traffic does not delay the
+// verdict).
+func WithReliability(cfg ReliableConfig) Option {
+	return func(n *Network) {
+		n.reliable = true
+		n.relCfg = cfg.withDefaults()
+	}
 }
 
 // NewNetwork builds a network over g, creating one protocol per node with
@@ -127,12 +225,15 @@ func NewNetwork(g *graph.Graph, newProc func(id int) Protocol, opts ...Option) *
 		sent:   make([]int, g.N()),
 		byType: make(map[string]int),
 	}
-	for i := range n.procs {
-		n.procs[i] = newProc(i)
-		n.ctxs[i] = Context{net: n, id: i}
-	}
 	for _, opt := range opts {
 		opt(n)
+	}
+	for i := range n.procs {
+		n.procs[i] = newProc(i)
+		if n.reliable {
+			n.procs[i] = NewReliable(n.procs[i], n.relCfg)
+		}
+		n.ctxs[i] = Context{net: n, id: i}
 	}
 	return n
 }
@@ -155,17 +256,21 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		// Deliver: receivers in ID order; at each receiver, messages in
 		// (sender, seq) order — inbox is already seq-ordered and seq is
 		// globally increasing, so a stable pass per receiver suffices.
+		// The fault model decides per-receiver how many copies arrive.
 		delivered := 0
 		for id := 0; id < n.g.N(); id++ {
 			for _, env := range inbox {
 				if !n.g.HasEdge(env.from, id) {
 					continue
 				}
-				if n.drop != nil && n.drop(round, env.from, id, env.msg) {
-					continue
+				copies := 1
+				if n.faults != nil {
+					copies = n.faults.Copies(round, env.from, id, env.seq, env.msg)
 				}
-				n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
-				delivered++
+				for c := 0; c < copies; c++ {
+					n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
+					delivered++
+				}
 			}
 		}
 		for id := 0; id < n.g.N(); id++ {
@@ -173,12 +278,44 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		}
 		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: len(n.outbox)})
 
-		if len(n.outbox) == 0 && n.allDone() {
+		// Termination. In reliable mode Done subsumes delivery: a Reliable
+		// node reports Done only once its payloads are acknowledged and
+		// consumed everywhere, so leftover shim bookkeeping in the outbox
+		// does not keep the run alive. In plain mode quiescence is the
+		// classic global condition: nothing in flight and everyone Done.
+		if n.reliable {
+			if n.allDone() {
+				return round, nil
+			}
+		} else if len(n.outbox) == 0 && n.allDone() {
 			return round, nil
 		}
 	}
-	return n.rounds, fmt.Errorf("%w (after %d rounds, %d messages in flight)",
-		ErrNotQuiescent, n.rounds, len(n.outbox))
+	return n.rounds, n.quiescenceError()
+}
+
+// quiescenceError assembles the diagnostic for a run that exhausted its
+// round budget: the nodes that were not Done (with self-diagnoses where
+// available) and the types of the messages still in flight.
+func (n *Network) quiescenceError() error {
+	e := &QuiescenceError{
+		Rounds:   n.rounds,
+		InFlight: make(map[string]int),
+		Reasons:  make(map[int]string),
+	}
+	for id, p := range n.procs {
+		if p.Done() {
+			continue
+		}
+		e.NotDone = append(e.NotDone, id)
+		if sr, ok := p.(StuckReporter); ok {
+			e.Reasons[id] = sr.StuckReason()
+		}
+	}
+	for _, env := range n.outbox {
+		e.InFlight[env.msg.Type()]++
+	}
+	return e
 }
 
 func (n *Network) allDone() bool {
@@ -191,8 +328,15 @@ func (n *Network) allDone() bool {
 }
 
 // Protocol returns the protocol instance of node id, for extracting results
-// after the run.
-func (n *Network) Protocol(id int) Protocol { return n.procs[id] }
+// after the run. When the network runs under WithReliability, the wrapped
+// inner protocol is returned, so result extraction is identical on lossless
+// and loss-tolerant runs.
+func (n *Network) Protocol(id int) Protocol {
+	if r, ok := n.procs[id].(*Reliable); ok {
+		return r.Inner()
+	}
+	return n.procs[id]
+}
 
 // Rounds returns the number of rounds executed so far.
 func (n *Network) Rounds() int { return n.rounds }
