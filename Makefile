@@ -8,7 +8,7 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz bench clean
+.PHONY: check fmt vet build test race fuzz bench trace-smoke clean
 
 check: fmt vet build test race
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/ ./internal/sim/ ./internal/core/
+	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/ ./internal/sim/ ./internal/core/ ./internal/obs/ .
 
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz=FuzzReadGraph -fuzztime=$(FUZZTIME)
@@ -38,6 +38,15 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' . ./internal/... | tee /dev/stderr | $(GO) run ./tools/benchjson > BENCH_$(DATE).json
 	@echo "wrote BENCH_$(DATE).json"
+
+# trace-smoke runs the traced experiment on a seed instance, writes the
+# JSONL event stream, and validates every line against the sink schema
+# with tracecat's strict decoder (unknown fields or kinds fail the build).
+trace-smoke:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run ./cmd/experiments -exp trace -n 50 -trials 2 -seed 7 -trace-out "$$tmp/trace.jsonl" && \
+	$(GO) run ./tools/tracecat -check "$$tmp/trace.jsonl" && \
+	rm -rf "$$tmp"
 
 clean:
 	$(GO) clean ./...

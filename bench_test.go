@@ -124,7 +124,7 @@ func BenchmarkBuildDistributed(b *testing.B) {
 		inst := benchInstance(b, int64(n), n, 60)
 		b.Run(sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Build(inst.UDG, inst.Radius, 0); err != nil {
+				if _, err := core.Build(inst.UDG, inst.Radius); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"geospanner/internal/experiments"
+	"geospanner/internal/obs"
 	"geospanner/internal/stats"
 )
 
@@ -34,34 +37,80 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, all")
-		trials  = fs.Int("trials", 10, "random vertex sets per configuration")
-		n       = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
-		radius  = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
-		region  = fs.Float64("region", experiments.DefaultRegion, "side of the square deployment region")
-		seed    = fs.Int64("seed", 1, "base random seed")
-		outDir  = fs.String("out", ".", "output directory for SVG figures")
-		asCSV   = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		workers = fs.Int("workers", 1, "goroutines running trials concurrently (output is identical for any value; 0 or 1 = sequential)")
+		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, all")
+		trials   = fs.Int("trials", 10, "random vertex sets per configuration")
+		n        = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
+		radius   = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
+		region   = fs.Float64("region", experiments.DefaultRegion, "side of the square deployment region")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		outDir   = fs.String("out", ".", "output directory for SVG figures")
+		asCSV    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers  = fs.Int("workers", 1, "goroutines running trials concurrently (output is identical for any value; 0 or 1 = sequential)")
+		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss"}
+		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss", "trace"}
 	}
 	for _, name := range names {
-		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV); err != nil {
+		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV, *traceOut); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	return nil
 }
 
-func runOne(name string, n int, radius float64, cfg experiments.Config, outDir string, asCSV bool) error {
+// writeTrace streams the merged event stream to path as JSON lines.
+func writeTrace(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONL(f)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func runOne(name string, n int, radius float64, cfg experiments.Config, outDir string, asCSV bool, traceOut string) error {
 	pick := func(def int) int {
 		if n > 0 {
 			return n
@@ -149,6 +198,18 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 	case "loss":
 		tb, err := experiments.Loss(pick(experiments.DefaultTable1N), radius, experiments.DefaultLossRates(), cfg)
 		return emit("Loss tolerance: message overhead and round inflation vs loss rate", tb, err)
+	case "trace":
+		tb, events, err := experiments.Trace(pick(experiments.DefaultTable1N), radius, cfg)
+		if err != nil {
+			return err
+		}
+		if traceOut != "" {
+			if err := writeTrace(traceOut, events); err != nil {
+				return err
+			}
+		}
+		return emit(fmt.Sprintf("Trace: per-stage observability rollup (n=%d, radius=%g, trials=%d, %d events)",
+			pick(experiments.DefaultTable1N), radius, cfg.Trials, len(events)), tb, nil)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"geospanner/internal/experiments"
+	"geospanner/internal/obs"
 )
 
 func quickCfg() experiments.Config {
@@ -19,11 +21,11 @@ func TestRunOneNumericExperiments(t *testing.T) {
 			// Small n keeps each experiment fast; fig8-10 sweep their own
 			// densities, so n is ignored there by design.
 			n := 30
-			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), false); err != nil {
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), false, ""); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			// CSV mode too.
-			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), true); err != nil {
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), true, ""); err != nil {
 				t.Fatalf("%s csv: %v", name, err)
 			}
 		})
@@ -32,13 +34,13 @@ func TestRunOneNumericExperiments(t *testing.T) {
 
 func TestRunOneFigures(t *testing.T) {
 	dir := t.TempDir()
-	if err := runOne("fig6", 30, 60, quickCfg(), dir, false); err != nil {
+	if err := runOne("fig6", 30, 60, quickCfg(), dir, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig6_udg.svg")); err != nil {
 		t.Fatal(err)
 	}
-	if err := runOne("fig7", 30, 60, quickCfg(), dir, false); err != nil {
+	if err := runOne("fig7", 30, 60, quickCfg(), dir, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig7_*.svg"))
@@ -50,8 +52,33 @@ func TestRunOneFigures(t *testing.T) {
 	}
 }
 
+func TestRunOneTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.jsonl")
+	if err := runOne("trace", 30, 60, quickCfg(), dir, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		if _, err := obs.DecodeJSONL(line, true); err != nil {
+			t.Fatalf("trace line %d fails strict schema: %v", lines, err)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+}
+
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("nope", 30, 60, quickCfg(), t.TempDir(), false); err == nil {
+	if err := runOne("nope", 30, 60, quickCfg(), t.TempDir(), false, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

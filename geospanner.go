@@ -18,19 +18,33 @@
 //	// handle err
 //	fmt.Println(res.LDelICDS.NumEdges(), res.MsgsLDel.Max())
 //
+// Build is options-first: the variadic tail accepts WithMaxRounds (bound
+// a wedged run and get a *QuiescenceError), WithFaults and
+// WithReliability (run the construction loss-tolerantly on a faulty
+// channel), and WithTracer (observe every stage, round, message, and
+// state transition through a structured-event sink — see NewRingTracer,
+// NewJSONLTracer, NewMetricsTracer). BuildMany runs a batch of instances,
+// in parallel under WithWorkers, with bit-identical results for any
+// worker count.
+//
 // See the examples directory for runnable scenarios and cmd/experiments
 // for the harness that regenerates every table and figure of the paper.
 package geospanner
 
 import (
+	"fmt"
+	"io"
+
 	"geospanner/internal/core"
 	"geospanner/internal/geom"
 	"geospanner/internal/graph"
 	"geospanner/internal/ldel"
 	"geospanner/internal/maintain"
 	"geospanner/internal/metrics"
+	"geospanner/internal/obs"
 	"geospanner/internal/proximity"
 	"geospanner/internal/routing"
+	"geospanner/internal/sim"
 	"geospanner/internal/udg"
 )
 
@@ -57,12 +71,99 @@ type (
 	TriKey = ldel.TriKey
 )
 
-// Routing errors, re-exported for errors.Is matching.
+// Observability and simulator types, re-exported so every sim.Option
+// capability is reachable from the public options API.
+type (
+	// Option configures Build and BuildMany. Options are re-exported
+	// wrappers over the internal simulator machinery; the zero option set
+	// reproduces the historical Build behavior exactly.
+	Option = core.BuildOption
+	// Tracer is the structured-event sink contract of WithTracer.
+	Tracer = obs.Tracer
+	// Event is one structured trace record.
+	Event = obs.Event
+	// TraceRing is the in-memory ring-buffer sink.
+	TraceRing = obs.Ring
+	// TraceJSONL is the JSON-lines streaming sink (one event per line),
+	// replayable with tools/tracecat.
+	TraceJSONL = obs.JSONL
+	// TraceMetrics is the rollup sink: per-stage counters and round,
+	// message, and wall-time histograms.
+	TraceMetrics = obs.Metrics
+	// FaultModel decides the fate of every link-level delivery.
+	FaultModel = sim.FaultModel
+	// ReliableConfig tunes the ack/retransmission shim of
+	// WithReliability.
+	ReliableConfig = sim.ReliableConfig
+	// QuiescenceError diagnoses a run that exhausted its round budget:
+	// the stuck nodes, their self-reported reasons, and the in-flight
+	// traffic. Match with errors.As.
+	QuiescenceError = sim.QuiescenceError
+)
+
+// Routing and simulation errors, re-exported for errors.Is matching.
 var (
 	// ErrGreedyStuck reports a greedy-forwarding local minimum.
 	ErrGreedyStuck = routing.ErrGreedyStuck
 	// ErrNoRoute reports routing failure (no progress possible).
 	ErrNoRoute = routing.ErrNoRoute
+	// ErrNotQuiescent reports a round budget exhausted before quiescence;
+	// the concrete error is always a *QuiescenceError.
+	ErrNotQuiescent = sim.ErrNotQuiescent
+)
+
+// WithMaxRounds bounds each protocol stage's simulator rounds (0, the
+// default, picks the simulator's own budget of 10·n + 50). A run that
+// exceeds the bound fails with a *QuiescenceError instead of spinning.
+func WithMaxRounds(r int) Option { return core.WithMaxRounds(r) }
+
+// WithFaults runs every stage on a faulty channel. Compose models with
+// the Bernoulli, Gilbert, CrashAt, Duplicate and ComposeFaults
+// constructors.
+func WithFaults(fm FaultModel) Option { return core.WithFaults(fm) }
+
+// WithReliability wraps every protocol in the ack/retransmission shim:
+// under any fault model that delivers each message eventually, the
+// construction's outputs are bit-identical to the lossless run.
+func WithReliability(cfg ReliableConfig) Option { return core.WithReliability(cfg) }
+
+// WithTracer attaches a structured-event sink observing the run: stage
+// boundaries with wall time, per-round message batches, sends, deliveries
+// and drops, protocol state transitions, and retransmission bookkeeping.
+// A nil tracer (the default) is free; a traced run is bit-identical to an
+// untraced one.
+func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// WithWorkers sets the number of goroutines BuildMany uses (0 or 1 =
+// sequential). Results and merged traces are bit-identical for any value.
+func WithWorkers(w int) Option { return core.WithWorkers(w) }
+
+// NewRingTracer returns an in-memory sink keeping the last cap events.
+func NewRingTracer(cap int) *TraceRing { return obs.NewRing(cap) }
+
+// NewJSONLTracer returns a sink streaming events to w as JSON lines.
+// Call Flush (or Close) after the run.
+func NewJSONLTracer(w io.Writer) *TraceJSONL { return obs.NewJSONL(w) }
+
+// NewMetricsTracer returns a rollup sink aggregating per-stage counters
+// and histograms.
+func NewMetricsTracer() *TraceMetrics { return obs.NewMetrics() }
+
+// MultiTracer fans events out to several sinks.
+func MultiTracer(sinks ...Tracer) Tracer { return obs.Multi(sinks...) }
+
+// Fault-model constructors, re-exported for WithFaults.
+var (
+	// Bernoulli drops each delivery independently with probability p.
+	Bernoulli = sim.Bernoulli
+	// Gilbert is a two-state burst-loss channel.
+	Gilbert = sim.Gilbert
+	// CrashAt silences nodes from given rounds on.
+	CrashAt = sim.CrashAt
+	// Duplicate delivers extra copies with probability p.
+	Duplicate = sim.Duplicate
+	// ComposeFaults chains fault models.
+	ComposeFaults = sim.Compose
 )
 
 // Pt is shorthand for Point{X: x, Y: y}.
@@ -84,8 +185,81 @@ func NewGraph(pts []Point) *Graph { return graph.New(pts) }
 // Build runs the paper's full distributed pipeline — clustering, connector
 // election, induced backbone graphs, and localized Delaunay planarization —
 // on the unit disk graph g, returning every intermediate structure and the
-// per-node message accounting.
-func Build(g *Graph, radius float64) (*Result, error) { return core.Build(g, radius, 0) }
+// per-node message accounting. The variadic options bound rounds
+// (WithMaxRounds), inject faults and loss tolerance (WithFaults,
+// WithReliability), and attach observability (WithTracer); with no options
+// the call behaves exactly as it always has.
+func Build(g *Graph, radius float64, opts ...Option) (*Result, error) {
+	return core.Build(g, radius, opts...)
+}
+
+// BuildMany builds every instance in order and returns the per-instance
+// results. WithWorkers(w) runs up to w builds concurrently; the output —
+// including the event stream of an attached WithTracer, whose events are
+// tagged with the instance index in Event.Trial and merged in index order
+// — is bit-identical for any worker count. When builds fail, the error of
+// the lowest failing index is returned, matching a sequential run.
+func BuildMany(insts []*Instance, opts ...Option) ([]*Result, error) {
+	cfg := core.NewBuildConfig(opts...)
+	results := make([]*Result, len(insts))
+	rings := make([]*TraceRing, len(insts))
+	errs := make([]error, len(insts))
+	build := func(i int) {
+		instOpts := opts
+		if cfg.Tracer != nil {
+			// Each build traces into a private ring so concurrent workers
+			// never interleave; the rings are replayed into the caller's
+			// tracer in index order below.
+			rings[i] = obs.NewRing(1 << 20)
+			instOpts = append(instOpts[:len(instOpts):len(instOpts)], core.WithTracer(rings[i]))
+		}
+		results[i], errs[i] = core.Build(insts[i].UDG, insts[i].Radius, instOpts...)
+	}
+	workers := cfg.Workers
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	if workers <= 1 {
+		for i := range insts {
+			build(i)
+		}
+	} else {
+		jobs := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range jobs {
+					build(i)
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range insts {
+			jobs <- i
+		}
+		close(jobs)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	if cfg.Tracer != nil {
+		for i, ring := range rings {
+			if ring == nil {
+				continue
+			}
+			for _, e := range ring.Events() {
+				e.Trial = i
+				cfg.Tracer.Emit(e)
+			}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("build instance %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
 
 // BuildCentralized computes the same structures as Build via the
 // centralized reference implementations (no message accounting); it is

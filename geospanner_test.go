@@ -144,3 +144,65 @@ func TestDiscoverRouteFacade(t *testing.T) {
 		t.Fatalf("message cost = %d", msgs)
 	}
 }
+
+// TestBuildManyTraceDeterministic pins BuildMany's merge contract: the
+// merged event stream — trials stamped and concatenated in index order —
+// is identical for any WithWorkers value, wall time excepted.
+func TestBuildManyTraceDeterministic(t *testing.T) {
+	var insts []*Instance
+	for seed := int64(1); seed <= 4; seed++ {
+		inst, err := GenerateInstance(seed, 30, 200, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	run := func(workers int) []Event {
+		ring := NewRingTracer(1 << 20)
+		if _, err := BuildMany(insts, WithWorkers(workers), WithTracer(ring)); err != nil {
+			t.Fatal(err)
+		}
+		events := ring.Events()
+		for i := range events {
+			events[i].WallNS = 0
+		}
+		return events
+	}
+	seq, par := run(1), run(3)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential run emitted %d events, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("event %d differs:\nsequential: %+v\nparallel:   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestBuildManyErrorLowestIndex pins the batch error contract: the error
+// of the lowest failing instance index is returned, as a sequential run
+// would report first.
+func TestBuildManyErrorLowestIndex(t *testing.T) {
+	var insts []*Instance
+	for seed := int64(1); seed <= 3; seed++ {
+		inst, err := GenerateInstance(seed, 30, 200, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	_, err := BuildMany(insts, WithWorkers(3), WithMaxRounds(1))
+	if err == nil {
+		t.Fatal("expected a quiescence failure")
+	}
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("err = %v, want ErrNotQuiescent", err)
+	}
+	var qe *QuiescenceError
+	if !errors.As(err, &qe) {
+		t.Fatalf("err = %v, want *QuiescenceError via errors.As", err)
+	}
+	if want := "build instance 0:"; !errors.Is(err, ErrNotQuiescent) || err.Error()[:len(want)] != want {
+		t.Fatalf("err = %q, want prefix %q", err, want)
+	}
+}

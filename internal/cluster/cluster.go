@@ -29,6 +29,9 @@ import (
 	"geospanner/internal/sim"
 )
 
+// Stage is the stage label of clustering runs in traces (sim.WithStage).
+const Stage = "cluster"
+
 // Status is a node's clustering state.
 type Status int
 
@@ -92,6 +95,7 @@ type nodeCtx interface {
 	ID() int
 	Neighbors() []int
 	Broadcast(m sim.Message)
+	EmitState(state string)
 }
 
 // node is the per-node protocol state machine.
@@ -127,6 +131,7 @@ func (n *node) tryClaim(ctx nodeCtx) {
 		}
 	}
 	n.status = Dominator
+	ctx.EmitState(Dominator.String())
 	ctx.Broadcast(MsgIamDominator{})
 }
 
@@ -136,6 +141,7 @@ func (n *node) handle(ctx nodeCtx, from int, m sim.Message) {
 		delete(n.white, from)
 		if n.status == White {
 			n.status = Dominatee
+			ctx.EmitState(Dominatee.String())
 		}
 		if n.status == Dominatee && !n.dominators[from] {
 			n.dominators[from] = true
@@ -184,6 +190,7 @@ func NewProtocol() sim.Protocol { return &syncNode{} }
 // maxRounds of 0 uses the simulator default. Simulator options (fault
 // models, the Reliable shim) pass through to the network.
 func Run(g *graph.Graph, maxRounds int, opts ...sim.Option) (*Result, *sim.Network, error) {
+	opts = append([]sim.Option{sim.WithStage(Stage)}, opts...)
 	net := sim.NewNetwork(g, func(id int) sim.Protocol { return &syncNode{} }, opts...)
 	if _, err := net.Run(maxRounds); err != nil {
 		return nil, nil, fmt.Errorf("clustering: %w", err)
@@ -219,6 +226,7 @@ func (r *Result) fill(id int, n *node) {
 // RunAsync returns the same Result as Run — a property the tests assert
 // across many delay schedules.
 func RunAsync(g *graph.Graph, seed int64, maxDelay int, opts ...sim.AsyncOption) (*Result, *sim.AsyncNetwork, error) {
+	opts = append([]sim.AsyncOption{sim.WithAsyncStage(Stage)}, opts...)
 	net := sim.NewAsyncNetwork(g, seed, maxDelay, func(id int) sim.AsyncProtocol { return &asyncNode{} }, opts...)
 	if _, _, err := net.Run(0); err != nil {
 		return nil, nil, fmt.Errorf("async clustering: %w", err)

@@ -38,6 +38,10 @@ import (
 	"geospanner/internal/sim"
 )
 
+// Stage is the stage label of connector-election runs in traces
+// (sim.WithStage).
+const Stage = "connector"
+
 // MsgTryConnector proposes the sender as a connector for the dominator
 // pair (U, V). Stage 0 is a 2-hop pair (U < V, unordered); stages 1 and 2
 // are the first and second node of a 3-hop path from U to V (ordered).
@@ -77,11 +81,14 @@ type Options struct {
 
 // node is the per-node protocol state machine for Algorithm 1.
 type node struct {
-	id       int
-	opts     Options
-	status   cluster.Status
-	doms     []int // adjacent dominators
-	twoHop   map[int]bool
+	id     int
+	opts   Options
+	status cluster.Status
+	doms   []int // adjacent dominators
+	twoHop map[int]bool
+	// twoHops holds twoHop's keys, sorted; broadcasts iterate these so
+	// the message order (and any attached trace) is deterministic.
+	twoHops  []int
 	proposed map[pairKey]bool
 	minHeard map[pairKey]int   // smallest neighbor ID heard proposing key
 	triggers map[pairKey][]int // stage-1 winners that triggered a stage-2 proposal
@@ -108,7 +115,7 @@ func (n *node) Init(ctx *sim.Context) {
 	// Step 5: first node of 3-hop paths from an own dominator to a
 	// two-hop dominator.
 	for _, u := range n.doms {
-		for v := range n.twoHop {
+		for _, v := range n.twoHops {
 			if n.opts.SingleOrientation && u > v {
 				continue
 			}
@@ -164,8 +171,14 @@ func (n *node) Tick(ctx *sim.Context, round int) {
 		n.electStage(ctx, 0)
 		n.electStage(ctx, 1)
 	case 2:
-		// Step 7: propose as second node for every triggered key.
+		// Step 7: propose as second node for every triggered key, in
+		// sorted key order so the broadcast order is deterministic.
+		keys := make([]pairKey, 0, len(n.triggers))
 		for k := range n.triggers {
+			keys = append(keys, k)
+		}
+		sortPairKeys(keys)
+		for _, k := range keys {
 			n.propose(ctx, k)
 		}
 	case 3:
@@ -184,15 +197,13 @@ func (n *node) electStage(ctx *sim.Context, stage int) {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].u != keys[j].u {
-			return keys[i].u < keys[j].u
-		}
-		return keys[i].v < keys[j].v
-	})
+	sortPairKeys(keys)
 	for _, k := range keys {
 		if minID, heard := n.minHeard[k]; heard && minID < n.id {
 			continue
+		}
+		if !n.elected {
+			ctx.EmitState("connector")
 		}
 		n.elected = true
 		ctx.Broadcast(MsgIamConnector{U: k.u, V: k.v, Stage: k.stage})
@@ -208,6 +219,18 @@ func (n *node) electStage(ctx *sim.Context, stage int) {
 			}
 		}
 	}
+}
+
+func sortPairKeys(keys []pairKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		return keys[i].stage < keys[j].stage
+	})
 }
 
 func (n *node) Done() bool { return n.round >= 3 }
@@ -243,17 +266,19 @@ func Run(g *graph.Graph, cl *cluster.Result, maxRounds int, simOpts ...sim.Optio
 
 // RunOpts is Run with explicit election options.
 func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options, simOpts ...sim.Option) (*Result, *sim.Network, error) {
+	simOpts = append([]sim.Option{sim.WithStage(Stage)}, simOpts...)
 	net := sim.NewNetwork(g, func(id int) sim.Protocol {
 		twoHop := make(map[int]bool, len(cl.TwoHopDominators[id]))
 		for _, d := range cl.TwoHopDominators[id] {
 			twoHop[d] = true
 		}
 		return &node{
-			id:     id,
-			opts:   opts,
-			status: cl.Status[id],
-			doms:   cl.DominatorsOf[id],
-			twoHop: twoHop,
+			id:      id,
+			opts:    opts,
+			status:  cl.Status[id],
+			doms:    cl.DominatorsOf[id],
+			twoHop:  twoHop,
+			twoHops: cl.TwoHopDominators[id],
 		}
 	}, simOpts...)
 	if _, err := net.Run(maxRounds); err != nil {

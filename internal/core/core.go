@@ -22,6 +22,7 @@ import (
 	"geospanner/internal/connector"
 	"geospanner/internal/graph"
 	"geospanner/internal/ldel"
+	"geospanner/internal/obs"
 	"geospanner/internal/sim"
 )
 
@@ -153,26 +154,107 @@ func (s StageRounds) Total() int { return s.Cluster + s.Connector + s.LDel }
 // Distributed reports whether the result carries message accounting.
 func (r *Result) Distributed() bool { return len(r.MsgsLDel.PerNode) > 0 }
 
+// BuildConfig is the resolved option set of a Build call. Drivers that
+// fan Build out over many instances (geospanner.BuildMany, the experiment
+// engine) resolve the caller's options once via NewBuildConfig to read
+// Workers and Tracer.
+type BuildConfig struct {
+	// MaxRounds bounds each stage's simulator rounds (0 = the simulator
+	// default of 10·n + 50).
+	MaxRounds int
+	// Workers is consumed by batch drivers that build many instances
+	// concurrently; a single Build is inherently sequential (its three
+	// stages feed each other) and ignores it.
+	Workers int
+	// Tracer observes every stage of the run. Nil disables tracing at
+	// zero cost.
+	Tracer obs.Tracer
+	// SimOpts are passed through to every stage's network.
+	SimOpts []sim.Option
+}
+
+// BuildOption configures Build.
+type BuildOption func(*BuildConfig)
+
+// NewBuildConfig resolves options into a config.
+func NewBuildConfig(opts ...BuildOption) BuildConfig {
+	var cfg BuildConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithMaxRounds bounds each stage's simulator rounds, making a wedged run
+// fail with a *sim.QuiescenceError instead of spinning to the (large)
+// default budget. It replaces the deprecated positional maxRounds
+// argument Build took before the options redesign.
+func WithMaxRounds(r int) BuildOption {
+	return func(c *BuildConfig) { c.MaxRounds = r }
+}
+
+// WithWorkers sets the concurrency of batch drivers (geospanner.BuildMany
+// and the experiment engine); results are bit-identical for any value.
+func WithWorkers(w int) BuildOption {
+	return func(c *BuildConfig) { c.Workers = w }
+}
+
+// WithTracer attaches an observability sink to every stage of the build.
+func WithTracer(t obs.Tracer) BuildOption {
+	return func(c *BuildConfig) { c.Tracer = t }
+}
+
+// WithSim appends raw simulator options, passed through to every stage.
+func WithSim(opts ...sim.Option) BuildOption {
+	return func(c *BuildConfig) { c.SimOpts = append(c.SimOpts, opts...) }
+}
+
+// WithFaults runs every stage on a faulty channel (sim.WithFaults).
+func WithFaults(fm sim.FaultModel) BuildOption {
+	return WithSim(sim.WithFaults(fm))
+}
+
+// WithReliability wraps every stage's protocols in the Reliable
+// ack/retransmission shim (sim.WithReliability).
+func WithReliability(cfg sim.ReliableConfig) BuildOption {
+	return WithSim(sim.WithReliability(cfg))
+}
+
+// simOptions assembles the per-stage simulator option list.
+func (c *BuildConfig) simOptions() []sim.Option {
+	opts := c.SimOpts
+	if c.Tracer != nil {
+		opts = append(opts[:len(opts):len(opts)], sim.WithTracer(c.Tracer))
+	}
+	return opts
+}
+
 // Build runs the full distributed pipeline on the unit disk graph g with
-// the given transmission radius. maxRounds (0 = default) bounds each
-// stage's simulator rounds. Simulator options pass through to every stage:
-// Build(g, r, 0, sim.WithReliability(...), sim.WithFaults(...)) runs the
-// whole construction loss-tolerantly on a faulty channel and — under any
-// fault model that delivers each message eventually — produces output
-// graphs bit-identical to the lossless run.
-func Build(g *graph.Graph, radius float64, maxRounds int, opts ...sim.Option) (*Result, error) {
+// the given transmission radius. Options bound the round budget
+// (WithMaxRounds), inject faults and loss tolerance (WithFaults,
+// WithReliability), attach observability (WithTracer), or pass raw
+// simulator options through to every stage (WithSim):
+// Build(g, r, WithReliability(...), WithFaults(...)) runs the whole
+// construction loss-tolerantly on a faulty channel and — under any fault
+// model that delivers each message eventually — produces output graphs
+// bit-identical to the lossless run.
+func Build(g *graph.Graph, radius float64, opts ...BuildOption) (*Result, error) {
 	if radius <= 0 {
 		return nil, ErrInvalidRadius
 	}
-	cl, clNet, err := cluster.Run(g, maxRounds, opts...)
+	cfg := NewBuildConfig(opts...)
+	maxRounds, simOpts := cfg.MaxRounds, cfg.simOptions()
+	cl, clNet, err := cluster.Run(g, maxRounds, simOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("build backbone: %w", err)
 	}
-	conn, connNet, err := connector.Run(g, cl, maxRounds, opts...)
+	conn, connNet, err := connector.Run(g, cl, maxRounds, simOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("build backbone: %w", err)
 	}
-	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, radius, maxRounds, opts...)
+	ld, ldNet, err := ldel.Run(conn.ICDS, conn.InBackbone, radius, maxRounds, simOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("planarize backbone: %w", err)
 	}

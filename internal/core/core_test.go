@@ -13,7 +13,7 @@ func TestBuildInvalidRadius(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(inst.UDG, 0, 0); !errors.Is(err, ErrInvalidRadius) {
+	if _, err := Build(inst.UDG, 0); !errors.Is(err, ErrInvalidRadius) {
 		t.Fatalf("err = %v, want ErrInvalidRadius", err)
 	}
 	if _, err := BuildCentralized(inst.UDG, -1); !errors.Is(err, ErrInvalidRadius) {
@@ -27,7 +27,7 @@ func TestBuildMatchesCentralized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dist, err := Build(inst.UDG, inst.Radius, 0)
+		dist, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestMessageStatsAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Build(inst.UDG, inst.Radius, 0)
+	res, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestBuildConstantMessagesAcrossDensity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Build(inst.UDG, inst.Radius, 0)
+		res, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func TestBuildAcrossDistributions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", dist, err)
 		}
-		d, err := Build(inst.UDG, inst.Radius, 0)
+		d, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatalf("%v: %v", dist, err)
 		}
@@ -204,11 +204,11 @@ func TestBuildDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Build(inst.UDG, inst.Radius, 0)
+	a, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(inst.UDG, inst.Radius, 0)
+	b, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatal(err)
 	}

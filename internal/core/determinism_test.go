@@ -59,11 +59,11 @@ func TestBuildSnapshotDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		first, err := Build(inst.UDG, inst.Radius, 0)
+		first, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatal(err)
 		}
-		second, err := Build(inst.UDG.Clone(), inst.Radius, 0)
+		second, err := Build(inst.UDG.Clone(), inst.Radius)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func TestBuildGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Build(inst.UDG, inst.Radius, 0)
+	res, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatal(err)
 	}

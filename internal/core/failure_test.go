@@ -130,7 +130,7 @@ func TestPipelineOnCollinearNetwork(t *testing.T) {
 	if !res.LDelICDS.IsPlanarEmbedding() {
 		t.Fatal("collinear backbone not planar")
 	}
-	dist, err := Build(g, 1, 0)
+	dist, err := Build(g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestPipelineOnGridNetwork(t *testing.T) {
 func TestPipelineTwoNodes(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
 	g := udg.Build(pts, 1)
-	res, err := Build(g, 1, 0)
+	res, err := Build(g, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func TestFaultCampaignBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lossless, err := Build(inst.UDG, inst.Radius, 0)
+		lossless, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,9 +62,9 @@ func TestFaultCampaignBitIdentical(t *testing.T) {
 		for _, rate := range rates {
 			rate := rate
 			t.Run(fmt.Sprintf("seed%d/bernoulli%.2f", seed, rate), func(t *testing.T) {
-				res, err := Build(inst.UDG.Clone(), inst.Radius, 0,
-					sim.WithReliability(sim.ReliableConfig{}),
-					sim.WithFaults(sim.Bernoulli(seed*31+int64(rate*100), rate)))
+				res, err := Build(inst.UDG.Clone(), inst.Radius,
+					WithReliability(sim.ReliableConfig{}),
+					WithFaults(sim.Bernoulli(seed*31+int64(rate*100), rate)))
 				if err != nil {
 					t.Fatalf("lossy build failed: %v", err)
 				}
@@ -93,7 +93,7 @@ func TestFaultCampaignModelMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossless, err := Build(inst.UDG, inst.Radius, 0)
+	lossless, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,8 +108,8 @@ func TestFaultCampaignModelMatrix(t *testing.T) {
 	for _, m := range models {
 		m := m
 		t.Run(m.name, func(t *testing.T) {
-			res, err := Build(inst.UDG.Clone(), inst.Radius, 0,
-				sim.WithReliability(sim.ReliableConfig{}), sim.WithFaults(m.fm))
+			res, err := Build(inst.UDG.Clone(), inst.Radius,
+				WithReliability(sim.ReliableConfig{}), WithFaults(m.fm))
 			if err != nil {
 				t.Fatalf("build under %s failed: %v", m.name, err)
 			}
@@ -126,9 +126,9 @@ func TestFaultCampaignCrashDiagnostics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Build(inst.UDG, inst.Radius, 80,
-		sim.WithReliability(sim.ReliableConfig{}),
-		sim.WithFaults(sim.CrashAt(map[int]int{5: 4})))
+	_, err = Build(inst.UDG, inst.Radius, WithMaxRounds(80),
+		WithReliability(sim.ReliableConfig{}),
+		WithFaults(sim.CrashAt(map[int]int{5: 4})))
 	if !errors.Is(err, sim.ErrNotQuiescent) {
 		t.Fatalf("err = %v, want ErrNotQuiescent", err)
 	}
@@ -152,14 +152,14 @@ func TestFaultCampaignRoundInflation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossless, err := Build(inst.UDG, inst.Radius, 0,
-		sim.WithReliability(sim.ReliableConfig{}))
+	lossless, err := Build(inst.UDG, inst.Radius,
+		WithReliability(sim.ReliableConfig{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	lossy, err := Build(inst.UDG.Clone(), inst.Radius, 0,
-		sim.WithReliability(sim.ReliableConfig{}),
-		sim.WithFaults(sim.Bernoulli(13, 0.25)))
+	lossy, err := Build(inst.UDG.Clone(), inst.Radius,
+		WithReliability(sim.ReliableConfig{}),
+		WithFaults(sim.Bernoulli(13, 0.25)))
 	if err != nil {
 		t.Fatal(err)
 	}

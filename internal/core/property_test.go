@@ -45,7 +45,7 @@ func buildFor(t *testing.T, pi pipelineInstance) *Result {
 	if err != nil {
 		t.Fatalf("instance(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
 	}
-	res, err := Build(inst.UDG, inst.Radius, 0)
+	res, err := Build(inst.UDG, inst.Radius)
 	if err != nil {
 		t.Fatalf("build(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
 	}
@@ -126,13 +126,13 @@ func TestQuickLossyBuildMatchesLossless(t *testing.T) {
 		if err != nil {
 			t.Fatalf("instance(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
 		}
-		lossless, err := Build(inst.UDG, inst.Radius, 0)
+		lossless, err := Build(inst.UDG, inst.Radius)
 		if err != nil {
 			t.Fatalf("build: %v", err)
 		}
-		lossy, err := Build(inst.UDG.Clone(), inst.Radius, 0,
-			sim.WithReliability(sim.ReliableConfig{}),
-			sim.WithFaults(sim.Bernoulli(pi.Seed, 0.15)))
+		lossy, err := Build(inst.UDG.Clone(), inst.Radius,
+			WithReliability(sim.ReliableConfig{}),
+			WithFaults(sim.Bernoulli(pi.Seed, 0.15)))
 		if err != nil {
 			t.Logf("lossy build(seed=%d, n=%d): %v", pi.Seed, pi.N, err)
 			return false

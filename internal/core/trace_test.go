@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"geospanner/internal/obs"
+	"geospanner/internal/udg"
+)
+
+// TestTracedBuildIdenticalToUntraced pins the tracing overhead contract:
+// attaching a sink observes the run without perturbing it, so a traced
+// build is bit-identical to an untraced one — output graphs, message
+// ledgers, and round counts alike.
+func TestTracedBuildIdenticalToUntraced(t *testing.T) {
+	inst, err := udg.ConnectedInstance(7, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(1 << 20)
+	traced, err := Build(inst.UDG.Clone(), inst.Radius, WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traced.LDelICDS.Equal(plain.LDelICDS) || !traced.LDelICDSPrime.Equal(plain.LDelICDSPrime) {
+		t.Fatal("traced build produced different output graphs than untraced")
+	}
+	if traced.Rounds != plain.Rounds {
+		t.Fatalf("traced rounds %+v != untraced %+v", traced.Rounds, plain.Rounds)
+	}
+	for k, v := range plain.MsgsLDel.ByType {
+		if traced.MsgsLDel.ByType[k] != v {
+			t.Fatalf("traced ByType[%s]=%d != untraced %d", k, traced.MsgsLDel.ByType[k], v)
+		}
+	}
+	if ring.Total() == 0 {
+		t.Fatal("tracer saw no events")
+	}
+}
+
+// TestTraceMatchesStageGolden replays a traced build of the stage-golden
+// instance (seed 7, n 50) into the rollup sink and reconstructs the
+// stages_seed7_n50.golden lines from trace data alone: per-stage round
+// counts, send totals, and per-type send counts must agree exactly with
+// the simulator's own MessageStats ledger that the golden file pins.
+func TestTraceMatchesStageGolden(t *testing.T) {
+	inst, err := udg.ConnectedInstance(7, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	res, err := Build(inst.UDG, inst.Radius, WithTracer(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The golden file labels the clustering stage "clustering"; traces use
+	// the protocol packages' Stage constants.
+	labels := map[string]string{"cluster": "clustering", "connector": "connector", "ldel": "ldel"}
+	var b strings.Builder
+	for _, name := range m.Stages() {
+		s := m.Stage(name)
+		fmt.Fprintf(&b, "%s rounds=%d total=%d:", labels[name], int(s.Rounds.Max), s.Sent)
+		keys := make([]string, 0, len(s.ByType))
+		for k := range s.ByType {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, s.ByType[k])
+		}
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	want, err := os.ReadFile(filepath.Join("testdata", "stages_seed7_n50.golden"))
+	if err != nil {
+		t.Fatalf("missing stage golden (run TestStageMessageGolden with UPDATE_GOLDEN=1 first): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("trace-derived stage counts diverge from the golden ledger.\n--- trace ---\n%s--- golden ---\n%s", got, want)
+	}
+
+	// The trace's per-type counts must also agree with MessageStats.ByType
+	// for every simulated message type (the ledger additionally carries the
+	// Beacon and RoleAnnounce bookkeeping entries, which are not protocol
+	// traffic and are not traced).
+	traceByType := make(map[string]int)
+	for _, name := range m.Stages() {
+		for k, v := range m.Stage(name).ByType {
+			traceByType[k] += v
+		}
+	}
+	for k, v := range res.MsgsLDel.ByType {
+		if k == MsgTypeBeacon || k == MsgTypeRoleAnnounce {
+			continue
+		}
+		if traceByType[k] != v {
+			t.Errorf("trace ByType[%s]=%d, MessageStats.ByType=%d", k, traceByType[k], v)
+		}
+		delete(traceByType, k)
+	}
+	for k, v := range traceByType {
+		t.Errorf("trace carries %d sends of type %s absent from MessageStats", v, k)
+	}
+}
+
+// TestTraceGoldenJSONL pins the exact JSONL event stream of a small fixed
+// instance. WallNS is omitted (the one nondeterministic field); everything
+// else — event order, rounds, senders, types, byte sizes — is part of the
+// simulator's determinism contract. Regenerate with UPDATE_GOLDEN=1.
+func TestTraceGoldenJSONL(t *testing.T) {
+	inst, err := udg.ConnectedInstance(3, 12, 100, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	sink.OmitWall = true
+	if _, err := Build(inst.UDG, inst.Radius, WithTracer(sink)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "trace_seed3_n12.golden.jsonl")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("golden trace diverges at line %d.\ngot:  %s\nwant: %s\nIf intentional, regenerate with UPDATE_GOLDEN=1.", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("golden trace length changed: got %d lines, want %d lines.\nIf intentional, regenerate with UPDATE_GOLDEN=1.", len(gl), len(wl))
+	}
+
+	// Every line of the golden must satisfy the strict schema tracecat
+	// -check enforces.
+	for i, line := range bytes.Split(want, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if _, err := obs.DecodeJSONL(line, true); err != nil {
+			t.Fatalf("golden line %d fails strict schema: %v", i+1, err)
+		}
+	}
+}

@@ -97,7 +97,7 @@ func buildAll(seed int64, n int, radius float64, cfg Config, distributed bool) (
 	}
 	var res *core.Result
 	if distributed {
-		res, err = core.Build(inst.UDG, radius, 0)
+		res, err = core.Build(inst.UDG, radius)
 	} else {
 		res, err = core.BuildCentralized(inst.UDG, radius)
 	}

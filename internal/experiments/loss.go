@@ -50,13 +50,13 @@ func Loss(n int, radius float64, rates []float64, cfg Config) (*stats.Table, err
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d: %w", trial, err)
 			}
-			plain, err := core.Build(inst.UDG, inst.Radius, 0)
+			plain, err := core.Build(inst.UDG, inst.Radius)
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d (plain): %w", trial, err)
 			}
-			lossy, err := core.Build(inst.UDG.Clone(), inst.Radius, 0,
-				sim.WithReliability(sim.ReliableConfig{}),
-				sim.WithFaults(sim.Bernoulli(seed*131+int64(rate*1000), rate)))
+			lossy, err := core.Build(inst.UDG.Clone(), inst.Radius,
+				core.WithReliability(sim.ReliableConfig{}),
+				core.WithFaults(sim.Bernoulli(seed*131+int64(rate*1000), rate)))
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d (rate %g): %w", trial, rate, err)
 			}

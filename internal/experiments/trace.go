@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"geospanner/internal/core"
+	"geospanner/internal/obs"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+)
+
+// traceRingCap bounds each trial's in-memory event buffer. A build of a
+// few hundred nodes emits well under a million events; the cap only
+// guards against pathological instances.
+const traceRingCap = 1 << 20
+
+// Trace builds cfg.Trials random instances at density n with a tracer
+// attached and returns the per-stage rollup table plus the merged event
+// stream. Each trial traces into a private ring buffer; the streams are
+// merged in trial order with Event.Trial stamped to the trial index, so
+// the merged stream — like every other experiment output — is
+// bit-identical for any Workers value (wall-clock fields excepted: the
+// WallNS of stage_end events is genuinely nondeterministic and is the
+// only field that varies between runs).
+//
+// The table reports, per pipeline stage, the rounds histogram, message
+// totals broken down by delivery outcome, retransmission bookkeeping,
+// and protocol state-transition counts, aggregated over all trials by an
+// obs.Metrics sink replaying the merged stream.
+func Trace(n int, radius float64, cfg Config) (*stats.Table, []obs.Event, error) {
+	cfg = cfg.withDefaults()
+	type traceMeasure struct {
+		events []obs.Event
+	}
+	trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (traceMeasure, error) {
+		inst, err := udg.ConnectedInstance(cfg.Seed+int64(trial), n, cfg.Region, radius, cfg.MaxTries)
+		if err != nil {
+			return traceMeasure{}, fmt.Errorf("trace trial %d: %w", trial, err)
+		}
+		ring := obs.NewRing(traceRingCap)
+		if _, err := core.Build(inst.UDG, radius, core.WithTracer(ring)); err != nil {
+			return traceMeasure{}, fmt.Errorf("trace trial %d: %w", trial, err)
+		}
+		if ring.Total() > traceRingCap {
+			return traceMeasure{}, fmt.Errorf("trace trial %d: event stream overflowed ring (%d events)", trial, ring.Total())
+		}
+		return traceMeasure{events: ring.Events()}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var merged []obs.Event
+	m := obs.NewMetrics()
+	for trial, t := range trials {
+		for _, e := range t.events {
+			e.Trial = trial
+			merged = append(merged, e)
+			m.Emit(e)
+		}
+	}
+	tb := stats.NewTable("stage", "runs", "rounds_avg", "rounds_max",
+		"sent", "delivered", "dropped", "retrans", "giveups", "states", "wall_ms_avg")
+	for _, name := range m.Stages() {
+		s := m.Stage(name)
+		tb.AddRow(name, s.Runs,
+			s.Rounds.Mean(), int(s.Rounds.Max),
+			s.Sent, s.Delivered, s.Dropped,
+			s.Retransmissions, s.GiveUps, s.StateChanges,
+			s.Wall.Mean()/1e6)
+	}
+	return tb, merged, nil
+}

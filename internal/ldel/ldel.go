@@ -37,6 +37,10 @@ import (
 	"geospanner/internal/sim"
 )
 
+// Stage is the stage label of LDel construction runs in traces
+// (sim.WithStage).
+const Stage = "ldel"
+
 // angleSlack absorbs floating-point rounding in the π/3 proposal threshold
 // so an exactly-equilateral triangle is still proposed by all corners.
 const angleSlack = 1e-12
@@ -245,15 +249,20 @@ func (n *node) Tick(ctx *sim.Context, round int) {
 	}
 	switch round {
 	case n.k:
+		ctx.EmitState("ldel:propose")
 		n.computeLocal(ctx)
 	case n.k + 1:
+		ctx.EmitState("ldel:respond")
 		n.respond(ctx)
 	case n.k + 2:
+		ctx.EmitState("ldel:finalize")
 		n.finalizeLDel(ctx)
 	case n.k + 2 + n.k:
 		// The Algorithm 3 gossip needs k rounds to spread before pruning.
+		ctx.EmitState("ldel:prune")
 		n.prune(ctx)
 	case n.k + 3 + n.k:
+		ctx.EmitState("ldel:done")
 		n.finalizePLDel()
 	}
 }
@@ -546,6 +555,7 @@ func RunK(g *graph.Graph, active []bool, radius float64, k, maxRounds int, opts 
 			active[i] = true
 		}
 	}
+	opts = append([]sim.Option{sim.WithStage(Stage)}, opts...)
 	net := sim.NewNetwork(g, func(id int) sim.Protocol {
 		return &node{id: id, active: active[id], radius: radius, k: k}
 	}, opts...)

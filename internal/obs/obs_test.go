@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRingKeepsTail(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KindRound, Round: i + 1})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if evs[i].Round != want {
+			t.Fatalf("event %d round = %d, want %d", i, evs[i].Round, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Event{Kind: KindSend, From: 0})
+	r.Emit(Event{Kind: KindSend, From: 1})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].From != 0 || evs[1].From != 1 {
+		t.Fatalf("unexpected events %+v", evs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	in := []Event{
+		{Kind: KindStageStart, Stage: "cluster", From: NoNode, To: NoNode, N: 10},
+		{Kind: KindSend, Stage: "cluster", Round: 1, Type: "IamDominator", From: 0, To: NoNode, Bytes: 2},
+		{Kind: KindStageEnd, Stage: "cluster", Round: 4, From: NoNode, To: NoNode, N: 85, WallNS: 12345},
+	}
+	for _, e := range in {
+		j.Emit(e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(in) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(in))
+	}
+	for i, line := range lines {
+		e, err := DecodeJSONL([]byte(line), true)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if e != in[i] {
+			t.Fatalf("line %d: round-trip mismatch\n got %+v\nwant %+v", i, e, in[i])
+		}
+	}
+}
+
+func TestJSONLOmitWall(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.OmitWall = true
+	j.Emit(Event{Kind: KindStageEnd, Stage: "x", From: NoNode, To: NoNode, WallNS: 999})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "wall_ns") {
+		t.Fatalf("OmitWall leaked wall time: %s", buf.String())
+	}
+}
+
+func TestDecodeJSONLStrictRejectsUnknown(t *testing.T) {
+	if _, err := DecodeJSONL([]byte(`{"kind":"send","from":0,"to":-1,"bogus":1}`), true); err == nil {
+		t.Fatal("unknown field accepted in strict mode")
+	}
+	if _, err := DecodeJSONL([]byte(`{"kind":"martian","from":-1,"to":-1}`), true); err == nil {
+		t.Fatal("unknown kind accepted in strict mode")
+	}
+	if _, err := DecodeJSONL([]byte(`{"from":-1,"to":-1}`), true); err == nil {
+		t.Fatal("missing kind accepted in strict mode")
+	}
+	// Non-strict decoding tolerates both for forward compatibility.
+	if _, err := DecodeJSONL([]byte(`{"kind":"martian","bogus":1}`), false); err != nil {
+		t.Fatalf("lenient decode failed: %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 7, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count != 9 || h.Max != 100 {
+		t.Fatalf("count=%d max=%d", h.Count, h.Max)
+	}
+	// bucket 0 = {0}, 1 = {1}, 2 = [2,4), 3 = [4,8), 4 = [8,16), 7 = [64,128)
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[2] != 2 ||
+		h.Buckets[3] != 2 || h.Buckets[4] != 1 || h.Buckets[7] != 1 {
+		t.Fatalf("unexpected buckets %v", h.Buckets[:8])
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 3 {
+		t.Fatalf("p50 = %d, want in [2,3]", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d, want 100", q)
+	}
+	if s := h.String(); !strings.Contains(s, "n=9") {
+		t.Fatalf("unexpected String: %s", s)
+	}
+}
+
+func TestMetricsRollup(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Kind: KindStageStart, Stage: "cluster", N: 10})
+	m.Emit(Event{Kind: KindSend, Stage: "cluster", Type: "IamDominator", From: 0, Bytes: 4})
+	m.Emit(Event{Kind: KindSend, Stage: "cluster", Type: "IamDominatee", From: 1, Bytes: 6})
+	m.Emit(Event{Kind: KindDeliver, Stage: "cluster", From: 0, To: 1, N: 2})
+	m.Emit(Event{Kind: KindDrop, Stage: "cluster", From: 0, To: 2})
+	m.Emit(Event{Kind: KindRound, Stage: "cluster", Round: 1, Sent: 2, Delivered: 2})
+	m.Emit(Event{Kind: KindState, Stage: "cluster", From: 0, Type: "dominator"})
+	m.Emit(Event{Kind: KindRetransmit, Stage: "cluster", From: 3, N: 4})
+	m.Emit(Event{Kind: KindGiveUp, Stage: "cluster", From: 3})
+	m.Emit(Event{Kind: KindStageEnd, Stage: "cluster", Round: 5, N: 2, WallNS: 1000})
+
+	s := m.Stage("cluster")
+	if s.Runs != 1 || s.Sent != 2 || s.Delivered != 2 || s.Dropped != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.Bytes != 10 || s.ByType["IamDominator"] != 1 || s.ByType["IamDominatee"] != 1 {
+		t.Fatalf("type rollup: %+v", s)
+	}
+	if s.Retransmissions != 4 || s.GiveUps != 1 || s.StateChanges != 1 {
+		t.Fatalf("shim rollup: %+v", s)
+	}
+	if s.Rounds.Max != 5 || s.Wall.Sum != 1000 {
+		t.Fatalf("per-run rollup: %+v", s)
+	}
+	if got := m.Stages(); len(got) != 1 || got[0] != "cluster" {
+		t.Fatalf("stages: %v", got)
+	}
+	if out := m.String(); !strings.Contains(out, "stage cluster") || !strings.Contains(out, "IamDominator") {
+		t.Fatalf("String: %s", out)
+	}
+}
+
+func TestMultiAndFunc(t *testing.T) {
+	var got []Kind
+	f := Func(func(e Event) { got = append(got, e.Kind) })
+	r := NewRing(4)
+	tr := Multi(nil, f, r)
+	tr.Emit(Event{Kind: KindSend})
+	tr.Emit(Event{Kind: KindRound})
+	if len(got) != 2 || got[0] != KindSend {
+		t.Fatalf("func sink: %v", got)
+	}
+	if len(r.Events()) != 2 {
+		t.Fatalf("ring sink: %v", r.Events())
+	}
+}
+
+type sizedMsg struct{}
+
+func (sizedMsg) TraceBytes() int { return 42 }
+
+func TestSizeOf(t *testing.T) {
+	if n := SizeOf(sizedMsg{}); n != 42 {
+		t.Fatalf("Sized: %d", n)
+	}
+	if n := SizeOf(struct{ A int }{7}); n <= 0 {
+		t.Fatalf("fallback: %d", n)
+	}
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Ring is an in-memory sink holding the most recent Cap events. It is the
+// cheapest always-on sink: a full pipeline trace of a 100-node instance is
+// a few tens of thousands of events, so a generously sized ring captures
+// whole runs while a small one keeps only the tail — the part that
+// explains a wedged run.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []Event // grows on demand up to cap, then wraps
+	next  int
+	full  bool
+	total int
+}
+
+// NewRing returns a ring buffer keeping the last cap events (cap < 1 is
+// raised to 1). The buffer grows as events arrive, so an over-provisioned
+// capacity costs nothing until a trace actually fills it.
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{cap: cap}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if !r.full {
+		r.buf = append(r.buf, e)
+		r.full = len(r.buf) == r.cap
+	} else {
+		// buf is at capacity; overwrite the oldest. next points at it.
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events emitted over the ring's lifetime,
+// including those that have been overwritten.
+func (r *Ring) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONL streams events to w, one JSON object per line — the interchange
+// format tools/tracecat replays and `make trace-smoke` validates. Writes
+// are buffered; call Flush (or Close) when the run is over.
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer
+	// OmitWall zeroes the WallNS field before encoding, making the output
+	// byte-identical across runs of the same instance (the golden-trace
+	// tests rely on it).
+	OmitWall bool
+	err      error
+}
+
+// NewJSONL returns a sink writing JSON lines to w. If w is also an
+// io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Tracer. Encoding errors are sticky and surfaced by
+// Flush/Close.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if j.OmitWall {
+		e.WallNS = 0
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and reports the first error of the sink's life.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is closable, closes it.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// DecodeJSONL parses one JSONL trace line. strict additionally rejects
+// unknown fields and unknown event kinds — the schema check behind
+// `tracecat -check`.
+func DecodeJSONL(line []byte, strict bool) (Event, error) {
+	var e Event
+	// From/To default to NoNode so that omitted fields do not masquerade
+	// as node 0.
+	e.From, e.To = NoNode, NoNode
+	if strict {
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return e, err
+		}
+		if e.Kind == "" {
+			return e, fmt.Errorf("obs: event missing kind")
+		}
+		if !KnownKind(e.Kind) {
+			return e, fmt.Errorf("obs: unknown event kind %q", e.Kind)
+		}
+		return e, nil
+	}
+	err := json.Unmarshal(line, &e)
+	return e, err
+}

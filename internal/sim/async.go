@@ -4,6 +4,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"time"
+
+	"geospanner/internal/obs"
 )
 
 // AsyncProtocol is a per-node state machine for asynchronous execution:
@@ -27,10 +30,11 @@ type AsyncProtocol interface {
 // AsyncProtocol run on the synchronous engine — and under the Reliable
 // shim — unchanged.
 type AsyncContext struct {
-	net  *AsyncNetwork
-	id   int
-	send func(m Message)
-	nbrs func() []int
+	net   *AsyncNetwork
+	id    int
+	send  func(m Message)
+	nbrs  func() []int
+	state func(state string)
 }
 
 // ID returns the node's identifier.
@@ -44,6 +48,20 @@ func (c *AsyncContext) Neighbors() []int {
 	return c.net.g.Neighbors(c.id)
 }
 
+// EmitState records a protocol state transition in the run's trace; on a
+// detached context (AdaptAsync) it forwards to the synchronous engine.
+func (c *AsyncContext) EmitState(state string) {
+	if c.state != nil {
+		c.state(state)
+		return
+	}
+	if c.net == nil || c.net.tracer == nil {
+		return
+	}
+	c.net.tracer.Emit(obs.Event{Kind: obs.KindState, Stage: c.net.stage, Round: c.net.now,
+		Type: state, From: c.id, To: obs.NoNode})
+}
+
 // Broadcast sends m to every neighbor; each copy is delivered after an
 // independent random delay in [1, MaxDelay] time units.
 func (c *AsyncContext) Broadcast(m Message) {
@@ -54,6 +72,10 @@ func (c *AsyncContext) Broadcast(m Message) {
 	n := c.net
 	n.sent[c.id]++
 	n.byType[m.Type()]++
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{Kind: obs.KindSend, Stage: n.stage, Round: n.now,
+			Type: m.Type(), From: c.id, To: obs.NoNode, Bytes: obs.SizeOf(m)})
+	}
 	for _, v := range n.g.Neighbors(c.id) {
 		delay := 1 + n.rng.Intn(n.maxDelay)
 		heap.Push(&n.queue, asyncEvent{
@@ -108,10 +130,23 @@ type AsyncNetwork struct {
 	sent     []int
 	byType   map[string]int
 	faults   FaultModel
+	tracer   obs.Tracer
+	stage    string
 }
 
 // AsyncOption configures an AsyncNetwork.
 type AsyncOption func(*AsyncNetwork)
+
+// WithAsyncTracer attaches a structured-event sink to the asynchronous
+// scheduler; the Round field of its events is the simulated event time.
+func WithAsyncTracer(t obs.Tracer) AsyncOption {
+	return func(n *AsyncNetwork) { n.tracer = t }
+}
+
+// WithAsyncStage labels the run's trace events with a stage name.
+func WithAsyncStage(name string) AsyncOption {
+	return func(n *AsyncNetwork) { n.stage = name }
+}
 
 // WithAsyncFaults injects a fault model into the asynchronous scheduler:
 // each queued delivery is submitted to fm at its delivery time (the round
@@ -160,21 +195,47 @@ func (n *AsyncNetwork) Run(maxEvents int) (deliveries, endTime int, err error) {
 	if maxEvents <= 0 {
 		maxEvents = 1000*n.g.N() + 1000
 	}
+	start := time.Now()
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{Kind: obs.KindStageStart, Stage: n.stage,
+			From: obs.NoNode, To: obs.NoNode, N: n.g.N()})
+	}
+	finish := func(err error) error {
+		if n.tracer == nil {
+			return err
+		}
+		note := ""
+		if err != nil {
+			note = err.Error()
+		}
+		n.tracer.Emit(obs.Event{Kind: obs.KindStageEnd, Stage: n.stage, Round: n.now,
+			From: obs.NoNode, To: obs.NoNode, N: n.TotalSent(),
+			WallNS: time.Since(start).Nanoseconds(), Note: note})
+		return err
+	}
 	for i := range n.procs {
 		n.procs[i].Init(&n.ctxs[i])
 	}
 	for n.queue.Len() > 0 {
 		if deliveries >= maxEvents {
-			return deliveries, n.now, fmt.Errorf("sim: async event budget exhausted at t=%d", n.now)
+			return deliveries, n.now, finish(fmt.Errorf("sim: async event budget exhausted at t=%d", n.now))
 		}
 		ev, ok := heap.Pop(&n.queue).(asyncEvent)
 		if !ok {
-			return deliveries, n.now, fmt.Errorf("sim: corrupt event queue")
+			return deliveries, n.now, finish(fmt.Errorf("sim: corrupt event queue"))
 		}
 		n.now = ev.at
 		copies := 1
 		if n.faults != nil {
 			copies = n.faults.Copies(ev.at, ev.from, ev.to, ev.seq, ev.msg)
+		}
+		if n.tracer != nil {
+			kind, cnt := obs.KindDeliver, copies
+			if copies == 0 {
+				kind, cnt = obs.KindDrop, 0
+			}
+			n.tracer.Emit(obs.Event{Kind: kind, Stage: n.stage, Round: ev.at,
+				Type: ev.msg.Type(), From: ev.from, To: ev.to, N: cnt})
 		}
 		for c := 0; c < copies; c++ {
 			n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
@@ -191,9 +252,15 @@ func (n *AsyncNetwork) Run(maxEvents int) (deliveries, endTime int, err error) {
 		}
 	}
 	if len(qe.NotDone) > 0 {
-		return deliveries, n.now, qe
+		if n.tracer != nil {
+			for _, id := range qe.NotDone {
+				n.tracer.Emit(obs.Event{Kind: obs.KindStuck, Stage: n.stage, Round: n.now,
+					From: id, To: obs.NoNode, Note: qe.Reasons[id]})
+			}
+		}
+		return deliveries, n.now, finish(qe)
 	}
-	return deliveries, n.now, nil
+	return deliveries, n.now, finish(nil)
 }
 
 // Protocol returns node id's protocol instance.
@@ -238,9 +305,10 @@ func (a *AsyncAdapter) Inner() AsyncProtocol { return a.inner }
 // the life of the run.
 func (a *AsyncAdapter) Init(ctx *Context) {
 	a.actx = AsyncContext{
-		id:   ctx.ID(),
-		send: func(m Message) { ctx.Broadcast(m) },
-		nbrs: func() []int { return ctx.Neighbors() },
+		id:    ctx.ID(),
+		send:  func(m Message) { ctx.Broadcast(m) },
+		nbrs:  func() []int { return ctx.Neighbors() },
+		state: func(s string) { ctx.EmitState(s) },
 	}
 	a.inner.Init(&a.actx)
 }

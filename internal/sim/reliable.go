@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"geospanner/internal/obs"
 )
 
 // This file implements the loss-tolerant protocol runtime: an
@@ -339,6 +341,7 @@ func (r *Reliable) executePhase(p int) {
 // retransmission timeout expired, and pending acknowledgments.
 func (r *Reliable) flush(ctx *Context, round int) {
 	var data []relData
+	retransmitted := 0
 	for _, s := range r.newSlots {
 		s.lastTx = round
 		data = append(data, relData{Phase: s.phase, Seq: s.seq, Count: s.count, Payload: s.payload})
@@ -354,14 +357,24 @@ func (r *Reliable) flush(ctx *Context, round int) {
 					s.tries++ // record the give-up exactly once
 					r.failed = append(r.failed, s)
 					r.stats.GaveUp++
+					if ctx.tracing() {
+						ctx.emit(obs.Event{Kind: obs.KindGiveUp, Stage: ctx.stageName(),
+							Round: round, From: r.id, To: obs.NoNode,
+							Note: fmt.Sprintf("phase %d seq %d after %d retransmissions", s.phase, s.seq, r.cfg.MaxRetries)})
+					}
 				}
 				continue
 			}
 			s.tries++
 			s.lastTx = round
 			r.stats.Retransmissions++
+			retransmitted++
 			data = append(data, relData{Phase: s.phase, Seq: s.seq, Count: s.count, Payload: s.payload})
 		}
+	}
+	if retransmitted > 0 && ctx.tracing() {
+		ctx.emit(obs.Event{Kind: obs.KindRetransmit, Stage: ctx.stageName(),
+			Round: round, From: r.id, To: obs.NoNode, N: retransmitted})
 	}
 	if len(data) == 0 && len(r.acks) == 0 {
 		return

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"geospanner/internal/geom"
 	"geospanner/internal/graph"
+	"geospanner/internal/obs"
 )
 
 // ErrNotQuiescent is returned by Run when the round budget is exhausted
@@ -162,6 +164,41 @@ func (c *Context) Broadcast(m Message) {
 	n.byType[m.Type()]++
 	n.outbox = append(n.outbox, envelope{from: c.id, seq: n.seq, msg: m})
 	n.seq++
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{Kind: obs.KindSend, Stage: n.stage, Round: n.rounds,
+			Type: m.Type(), From: c.id, To: obs.NoNode, Bytes: obs.SizeOf(m)})
+	}
+}
+
+// EmitState records a protocol state transition (the node reaching the
+// named state) in the run's trace. With no tracer installed it is a
+// single nil check.
+func (c *Context) EmitState(state string) {
+	n := c.net
+	if n == nil || n.tracer == nil {
+		return
+	}
+	n.tracer.Emit(obs.Event{Kind: obs.KindState, Stage: n.stage, Round: n.rounds,
+		Type: state, From: c.id, To: obs.NoNode})
+}
+
+// emit forwards an event to the network's tracer; sim-internal callers
+// (the Reliable shim) use it for their own event kinds.
+func (c *Context) emit(e obs.Event) {
+	if c.net != nil && c.net.tracer != nil {
+		c.net.tracer.Emit(e)
+	}
+}
+
+// tracing reports whether event construction is worth the work.
+func (c *Context) tracing() bool { return c.net != nil && c.net.tracer != nil }
+
+// stageName returns the network's stage label for building events.
+func (c *Context) stageName() string {
+	if c.net == nil {
+		return ""
+	}
+	return c.net.stage
 }
 
 type envelope struct {
@@ -184,6 +221,8 @@ type Network struct {
 	rounds   int
 	seq      int
 	trace    []RoundStats
+	tracer   obs.Tracer
+	stage    string
 }
 
 // Option configures a Network.
@@ -200,6 +239,24 @@ func WithDrop(f DropFunc) Option {
 // everything exactly once.
 func WithFaults(fm FaultModel) Option {
 	return func(n *Network) { n.faults = fm }
+}
+
+// WithTracer attaches a structured-event sink observing the run: stage
+// boundaries with wall time, every send/deliver/drop, per-round
+// summaries, protocol state transitions, and the Reliable shim's
+// retransmission bookkeeping. A nil tracer (the default) costs one
+// predicted branch per operation; events are built only when a tracer is
+// installed, and nothing the tracer observes feeds back into the run, so
+// traced and untraced executions are bit-identical.
+func WithTracer(t obs.Tracer) Option {
+	return func(n *Network) { n.tracer = t }
+}
+
+// WithStage labels the run's trace events with a stage name. The protocol
+// drivers set their canonical names ("cluster", "connector", "ldel");
+// callers composing their own networks may override.
+func WithStage(name string) Option {
+	return func(n *Network) { n.stage = name }
 }
 
 // WithReliability wraps every protocol in the Reliable ack/retransmission
@@ -245,6 +302,11 @@ func (n *Network) Run(maxRounds int) (int, error) {
 	if maxRounds <= 0 {
 		maxRounds = 10*n.g.N() + 50
 	}
+	start := time.Now()
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{Kind: obs.KindStageStart, Stage: n.stage,
+			From: obs.NoNode, To: obs.NoNode, N: n.g.N()})
+	}
 	for i := range n.procs {
 		n.procs[i].Init(&n.ctxs[i])
 	}
@@ -267,6 +329,14 @@ func (n *Network) Run(maxRounds int) (int, error) {
 				if n.faults != nil {
 					copies = n.faults.Copies(round, env.from, id, env.seq, env.msg)
 				}
+				if n.tracer != nil {
+					kind, cnt := obs.KindDeliver, copies
+					if copies == 0 {
+						kind, cnt = obs.KindDrop, 0
+					}
+					n.tracer.Emit(obs.Event{Kind: kind, Stage: n.stage, Round: round,
+						Type: env.msg.Type(), From: env.from, To: id, N: cnt})
+				}
 				for c := 0; c < copies; c++ {
 					n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
 					delivered++
@@ -277,6 +347,10 @@ func (n *Network) Run(maxRounds int) (int, error) {
 			n.procs[id].Tick(&n.ctxs[id], round)
 		}
 		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: len(n.outbox)})
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{Kind: obs.KindRound, Stage: n.stage, Round: round,
+				From: obs.NoNode, To: obs.NoNode, Sent: len(n.outbox), Delivered: delivered})
+		}
 
 		// Termination. In reliable mode Done subsumes delivery: a Reliable
 		// node reports Done only once its payloads are acknowledged and
@@ -285,13 +359,55 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		// classic global condition: nothing in flight and everyone Done.
 		if n.reliable {
 			if n.allDone() {
-				return round, nil
+				return round, n.finishTrace(start, nil)
 			}
 		} else if len(n.outbox) == 0 && n.allDone() {
-			return round, nil
+			return round, n.finishTrace(start, nil)
+		}
+
+		// A long not-yet-quiescent stretch is the interesting part of a
+		// lossy run; snapshot it periodically so a trace of a wedged run
+		// shows the wait, not just the post-mortem.
+		if n.tracer != nil && round%quiesceSnapshotEvery == 0 {
+			notDone := 0
+			for _, p := range n.procs {
+				if !p.Done() {
+					notDone++
+				}
+			}
+			n.tracer.Emit(obs.Event{Kind: obs.KindQuiesceWait, Stage: n.stage, Round: round,
+				From: obs.NoNode, To: obs.NoNode, N: notDone, Sent: len(n.outbox)})
 		}
 	}
-	return n.rounds, n.quiescenceError()
+	return n.rounds, n.finishTrace(start, n.quiescenceError())
+}
+
+// quiesceSnapshotEvery is the period, in rounds, of KindQuiesceWait
+// snapshots during a traced run that has not yet gone quiescent.
+const quiesceSnapshotEvery = 64
+
+// finishTrace closes the stage in the trace — stuck-node post-mortems on
+// failure, then the stage_end record with rounds, total sends, and wall
+// time — and passes err through.
+func (n *Network) finishTrace(start time.Time, err error) error {
+	if n.tracer == nil {
+		return err
+	}
+	note := ""
+	if err != nil {
+		note = err.Error()
+		var qe *QuiescenceError
+		if errors.As(err, &qe) {
+			for _, id := range qe.NotDone {
+				n.tracer.Emit(obs.Event{Kind: obs.KindStuck, Stage: n.stage, Round: n.rounds,
+					From: id, To: obs.NoNode, Note: qe.Reasons[id]})
+			}
+		}
+	}
+	n.tracer.Emit(obs.Event{Kind: obs.KindStageEnd, Stage: n.stage, Round: n.rounds,
+		From: obs.NoNode, To: obs.NoNode, N: n.TotalSent(),
+		WallNS: time.Since(start).Nanoseconds(), Note: note})
+	return err
 }
 
 // quiescenceError assembles the diagnostic for a run that exhausted its
