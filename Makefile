@@ -8,7 +8,7 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race fuzz bench trace-smoke clean
+.PHONY: check fmt vet build test race fuzz bench trace-smoke chaos-smoke clean
 
 check: fmt vet build test race
 
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/ ./internal/sim/ ./internal/core/ ./internal/obs/ .
+	$(GO) test -race ./internal/experiments/ ./internal/graph/ ./internal/routing/ ./internal/metrics/ ./internal/sim/ ./internal/core/ ./internal/obs/ ./internal/health/ .
 
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz=FuzzReadGraph -fuzztime=$(FUZZTIME)
@@ -47,6 +47,16 @@ trace-smoke:
 	$(GO) run ./cmd/experiments -exp trace -n 50 -trials 2 -seed 7 -trace-out "$$tmp/trace.jsonl" && \
 	$(GO) run ./tools/tracecat -check "$$tmp/trace.jsonl" && \
 	rm -rf "$$tmp"
+
+# chaos-smoke runs a short chaos campaign (randomized fault schedules
+# against the partition-aware build; any contract violation is shrunk to
+# a minimal reproducing schedule and fails the target) plus the
+# schedule-shrink self-test, and replays the committed regression corpus.
+chaos-smoke:
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run ./cmd/experiments -exp chaos -trials 3 -workers 4 -out "$$tmp" && \
+	rm -rf "$$tmp"
+	$(GO) test ./internal/experiments/ -run 'Chaos|Shrink' -count=1
 
 clean:
 	$(GO) clean ./...

@@ -37,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, all")
+		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, all")
 		trials   = fs.Int("trials", 10, "random vertex sets per configuration")
 		n        = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
 		radius   = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
@@ -83,7 +83,7 @@ func run(args []string) error {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss", "trace"}
+		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss", "trace", "chaos"}
 	}
 	for _, name := range names {
 		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV, *traceOut); err != nil {
@@ -198,6 +198,29 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 	case "loss":
 		tb, err := experiments.Loss(pick(experiments.DefaultTable1N), radius, experiments.DefaultLossRates(), cfg)
 		return emit("Loss tolerance: message overhead and round inflation vs loss rate", tb, err)
+	case "chaos":
+		tb, failures, err := experiments.Chaos(experiments.DefaultChaosIntensities(), cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(fmt.Sprintf("Chaos campaign: degraded-mode contract under randomized fault schedules (trials=%d per intensity)",
+			cfg.Trials), tb, nil); err != nil {
+			return err
+		}
+		origEvents, shrunkEvents, evals, err := experiments.ShrinkSelfTest(cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("shrink self-test: %w", err)
+		}
+		fmt.Printf("shrink self-test: %d events -> %d (in %d evaluations)\n", origEvents, shrunkEvents, evals)
+		if len(failures) > 0 {
+			paths, err := experiments.SaveFailures(outDir, failures)
+			if err != nil {
+				return fmt.Errorf("saving chaos failures: %w", err)
+			}
+			return fmt.Errorf("chaos: %d schedule(s) broke the degraded-mode contract; shrunk reproductions: %v", len(failures), paths)
+		}
+		fmt.Println("chaos: every schedule survived; no failures to shrink")
+		return nil
 	case "trace":
 		tb, events, err := experiments.Trace(pick(experiments.DefaultTable1N), radius, cfg)
 		if err != nil {

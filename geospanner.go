@@ -27,17 +27,27 @@
 // in parallel under WithWorkers, with bit-identical results for any
 // worker count.
 //
+// When the network is damaged, WithPartialResults trades the all-or-nothing
+// contract for graceful degradation: Build partitions the live graph, runs
+// the pipeline per connected component, and returns partial structures plus
+// a HealthReport instead of an error. WithDeadline and WithContext bound a
+// build by wall clock or caller cancellation; VerifyPartial checks the
+// paper's invariants on whatever completed.
+//
 // See the examples directory for runnable scenarios and cmd/experiments
 // for the harness that regenerates every table and figure of the paper.
 package geospanner
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"geospanner/internal/core"
 	"geospanner/internal/geom"
 	"geospanner/internal/graph"
+	"geospanner/internal/health"
 	"geospanner/internal/ldel"
 	"geospanner/internal/maintain"
 	"geospanner/internal/metrics"
@@ -99,6 +109,28 @@ type (
 	// the stuck nodes, their self-reported reasons, and the in-flight
 	// traffic. Match with errors.As.
 	QuiescenceError = sim.QuiescenceError
+	// ReliableStats aggregates the ack/retransmission shim's activity
+	// (acks, retransmissions, abandoned slots); Result.Reliable carries
+	// the per-build rollup.
+	ReliableStats = sim.ReliableStats
+)
+
+// Degraded-mode types: the structured health record of a partition-aware
+// build (WithPartialResults, WithDeadline, WithContext).
+type (
+	// HealthReport is Result.Health on partial builds: dead and uncovered
+	// nodes, live components with per-component completion, stuck-stage
+	// diagnoses, and the loss-tolerance give-up ledger.
+	HealthReport = health.Report
+	// HealthComponent describes one live component and how far its
+	// pipeline got.
+	HealthComponent = health.Component
+	// HealthStuck names a node that had not finished a stage when the
+	// stage gave up, with its self-diagnosis.
+	HealthStuck = health.Stuck
+	// HealthGiveUp is one give-up ledger entry: a node that abandoned
+	// retransmission slots.
+	HealthGiveUp = health.GiveUp
 )
 
 // Routing and simulation errors, re-exported for errors.Is matching.
@@ -137,6 +169,33 @@ func WithTracer(t Tracer) Option { return core.WithTracer(t) }
 // WithWorkers sets the number of goroutines BuildMany uses (0 or 1 =
 // sequential). Results and merged traces are bit-identical for any value.
 func WithWorkers(w int) Option { return core.WithWorkers(w) }
+
+// WithPartialResults turns network damage from an error into a partial
+// answer: Build detects the fault model's crashed nodes, partitions the
+// live unit disk graph into connected components, runs the full pipeline
+// independently on each, and returns the merged structures together with a
+// HealthReport (Result.Health) naming every dead node, uncovered node,
+// stuck stage, and abandoned retransmission slot. The paper's invariants
+// hold per complete component (see VerifyPartial), and the output is
+// bit-identical across repeated runs and BuildMany worker counts.
+func WithPartialResults() Option { return core.WithPartialResults() }
+
+// WithContext cancels the build when ctx does: a partial build records the
+// cancellation in its HealthReport and returns what it finished; a full
+// build fails with an error unwrapping to the context's.
+func WithContext(ctx context.Context) Option { return core.WithContext(ctx) }
+
+// WithDeadline bounds the build's wall-clock time and implies
+// WithPartialResults: when the deadline expires, Build returns the
+// components completed so far as a partial result instead of an error.
+func WithDeadline(d time.Duration) Option { return core.WithDeadline(d) }
+
+// VerifyPartial checks the paper's invariants (planarity, domination, CDS
+// connectivity, spanning) on every complete component of a partial build,
+// plus the global separation property that no produced edge touches a dead
+// node or crosses components. A nil error means the degraded result is
+// sound.
+func VerifyPartial(res *Result) error { return core.VerifyPartial(res) }
 
 // NewRingTracer returns an in-memory sink keeping the last cap events.
 func NewRingTracer(cap int) *TraceRing { return obs.NewRing(cap) }
@@ -204,7 +263,16 @@ func BuildMany(insts []*Instance, opts ...Option) ([]*Result, error) {
 	results := make([]*Result, len(insts))
 	rings := make([]*TraceRing, len(insts))
 	errs := make([]error, len(insts))
+	// A canceled context stops the dispatch of further builds. Instances
+	// never started report the context's error — except in partial mode,
+	// where Build itself returns immediately with a canceled HealthReport,
+	// preserving the partial-results contract for every instance.
+	canceled := func() bool { return cfg.Ctx != nil && cfg.Ctx.Err() != nil }
 	build := func(i int) {
+		if canceled() && !cfg.Partial {
+			errs[i] = fmt.Errorf("not started: %w", cfg.Ctx.Err())
+			return
+		}
 		instOpts := opts
 		if cfg.Tracer != nil {
 			// Each build traces into a private ring so concurrent workers

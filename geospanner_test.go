@@ -1,8 +1,11 @@
 package geospanner
 
 import (
+	"context"
 	"errors"
+	"reflect"
 	"testing"
+	"time"
 )
 
 // The facade tests exercise the public API end to end, exactly as the
@@ -204,5 +207,115 @@ func TestBuildManyErrorLowestIndex(t *testing.T) {
 	}
 	if want := "build instance 0:"; !errors.Is(err, ErrNotQuiescent) || err.Error()[:len(want)] != want {
 		t.Fatalf("err = %q, want prefix %q", err, want)
+	}
+}
+
+// TestPublicPartialBuild exercises the degraded-mode API end to end: a
+// crash schedule, a partial build, the health report, and the invariant
+// checker.
+func TestPublicPartialBuild(t *testing.T) {
+	inst, err := GenerateInstance(2, 80, 200, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.UDG, inst.Radius,
+		WithPartialResults(),
+		WithFaults(CrashAt(map[int]int{4: 0, 19: 0, 33: 0})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil {
+		t.Fatal("partial build must carry a HealthReport")
+	}
+	if got := len(res.Health.DeadNodes); got != 3 {
+		t.Fatalf("dead nodes = %d, want 3", got)
+	}
+	if err := VerifyPartial(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildManyStopsOnCancel: once the shared context is canceled,
+// BuildMany stops dispatching full builds and reports the context error.
+func TestBuildManyStopsOnCancel(t *testing.T) {
+	var insts []*Instance
+	for seed := int64(0); seed < 4; seed++ {
+		inst, err := GenerateInstance(seed, 40, 200, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildMany(insts, WithContext(ctx)); err == nil {
+		t.Fatal("BuildMany under canceled context should error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should unwrap to context.Canceled, got %v", err)
+	}
+
+	// In partial mode every instance still gets a (canceled) result.
+	results, err := BuildMany(insts, WithContext(ctx), WithPartialResults(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Health == nil || !res.Health.Canceled {
+			t.Fatalf("instance %d: expected canceled health report", i)
+		}
+	}
+}
+
+// TestPublicDeadline: WithDeadline returns a partial result within the
+// budget rather than an error.
+func TestPublicDeadline(t *testing.T) {
+	inst, err := GenerateInstance(3, 60, 200, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(inst.UDG, inst.Radius, WithDeadline(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Health.Canceled {
+		t.Fatal("expired deadline should be recorded in the health report")
+	}
+}
+
+// TestPartialBuildManyWorkerInvariance: partial builds of damaged
+// instances are bit-identical for any BuildMany worker count.
+func TestPartialBuildManyWorkerInvariance(t *testing.T) {
+	var insts []*Instance
+	for seed := int64(10); seed < 16; seed++ {
+		inst, err := GenerateInstance(seed, 60, 200, 45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	run := func(workers int) []*Result {
+		results, err := BuildMany(insts,
+			WithPartialResults(),
+			WithFaults(CrashAt(map[int]int{2: 0, 11: 0, 30: 4})),
+			WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		par := run(workers)
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i].Health, par[i].Health) {
+				t.Fatalf("workers=%d instance %d: health differs", workers, i)
+			}
+			if !seq[i].LDelICDS.Equal(par[i].LDelICDS) {
+				t.Fatalf("workers=%d instance %d: LDel(ICDS) differs", workers, i)
+			}
+			if !reflect.DeepEqual(seq[i].MsgsLDel, par[i].MsgsLDel) {
+				t.Fatalf("workers=%d instance %d: message stats differ", workers, i)
+			}
+		}
 	}
 }

@@ -193,7 +193,10 @@ func Run(g *graph.Graph, maxRounds int, opts ...sim.Option) (*Result, *sim.Netwo
 	opts = append([]sim.Option{sim.WithStage(Stage)}, opts...)
 	net := sim.NewNetwork(g, func(id int) sim.Protocol { return &syncNode{} }, opts...)
 	if _, err := net.Run(maxRounds); err != nil {
-		return nil, nil, fmt.Errorf("clustering: %w", err)
+		// The network is returned alongside the error so degraded-mode
+		// callers can still account the messages a failed stage sent and
+		// read its per-node shim counters.
+		return nil, net, fmt.Errorf("clustering: %w", err)
 	}
 	res := &Result{
 		Status:           make([]Status, g.N()),

@@ -282,7 +282,9 @@ func RunOpts(g *graph.Graph, cl *cluster.Result, maxRounds int, opts Options, si
 		}
 	}, simOpts...)
 	if _, err := net.Run(maxRounds); err != nil {
-		return nil, nil, fmt.Errorf("connector election: %w", err)
+		// Keep the network reachable on failure for degraded-mode
+		// accounting (message counts, per-node shim give-up ledger).
+		return nil, net, fmt.Errorf("connector election: %w", err)
 	}
 
 	isConnector := make([]bool, g.N())

@@ -15,12 +15,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"geospanner/internal/cluster"
 	"geospanner/internal/connector"
 	"geospanner/internal/graph"
+	"geospanner/internal/health"
 	"geospanner/internal/ldel"
 	"geospanner/internal/obs"
 	"geospanner/internal/sim"
@@ -45,6 +48,12 @@ type MessageStats struct {
 	PerNode []int
 	// ByType counts messages by type name.
 	ByType map[string]int
+	// Retransmissions and GaveUp surface the Reliable shim's counters for
+	// the networks folded into these stats: slot retransmissions after the
+	// first send, and slots abandoned after exhausting MaxRetries. Both
+	// are zero for runs without WithReliability.
+	Retransmissions int
+	GaveUp          int
 }
 
 // newMessageStats returns empty stats for n nodes.
@@ -59,10 +68,14 @@ func (m MessageStats) Clone() MessageStats {
 	for k, v := range m.ByType {
 		c.ByType[k] = v
 	}
+	c.Retransmissions = m.Retransmissions
+	c.GaveUp = m.GaveUp
 	return c
 }
 
-// AddNetwork accumulates the counters of a finished simulator network.
+// AddNetwork accumulates the counters of a finished simulator network,
+// including the Reliable shim's retransmission and give-up totals when the
+// network ran under WithReliability.
 func (m *MessageStats) AddNetwork(net *sim.Network) {
 	for id, s := range net.SentAll() {
 		m.PerNode[id] += s
@@ -70,6 +83,33 @@ func (m *MessageStats) AddNetwork(net *sim.Network) {
 	for k, v := range net.SentByType() {
 		m.ByType[k] += v
 	}
+	rs := sim.ReliableStatsOf(net)
+	m.Retransmissions += rs.Retransmissions
+	m.GaveUp += rs.GaveUp
+}
+
+// addNetworkMapped is AddNetwork with an ID translation: local node i of
+// the (component-extracted) network is accounted as global node ids[i].
+func (m *MessageStats) addNetworkMapped(net *sim.Network, ids []int) {
+	for id, s := range net.SentAll() {
+		m.PerNode[ids[id]] += s
+	}
+	for k, v := range net.SentByType() {
+		m.ByType[k] += v
+	}
+	rs := sim.ReliableStatsOf(net)
+	m.Retransmissions += rs.Retransmissions
+	m.GaveUp += rs.GaveUp
+}
+
+// addUniformNodes adds count messages of the given type to each listed
+// node (the degraded-mode analogue of AddUniform, which assumes every node
+// participates).
+func (m *MessageStats) addUniformNodes(nodes []int, count int, msgType string) {
+	for _, v := range nodes {
+		m.PerNode[v] += count
+	}
+	m.ByType[msgType] += count * len(nodes)
 }
 
 // AddUniform adds count messages of the given type to every node.
@@ -141,6 +181,11 @@ type Result struct {
 	// Reliable aggregates the ack/retransmission shim's counters over all
 	// stages when Build ran under sim.WithReliability; zero otherwise.
 	Reliable sim.ReliableStats
+	// Health is the structured self-diagnosis of a partition-aware build
+	// (WithPartialResults / WithDeadline): live components, dead and
+	// uncovered nodes, stuck stages, the give-up ledger, and per-component
+	// completion. Nil for classic all-or-nothing builds.
+	Health *health.Report
 }
 
 // StageRounds is the per-stage round count of a distributed Build.
@@ -169,7 +214,25 @@ type BuildConfig struct {
 	// Tracer observes every stage of the run. Nil disables tracing at
 	// zero cost.
 	Tracer obs.Tracer
-	// SimOpts are passed through to every stage's network.
+	// Faults is the fault model of every stage's channel (WithFaults). It
+	// is held here, not pre-baked into SimOpts, so the partial-results
+	// build can introspect its crash schedule and remap it onto
+	// per-component subnetworks.
+	Faults sim.FaultModel
+	// Reliability, when non-nil, wraps every stage's protocols in the
+	// Reliable shim (WithReliability).
+	Reliability *sim.ReliableConfig
+	// Partial selects the partition-aware build mode: detect partitions,
+	// run the pipeline per live component, and return a partial Result
+	// plus a health.Report instead of an error (WithPartialResults).
+	Partial bool
+	// Ctx cancels the build between simulator rounds (WithContext).
+	Ctx context.Context
+	// Deadline bounds the build's wall-clock time (WithDeadline); it
+	// implies Partial, so a build that runs out of budget returns what it
+	// has instead of an error.
+	Deadline time.Duration
+	// SimOpts are raw options passed through to every stage's network.
 	SimOpts []sim.Option
 }
 
@@ -211,22 +274,78 @@ func WithSim(opts ...sim.Option) BuildOption {
 	return func(c *BuildConfig) { c.SimOpts = append(c.SimOpts, opts...) }
 }
 
-// WithFaults runs every stage on a faulty channel (sim.WithFaults).
+// WithFaults runs every stage on a faulty channel (sim.WithFaults). The
+// model is recorded on the config — not folded into opaque simulator
+// options — so the partial-results mode can read its crash schedule.
 func WithFaults(fm sim.FaultModel) BuildOption {
-	return WithSim(sim.WithFaults(fm))
+	return func(c *BuildConfig) { c.Faults = fm }
 }
 
 // WithReliability wraps every stage's protocols in the Reliable
 // ack/retransmission shim (sim.WithReliability).
 func WithReliability(cfg sim.ReliableConfig) BuildOption {
-	return WithSim(sim.WithReliability(cfg))
+	return func(c *BuildConfig) { c.Reliability = &cfg }
+}
+
+// WithPartialResults switches Build to graceful degradation: instead of
+// failing all-or-nothing when the network is damaged, Build computes the
+// connected components of the live unit disk graph (nodes the fault
+// model's crash schedule kills are dead), runs the full
+// cluster/connector/LDel pipeline independently on every component, and
+// returns a merged partial Result — every structure the survivors could
+// compute — plus a health.Report naming every dead node, uncovered node,
+// stuck stage, and given-up slot. The output is a deterministic function
+// of the instance and fault schedule.
+func WithPartialResults() BuildOption {
+	return func(c *BuildConfig) { c.Partial = true }
+}
+
+// WithContext attaches a cancellation context: every stage's simulator
+// checks it between rounds, so a canceled or expired context stops the
+// build promptly. In a classic build the cancellation surfaces as an error
+// wrapping sim.ErrCanceled and the context cause; combined with
+// WithPartialResults (or WithDeadline) the build instead returns whatever
+// components it finished, with the health report marking the rest.
+func WithContext(ctx context.Context) BuildOption {
+	return func(c *BuildConfig) { c.Ctx = ctx }
+}
+
+// WithDeadline bounds the build's wall-clock time. It implies
+// WithPartialResults: a build that exhausts its budget returns within
+// roughly one simulator round of the deadline with a partial Result and a
+// health report marking the unfinished components, rather than an error.
+func WithDeadline(d time.Duration) BuildOption {
+	return func(c *BuildConfig) {
+		c.Deadline = d
+		c.Partial = true
+	}
+}
+
+// resolveContext derives the build's cancellation context from the Ctx
+// and Deadline options. The returned cancel func is non-nil exactly when a
+// deadline timer was armed.
+func (c *BuildConfig) resolveContext() (context.Context, context.CancelFunc) {
+	ctx := c.Ctx
+	if c.Deadline <= 0 {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, c.Deadline)
 }
 
 // simOptions assembles the per-stage simulator option list.
 func (c *BuildConfig) simOptions() []sim.Option {
-	opts := c.SimOpts
+	opts := c.SimOpts[:len(c.SimOpts):len(c.SimOpts)]
+	if c.Faults != nil {
+		opts = append(opts, sim.WithFaults(c.Faults))
+	}
+	if c.Reliability != nil {
+		opts = append(opts, sim.WithReliability(*c.Reliability))
+	}
 	if c.Tracer != nil {
-		opts = append(opts[:len(opts):len(opts)], sim.WithTracer(c.Tracer))
+		opts = append(opts, sim.WithTracer(c.Tracer))
 	}
 	return opts
 }
@@ -245,7 +364,17 @@ func Build(g *graph.Graph, radius float64, opts ...BuildOption) (*Result, error)
 		return nil, ErrInvalidRadius
 	}
 	cfg := NewBuildConfig(opts...)
+	ctx, cancel := cfg.resolveContext()
+	if cancel != nil {
+		defer cancel()
+	}
+	if cfg.Partial {
+		return buildPartial(g, radius, cfg, ctx)
+	}
 	maxRounds, simOpts := cfg.MaxRounds, cfg.simOptions()
+	if ctx != nil {
+		simOpts = append(simOpts, sim.WithContext(ctx))
+	}
 	cl, clNet, err := cluster.Run(g, maxRounds, simOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("build backbone: %w", err)

@@ -1,0 +1,412 @@
+// The chaos campaign: randomized fault schedules thrown at the
+// partition-aware build, degraded-mode invariants checked after every one,
+// and — when a schedule does break something — delta-debugging shrinking
+// down to a minimal reproducing event sequence that can be saved under
+// testdata/chaos/ and replayed as a regression test forever after.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"reflect"
+
+	"geospanner/internal/core"
+	"geospanner/internal/sim"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+)
+
+// ChaosEvent is one fault injected into a schedule. Kind selects the
+// fields that matter:
+//
+//	crash  Node is silenced from Round on
+//	cut    every node with |x - X| < Width/2 is silenced from Round on
+//	       (a geometric band cut — the canonical partition generator)
+//	loss   Bernoulli(Seed, Rate) link loss over the whole run
+//	dup    Duplicate(Seed, Rate) copies over the whole run
+type ChaosEvent struct {
+	Kind  string  `json:"kind"`
+	Node  int     `json:"node,omitempty"`
+	Round int     `json:"round,omitempty"`
+	X     float64 `json:"x,omitempty"`
+	Width float64 `json:"width,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+}
+
+// ChaosSchedule is one self-contained chaos trial: the instance parameters
+// (regenerated deterministically from Seed) plus the fault events composed
+// over it. Schedules serialize to JSON so shrunk failures can be saved and
+// replayed.
+type ChaosSchedule struct {
+	Seed   int64        `json:"seed"`
+	N      int          `json:"n"`
+	Region float64      `json:"region"`
+	Radius float64      `json:"radius"`
+	Events []ChaosEvent `json:"events"`
+}
+
+// instance regenerates the schedule's network.
+func (s ChaosSchedule) instance() (*udg.Instance, error) {
+	return udg.ConnectedInstance(s.Seed, s.N, s.Region, s.Radius, 5000)
+}
+
+// faults composes the schedule's events into one fault model over the
+// given instance. Every call builds fresh model instances, so repeated
+// builds under the same schedule see identical channels.
+func (s ChaosSchedule) faults(inst *udg.Instance) sim.FaultModel {
+	crashes := make(map[int]int)
+	var models []sim.FaultModel
+	for _, e := range s.Events {
+		switch e.Kind {
+		case "crash":
+			if e.Node >= 0 && e.Node < s.N {
+				if r, ok := crashes[e.Node]; !ok || e.Round < r {
+					crashes[e.Node] = e.Round
+				}
+			}
+		case "cut":
+			for v := 0; v < inst.UDG.N(); v++ {
+				x := inst.UDG.Point(v).X
+				if x > e.X-e.Width/2 && x < e.X+e.Width/2 {
+					if r, ok := crashes[v]; !ok || e.Round < r {
+						crashes[v] = e.Round
+					}
+				}
+			}
+		case "loss":
+			models = append(models, sim.Bernoulli(e.Seed, e.Rate))
+		case "dup":
+			models = append(models, sim.Duplicate(e.Seed, e.Rate))
+		}
+	}
+	if len(crashes) > 0 {
+		models = append(models, sim.CrashAt(crashes))
+	}
+	if len(models) == 0 {
+		return nil
+	}
+	if len(models) == 1 {
+		return models[0]
+	}
+	return sim.Compose(models...)
+}
+
+// chaosMaxRounds bounds every stage so wedged components fail fast into
+// the health report instead of burning the default budget.
+const chaosMaxRounds = 200
+
+// chaosBuild runs one partial build under the schedule.
+func chaosBuild(s ChaosSchedule, inst *udg.Instance) (*core.Result, error) {
+	opts := []core.BuildOption{
+		core.WithPartialResults(),
+		core.WithMaxRounds(chaosMaxRounds),
+		core.WithReliability(sim.ReliableConfig{MaxRetries: 3}),
+	}
+	if fm := s.faults(inst); fm != nil {
+		opts = append(opts, core.WithFaults(fm))
+	}
+	return core.Build(inst.UDG.Clone(), inst.Radius, opts...)
+}
+
+// CheckSchedule runs the schedule through the partition-aware build and
+// verifies the degraded-mode contract:
+//
+//   - the build returns a partial result, never an error;
+//   - every complete component satisfies the paper's invariants and no
+//     structure edge touches a dead node or crosses components
+//     (core.VerifyPartial);
+//   - the health report's accounting is internally consistent (live + dead
+//     = n, give-up ledger matches the Reliable rollup);
+//   - a second build under the same schedule is bit-identical.
+//
+// A nil return means the schedule was survived correctly.
+func CheckSchedule(s ChaosSchedule) error {
+	inst, err := s.instance()
+	if err != nil {
+		return fmt.Errorf("chaos: instance: %w", err)
+	}
+	res, err := chaosBuild(s, inst)
+	if err != nil {
+		return fmt.Errorf("chaos: partial build errored: %w", err)
+	}
+	if res.Health == nil {
+		return fmt.Errorf("chaos: partial build returned no health report")
+	}
+	if err := core.VerifyPartial(res); err != nil {
+		return fmt.Errorf("chaos: invariants: %w", err)
+	}
+	if got := res.Health.LiveNodes() + len(res.Health.DeadNodes); got != s.N {
+		return fmt.Errorf("chaos: live+dead = %d, want n = %d", got, s.N)
+	}
+	if res.Reliable.GaveUp != res.Health.GaveUpSlots() {
+		return fmt.Errorf("chaos: give-up ledger (%d) disagrees with reliable rollup (%d)",
+			res.Health.GaveUpSlots(), res.Reliable.GaveUp)
+	}
+	res2, err := chaosBuild(s, inst)
+	if err != nil {
+		return fmt.Errorf("chaos: repeat build errored: %w", err)
+	}
+	if !reflect.DeepEqual(res.Health, res2.Health) {
+		return fmt.Errorf("chaos: health report not deterministic")
+	}
+	if !res.LDelICDS.Equal(res2.LDelICDS) || !res.LDelICDSPrime.Equal(res2.LDelICDSPrime) {
+		return fmt.Errorf("chaos: output graphs not deterministic")
+	}
+	if !reflect.DeepEqual(res.MsgsLDel, res2.MsgsLDel) {
+		return fmt.Errorf("chaos: message accounting not deterministic")
+	}
+	return nil
+}
+
+// genSchedule draws a random schedule with the given number of fault
+// events over a random instance size. The radius is drawn above the
+// connectivity threshold for the drawn n (≈ sqrt(region²·ln n / (π·n)) for
+// uniform placement) so instance generation is feasible, but close enough
+// to it that band cuts partition the survivors.
+func genSchedule(r *rand.Rand, seed int64, region float64, events int) ChaosSchedule {
+	n := 20 + r.Intn(81) // [20, 100]
+	rmin := 1.15 * math.Sqrt(region*region*math.Log(float64(n))/(math.Pi*float64(n)))
+	s := ChaosSchedule{
+		Seed:   seed,
+		N:      n,
+		Region: region,
+		Radius: rmin + r.Float64()*15,
+	}
+	for i := 0; i < events; i++ {
+		switch r.Intn(4) {
+		case 0:
+			s.Events = append(s.Events, ChaosEvent{Kind: "crash", Node: r.Intn(s.N), Round: 0})
+		case 1:
+			s.Events = append(s.Events, ChaosEvent{
+				Kind: "cut", X: region * (0.2 + 0.6*r.Float64()),
+				Width: region * (0.05 + 0.15*r.Float64()), Round: 0,
+			})
+		case 2:
+			s.Events = append(s.Events, ChaosEvent{
+				Kind: "loss", Seed: r.Int63(), Rate: 0.05 + 0.35*r.Float64(),
+			})
+		default:
+			s.Events = append(s.Events, ChaosEvent{
+				Kind: "dup", Seed: r.Int63(), Rate: 0.05 + 0.25*r.Float64(),
+			})
+		}
+	}
+	return s
+}
+
+// ChaosFailure is one campaign failure: the schedule that broke the
+// contract, its shrunk minimal reproduction, and the failure message.
+type ChaosFailure struct {
+	Original ChaosSchedule `json:"original"`
+	Shrunk   ChaosSchedule `json:"shrunk"`
+	Err      string        `json:"err"`
+}
+
+// Shrink minimizes a failing schedule's event list with ddmin-style delta
+// debugging: it removes event chunks at successively finer granularity,
+// keeping every removal under which failing(s) still holds, until no
+// single event can be removed. It returns the minimal schedule and the
+// number of predicate evaluations spent.
+func Shrink(s ChaosSchedule, failing func(ChaosSchedule) bool) (ChaosSchedule, int) {
+	evals := 0
+	check := func(events []ChaosEvent) bool {
+		evals++
+		t := s
+		t.Events = events
+		return failing(t)
+	}
+	events := s.Events
+	chunk := (len(events) + 1) / 2
+	for chunk >= 1 && len(events) > 0 {
+		removed := false
+		for lo := 0; lo < len(events); lo += chunk {
+			hi := lo + chunk
+			if hi > len(events) {
+				hi = len(events)
+			}
+			trial := make([]ChaosEvent, 0, len(events)-(hi-lo))
+			trial = append(trial, events[:lo]...)
+			trial = append(trial, events[hi:]...)
+			if check(trial) {
+				events = trial
+				removed = true
+				lo -= chunk // the window shifted under us; retry this offset
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk = (chunk + 1) / 2
+		} else if chunk > len(events) {
+			chunk = (len(events) + 1) / 2
+		}
+	}
+	s.Events = events
+	return s, evals
+}
+
+// Chaos runs the fault campaign: for each schedule intensity (number of
+// composed fault events), cfg.Trials random schedules are generated,
+// survived, and checked. Failing schedules are shrunk to minimal
+// reproductions and returned for saving under testdata/chaos/.
+//
+// Columns:
+//
+//	events      fault events composed per schedule
+//	failures    schedules that broke the degraded-mode contract (want 0)
+//	dead        avg nodes crashed by the schedule
+//	comps       avg live components
+//	complete    avg components finishing the full pipeline
+//	uncovered   avg live nodes left without a dominator
+//	giveups     avg abandoned retransmission slots
+//	stuck       avg nodes stuck in a wedged stage
+func Chaos(intensities []int, cfg Config) (*stats.Table, []ChaosFailure, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("events", "failures", "dead", "comps", "complete",
+		"uncovered", "giveups", "stuck")
+	var failures []ChaosFailure
+	type measure struct {
+		fail                *ChaosFailure
+		dead, comps         int
+		complete, uncovered int
+		giveups, stuck      int
+	}
+	for _, events := range intensities {
+		events := events
+		trials, err := runTrials(cfg.Workers, cfg.Trials, func(trial int) (measure, error) {
+			seed := cfg.Seed + int64(events*10000+trial)
+			r := rand.New(rand.NewSource(seed))
+			s := genSchedule(r, seed, cfg.Region, events)
+			if err := CheckSchedule(s); err != nil {
+				shrunk, _ := Shrink(s, func(t ChaosSchedule) bool {
+					return CheckSchedule(t) != nil
+				})
+				return measure{fail: &ChaosFailure{
+					Original: s, Shrunk: shrunk, Err: err.Error(),
+				}}, nil
+			}
+			inst, err := s.instance()
+			if err != nil {
+				return measure{}, err
+			}
+			res, err := chaosBuild(s, inst)
+			if err != nil {
+				return measure{}, err
+			}
+			h := res.Health
+			return measure{
+				dead: len(h.DeadNodes), comps: len(h.Components),
+				complete: h.CompleteComponents(), uncovered: len(h.UncoveredNodes),
+				giveups: h.GaveUpSlots(), stuck: len(h.Stuck),
+			}, nil
+		})
+		if err != nil {
+			return nil, failures, err
+		}
+		var deadA, compsA, completeA, uncovA, giveA, stuckA stats.Accumulator
+		fails := 0
+		for _, m := range trials {
+			if m.fail != nil {
+				fails++
+				failures = append(failures, *m.fail)
+				continue
+			}
+			deadA.Add(float64(m.dead))
+			compsA.Add(float64(m.comps))
+			completeA.Add(float64(m.complete))
+			uncovA.Add(float64(m.uncovered))
+			giveA.Add(float64(m.giveups))
+			stuckA.Add(float64(m.stuck))
+		}
+		tb.AddRow(events, fails, deadA.Summary().Mean, compsA.Summary().Mean,
+			completeA.Summary().Mean, uncovA.Summary().Mean,
+			giveA.Summary().Mean, stuckA.Summary().Mean)
+	}
+	return tb, failures, nil
+}
+
+// DefaultChaosIntensities is the fault-event sweep of the -exp chaos
+// campaign.
+func DefaultChaosIntensities() []int { return []int{1, 2, 4, 6} }
+
+// ShrinkSelfTest proves the shrinker on a known minimal core: it builds a
+// schedule of padding events around two that jointly trigger a synthetic
+// failure predicate, shrinks it, and reports the sizes. The shrunk
+// schedule must contain exactly the two triggering events — if the
+// shrinker ever regresses, the chaos-smoke gate catches it before a real
+// failure needs minimizing.
+func ShrinkSelfTest(seed int64) (orig, shrunk, evals int, err error) {
+	r := rand.New(rand.NewSource(seed))
+	s := genSchedule(r, seed, DefaultRegion, 24)
+	// Plant the minimal core: a specific crash and a specific cut whose
+	// conjunction the predicate treats as "failing".
+	s.Events[5] = ChaosEvent{Kind: "crash", Node: 7, Round: 3}
+	s.Events[17] = ChaosEvent{Kind: "cut", X: 99, Width: 13, Round: 1}
+	failing := func(t ChaosSchedule) bool {
+		hasCrash, hasCut := false, false
+		for _, e := range t.Events {
+			if e.Kind == "crash" && e.Node == 7 && e.Round == 3 {
+				hasCrash = true
+			}
+			if e.Kind == "cut" && e.X == 99 {
+				hasCut = true
+			}
+		}
+		return hasCrash && hasCut
+	}
+	if !failing(s) {
+		return 0, 0, 0, fmt.Errorf("chaos: self-test schedule does not fail")
+	}
+	min, evals := Shrink(s, failing)
+	if len(min.Events) != 2 {
+		return len(s.Events), len(min.Events), evals,
+			fmt.Errorf("chaos: shrink left %d events, want 2", len(min.Events))
+	}
+	if !failing(min) {
+		return len(s.Events), len(min.Events), evals,
+			fmt.Errorf("chaos: shrunk schedule no longer fails")
+	}
+	return len(s.Events), len(min.Events), evals, nil
+}
+
+// SaveFailures writes each shrunk chaos failure as an indented JSON file
+// (chaos-fail-<i>.json under dir) loadable by LoadSchedule — the format of
+// the testdata/chaos regression corpus.
+func SaveFailures(dir string, failures []ChaosFailure) ([]string, error) {
+	var paths []string
+	for i, f := range failures {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return paths, err
+		}
+		path := fmt.Sprintf("%s/chaos-fail-%d.json", dir, i)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// LoadSchedule reads a schedule (or a saved ChaosFailure, whose shrunk
+// schedule is used) from a JSON file.
+func LoadSchedule(path string) (ChaosSchedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ChaosSchedule{}, err
+	}
+	var f ChaosFailure
+	if err := json.Unmarshal(data, &f); err == nil && len(f.Shrunk.Events) > 0 {
+		return f.Shrunk, nil
+	}
+	var s ChaosSchedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return ChaosSchedule{}, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	return s, nil
+}

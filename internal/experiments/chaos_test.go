@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestChaosCorpusRegression replays every saved schedule under
+// testdata/chaos through the full degraded-mode contract check. The corpus
+// holds shrunk reproductions of past chaos failures plus hand-picked nasty
+// schedules; a failure here means a fixed bug has come back.
+func TestChaosCorpusRegression(t *testing.T) {
+	paths, err := filepath.Glob("testdata/chaos/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("empty chaos corpus")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := LoadSchedule(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckSchedule(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosCampaignSmoke runs a tiny campaign and requires zero contract
+// failures.
+func TestChaosCampaignSmoke(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	tb, failures, err := Chaos([]int{1, 3}, Config{Trials: trials, Seed: 99, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			t.Errorf("schedule broke the contract (%s); shrunk to %d events: %+v",
+				f.Err, len(f.Shrunk.Events), f.Shrunk.Events)
+		}
+	}
+	if tb == nil || len(tb.CSV()) == 0 {
+		t.Fatal("campaign table empty")
+	}
+}
+
+// TestShrinkSelfTest pins the shrinker's contract: a planted two-event
+// core inside a 24-event schedule must shrink to exactly those two events,
+// comfortably under the campaign's eight-event acceptance bound.
+func TestShrinkSelfTest(t *testing.T) {
+	orig, shrunk, evals, err := ShrinkSelfTest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk > 8 {
+		t.Fatalf("shrunk schedule has %d events, want <= 8", shrunk)
+	}
+	if shrunk != 2 {
+		t.Fatalf("shrunk schedule has %d events, want the planted core of 2", shrunk)
+	}
+	if orig != 24 {
+		t.Fatalf("self-test schedule has %d events, want 24", orig)
+	}
+	t.Logf("shrink: %d -> %d events in %d evaluations", orig, shrunk, evals)
+}
+
+// TestShrinkMinimality: on random subset-failure predicates, Shrink must
+// always reach a 1-minimal result — removing any single remaining event
+// makes the predicate pass.
+func TestShrinkMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		s := genSchedule(r, int64(trial), DefaultRegion, 12)
+		// The failure core: a random subset of event indices, identified
+		// by value equality against the original events.
+		coreSize := 1 + r.Intn(3)
+		core := map[int]bool{}
+		for len(core) < coreSize {
+			core[r.Intn(len(s.Events))] = true
+		}
+		var coreEvents []ChaosEvent
+		for i := range s.Events {
+			if core[i] {
+				coreEvents = append(coreEvents, s.Events[i])
+			}
+		}
+		failing := func(t ChaosSchedule) bool {
+			for _, want := range coreEvents {
+				found := false
+				for _, e := range t.Events {
+					if reflect.DeepEqual(e, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			return true
+		}
+		min, _ := Shrink(s, failing)
+		if !failing(min) {
+			t.Fatalf("trial %d: shrunk schedule no longer fails", trial)
+		}
+		for i := range min.Events {
+			reduced := append(append([]ChaosEvent{}, min.Events[:i]...), min.Events[i+1:]...)
+			probe := min
+			probe.Events = reduced
+			if failing(probe) {
+				t.Fatalf("trial %d: shrunk schedule not 1-minimal (event %d removable)", trial, i)
+			}
+		}
+	}
+}
+
+// TestChaosScheduleRoundTrip: schedules survive the JSON save/load cycle.
+func TestChaosScheduleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := genSchedule(r, 3, DefaultRegion, 5)
+	dir := t.TempDir()
+	paths, err := SaveFailures(dir, []ChaosFailure{{Original: s, Shrunk: s, Err: "synthetic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	loaded, err := LoadSchedule(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, s) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", loaded, s)
+	}
+}

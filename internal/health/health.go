@@ -1,0 +1,203 @@
+// Package health is the structured self-diagnosis of a degraded build:
+// what a partition-aware construction (core.Build under WithPartialResults)
+// knows about the state of the network and its own progress. A Report
+// answers, per run, the questions an operator of a damaged ad hoc network
+// actually asks — which nodes are dead, how the survivors partition, which
+// components finished the full cluster/connector/LDel pipeline and which
+// got stuck where and why, which nodes ended up uncovered, and which
+// loss-tolerance slots were abandoned after exhausting their retries.
+//
+// The package is pure data plus formatting: it imports nothing from the
+// protocol stack, so every layer (core, experiments, the public facade)
+// can produce or consume reports without import cycles. All slices are
+// sorted by node ID and all derived fields are pure functions of the
+// simulated run, so two builds of the same instance under the same fault
+// schedule produce byte-identical reports.
+package health
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode says how the build that produced the report ran.
+type Mode string
+
+const (
+	// ModeFull is a classic all-or-nothing build (no degradation).
+	ModeFull Mode = "full"
+	// ModePartial is a partition-aware build: per-component pipelines,
+	// partial results instead of errors.
+	ModePartial Mode = "partial"
+)
+
+// Stage names used in Stuck and GiveUp records mirror the protocol
+// drivers' trace stage labels ("cluster", "connector", "ldel").
+
+// Component describes one connected component of the live unit disk graph
+// and how far its pipeline got.
+type Component struct {
+	// Nodes lists the component's members in increasing ID order.
+	Nodes []int
+	// Complete reports whether every pipeline stage finished on this
+	// component.
+	Complete bool
+	// FailedStage names the first stage that did not finish ("cluster",
+	// "connector", "ldel", or "" when Complete). A component the build
+	// never reached (deadline, cancellation) reports "not-attempted".
+	FailedStage string
+	// Err is the failure's error text ("" when Complete).
+	Err string
+	// Rounds is the total simulator rounds the component's stages ran.
+	Rounds int
+}
+
+// Stuck records one node that had not finished a protocol stage when the
+// stage gave up, with its self-diagnosis when the protocol could explain
+// itself.
+type Stuck struct {
+	// Stage is the protocol stage the node was stuck in.
+	Stage string
+	// Node is the stuck node's ID (global).
+	Node int
+	// Reason is the node's self-diagnosis ("" when unavailable).
+	Reason string
+}
+
+// GiveUp is one entry of the Reliable shim's give-up ledger: a node that
+// abandoned payload slots after exhausting their retransmission budget.
+type GiveUp struct {
+	// Stage is the protocol stage the slots belonged to.
+	Stage string
+	// Node is the node that gave up (global ID).
+	Node int
+	// Slots is the number of abandoned slots.
+	Slots int
+}
+
+// Report is the health record of one build.
+type Report struct {
+	// Mode says whether the build ran all-or-nothing or partition-aware.
+	Mode Mode
+	// DeadNodes lists nodes the fault schedule crashes (at any round), in
+	// increasing ID order. A partial build treats them as dead from the
+	// start and excludes them from every component.
+	DeadNodes []int
+	// UncoveredNodes lists live nodes left without a dominator — members
+	// of components whose clustering stage did not complete.
+	UncoveredNodes []int
+	// Components describes the connected components of the live unit disk
+	// graph, ordered by smallest member.
+	Components []Component
+	// Stuck lists every node that was not done when its stage gave up.
+	Stuck []Stuck
+	// GiveUps is the Reliable shim's give-up ledger: every (stage, node)
+	// that abandoned slots after exhausting retries.
+	GiveUps []GiveUp
+	// Canceled reports whether the build was cut short by its context
+	// (deadline or caller cancellation); CancelReason carries the cause.
+	Canceled     bool
+	CancelReason string
+}
+
+// Healthy reports whether the build in fact fully succeeded: no dead or
+// uncovered nodes, every component complete, nothing stuck or given up,
+// and no cancellation. A partial build of an undamaged network is healthy.
+func (r *Report) Healthy() bool {
+	if r.Canceled || len(r.DeadNodes) > 0 || len(r.UncoveredNodes) > 0 ||
+		len(r.Stuck) > 0 || len(r.GiveUps) > 0 {
+		return false
+	}
+	for _, c := range r.Components {
+		if !c.Complete {
+			return false
+		}
+	}
+	return true
+}
+
+// CompleteComponents counts the components whose full pipeline finished.
+func (r *Report) CompleteComponents() int {
+	n := 0
+	for _, c := range r.Components {
+		if c.Complete {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveNodes counts nodes across all components.
+func (r *Report) LiveNodes() int {
+	n := 0
+	for _, c := range r.Components {
+		n += len(c.Nodes)
+	}
+	return n
+}
+
+// CoveredNodes counts live nodes that are not uncovered.
+func (r *Report) CoveredNodes() int { return r.LiveNodes() - len(r.UncoveredNodes) }
+
+// ComponentOf returns the index of the component containing node v, or -1
+// when v is in none (dead, or out of range).
+func (r *Report) ComponentOf(v int) int {
+	for i, c := range r.Components {
+		for _, u := range c.Nodes {
+			if u == v {
+				return i
+			}
+			if u > v {
+				break // Nodes is sorted
+			}
+		}
+	}
+	return -1
+}
+
+// GaveUpSlots totals the abandoned slots across the ledger.
+func (r *Report) GaveUpSlots() int {
+	n := 0
+	for _, g := range r.GiveUps {
+		n += g.Slots
+	}
+	return n
+}
+
+// String renders the report as a compact multi-line summary, e.g.
+//
+//	health: partial, 2/3 components complete, 4 dead, 6 uncovered
+//	  component 0 [12 nodes]: complete (rounds 21)
+//	  component 1 [30 nodes]: FAILED at connector: ... (rounds 250)
+//	  stuck connector node 17: waiting on neighbor 19 ...
+//	  give-up cluster node 3: 2 slot(s)
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: %s, %d/%d components complete, %d dead, %d uncovered",
+		r.Mode, r.CompleteComponents(), len(r.Components), len(r.DeadNodes), len(r.UncoveredNodes))
+	if r.Canceled {
+		fmt.Fprintf(&b, ", canceled (%s)", r.CancelReason)
+	}
+	for i, c := range r.Components {
+		fmt.Fprintf(&b, "\n  component %d [%d nodes]: ", i, len(c.Nodes))
+		if c.Complete {
+			fmt.Fprintf(&b, "complete (rounds %d)", c.Rounds)
+		} else {
+			fmt.Fprintf(&b, "FAILED at %s: %s (rounds %d)", c.FailedStage, firstLine(c.Err), c.Rounds)
+		}
+	}
+	for _, s := range r.Stuck {
+		fmt.Fprintf(&b, "\n  stuck %s node %d: %s", s.Stage, s.Node, s.Reason)
+	}
+	for _, g := range r.GiveUps {
+		fmt.Fprintf(&b, "\n  give-up %s node %d: %d slot(s)", g.Stage, g.Node, g.Slots)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Mode:           ModePartial,
+		DeadNodes:      []int{2, 9},
+		UncoveredNodes: []int{4, 5},
+		Components: []Component{
+			{Nodes: []int{0, 1, 3}, Complete: true, Rounds: 17},
+			{Nodes: []int{4, 5, 6}, FailedStage: "connector", Err: "sim: not quiescent\nstuck", Rounds: 40},
+			{Nodes: []int{7, 8}, FailedStage: "not-attempted", Err: "context deadline exceeded"},
+		},
+		Stuck:   []Stuck{{Stage: "connector", Node: 5, Reason: "waiting on pair"}},
+		GiveUps: []GiveUp{{Stage: "cluster", Node: 4, Slots: 3}},
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	r := sampleReport()
+	if r.Healthy() {
+		t.Fatal("damaged report should not be healthy")
+	}
+	if got := r.CompleteComponents(); got != 1 {
+		t.Fatalf("CompleteComponents = %d, want 1", got)
+	}
+	if got := r.LiveNodes(); got != 8 {
+		t.Fatalf("LiveNodes = %d, want 8", got)
+	}
+	if got := r.CoveredNodes(); got != 6 {
+		t.Fatalf("CoveredNodes = %d, want 6", got)
+	}
+	if got := r.GaveUpSlots(); got != 3 {
+		t.Fatalf("GaveUpSlots = %d, want 3", got)
+	}
+	if got := r.ComponentOf(6); got != 1 {
+		t.Fatalf("ComponentOf(6) = %d, want 1", got)
+	}
+	if got := r.ComponentOf(2); got != -1 {
+		t.Fatalf("ComponentOf(dead node) = %d, want -1", got)
+	}
+	if got := r.ComponentOf(99); got != -1 {
+		t.Fatalf("ComponentOf(out of range) = %d, want -1", got)
+	}
+}
+
+func TestHealthyReport(t *testing.T) {
+	r := &Report{
+		Mode:       ModePartial,
+		Components: []Component{{Nodes: []int{0, 1, 2}, Complete: true}},
+	}
+	if !r.Healthy() {
+		t.Fatal("an undamaged partial report is healthy")
+	}
+	r.Canceled = true
+	if r.Healthy() {
+		t.Fatal("a canceled report is not healthy")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport().String()
+	for _, want := range []string{
+		"health: partial, 1/3 components complete, 2 dead, 2 uncovered",
+		"component 0 [3 nodes]: complete (rounds 17)",
+		"FAILED at connector: sim: not quiescent (rounds 40)", // first line only
+		"FAILED at not-attempted",
+		"stuck connector node 5: waiting on pair",
+		"give-up cluster node 4: 3 slot(s)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report string missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "\nstuck\n") {
+		t.Fatal("multi-line error text should be truncated to its first line")
+	}
+}

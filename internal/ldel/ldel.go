@@ -560,7 +560,9 @@ func RunK(g *graph.Graph, active []bool, radius float64, k, maxRounds int, opts 
 		return &node{id: id, active: active[id], radius: radius, k: k}
 	}, opts...)
 	if _, err := net.Run(maxRounds); err != nil {
-		return nil, nil, fmt.Errorf("ldel: %w", err)
+		// Keep the network reachable on failure for degraded-mode
+		// accounting (message counts, per-node shim give-up ledger).
+		return nil, net, fmt.Errorf("ldel: %w", err)
 	}
 
 	res := &Result{

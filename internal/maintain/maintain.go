@@ -53,6 +53,27 @@ type State struct {
 	// RoleChanges counts nodes whose role changed across all events — the
 	// locality measure of incremental maintenance.
 	RoleChanges int
+
+	// Recomputes counts full backbone recomputations performed by
+	// Structures. Events that change no roles and touch no backbone node
+	// patch the cached structures in place instead of invalidating them,
+	// so a churn sequence dominated by leaf dominatees keeps this counter
+	// flat — the "skip the recompute" contract.
+	Recomputes int
+
+	// Cached derived structures; nil when stale. Clustering and
+	// Structures return the cached objects, so callers must treat the
+	// results as read-only.
+	cachedCl   *cluster.Result
+	cachedConn *connector.Result
+	cachedLDel *graph.Graph
+}
+
+// invalidate drops every cached derived structure.
+func (s *State) invalidate() {
+	s.cachedCl = nil
+	s.cachedConn = nil
+	s.cachedLDel = nil
 }
 
 // New builds the initial state from a point set: the unit disk graph plus
@@ -125,9 +146,18 @@ func (s *State) Fail(v int) ([]int, error) {
 	s.alive[v] = false
 
 	if !wasDominator {
-		// Dominatees and connectors carry no coverage responsibility.
+		// Dominatees and connectors carry no coverage responsibility, so
+		// no roles change. A connector failure still reroutes the backbone
+		// (drop the caches); a plain dominatee failure only removes its
+		// own coverage edges, which the caches absorb in place.
+		if s.cachedConn != nil && s.cachedConn.InBackbone[v] {
+			s.invalidate()
+		} else {
+			s.patchFail(v)
+		}
 		return nil, nil
 	}
+	s.invalidate()
 
 	// Only v's alive dominatee neighbors can become uncovered. Promote the
 	// uncovered ones in ID order; each promotion may cover later ones.
@@ -171,15 +201,111 @@ func (s *State) Recover(v int) ([]int, error) {
 		s.status[v] = cluster.Dominator
 	}
 	if s.status[v] != old {
+		s.invalidate()
 		s.RoleChanges++
 		return []int{v}, nil
+	}
+	if s.status[v] == cluster.Dominator {
+		// A dominator rejoining changes no role but reshapes the backbone
+		// (it must be reconnected by fresh connectors).
+		s.invalidate()
+	} else {
+		s.patchRecover(v)
 	}
 	return nil, nil
 }
 
+// patchFail updates the cached derived structures for the failure of a
+// role-neutral non-backbone node v: v loses its coverage links and drops
+// out of the two-hop views of its neighbors; the backbone is untouched.
+func (s *State) patchFail(v int) {
+	if s.cachedCl != nil {
+		cl := s.cachedCl
+		cl.Status[v] = cluster.Dominatee // failed-node convention of Clustering
+		cl.DominatorsOf[v] = nil
+		cl.TwoHopDominators[v] = nil
+		for _, x := range s.aliveNeighbors(v) {
+			cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
+		}
+	}
+	if s.cachedConn != nil {
+		// v contributed only dominatee→dominator edges to the primed
+		// graphs; CDS, ICDS and the planarization never contained it.
+		removeIncident(s.cachedConn.CDSPrime, v)
+		removeIncident(s.cachedConn.ICDSPrime, v)
+	}
+}
+
+// patchRecover updates the cached derived structures for a node rejoining
+// as a covered dominatee with its old role: it regains its coverage links
+// and reappears in its neighbors' two-hop views.
+func (s *State) patchRecover(v int) {
+	if s.cachedCl != nil {
+		cl := s.cachedCl
+		cl.Status[v] = cluster.Dominatee
+		var doms []int
+		for _, u := range s.aliveNeighbors(v) {
+			if s.status[u] == cluster.Dominator {
+				doms = append(doms, u)
+			}
+		}
+		sort.Ints(doms)
+		cl.DominatorsOf[v] = doms
+		cl.TwoHopDominators[v] = s.twoHopOf(cl, v)
+		for _, x := range s.aliveNeighbors(v) {
+			cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
+		}
+		if s.cachedConn != nil {
+			for _, u := range doms {
+				s.cachedConn.CDSPrime.AddEdge(v, u)
+				s.cachedConn.ICDSPrime.AddEdge(v, u)
+			}
+		}
+	} else {
+		// No clustering cache to read dominators from; anything derived is
+		// stale beyond repair.
+		s.invalidate()
+	}
+}
+
+// twoHopOf derives node x's two-hop dominator list from the maintained
+// roles — the same formula Clustering uses, localized to one node.
+func (s *State) twoHopOf(cl *cluster.Result, x int) []int {
+	two := make(map[int]bool)
+	for _, w := range s.aliveNeighbors(x) {
+		for _, u := range cl.DominatorsOf[w] {
+			if u != x && !s.full.HasEdge(u, x) {
+				two[u] = true
+			}
+		}
+	}
+	if len(two) == 0 {
+		return nil
+	}
+	list := make([]int, 0, len(two))
+	for u := range two {
+		list = append(list, u)
+	}
+	sort.Ints(list)
+	return list
+}
+
+// removeIncident removes every edge incident to v from g.
+func removeIncident(g *graph.Graph, v int) {
+	nbrs := append([]int(nil), g.Neighbors(v)...)
+	for _, u := range nbrs {
+		g.RemoveEdge(v, u)
+	}
+}
+
 // Clustering derives the full cluster.Result (dominator lists, two-hop
-// dominator lists) from the maintained roles over the alive subgraph.
+// dominator lists) from the maintained roles over the alive subgraph. The
+// result is cached — and patched in place by role-neutral events — so
+// callers must treat it as read-only.
 func (s *State) Clustering() *cluster.Result {
+	if s.cachedCl != nil {
+		return s.cachedCl
+	}
 	g := s.AliveGraph()
 	n := g.N()
 	res := &cluster.Result{
@@ -226,19 +352,31 @@ func (s *State) Clustering() *cluster.Result {
 		sort.Ints(list)
 		res.TwoHopDominators[v] = list
 	}
+	s.cachedCl = res
 	return res
 }
 
-// Structures recomputes the derived backbone structures (connectors, CDS
-// family, planar LDel) from the maintained roles.
+// Structures returns the derived backbone structures (connectors, CDS
+// family, planar LDel) for the maintained roles. When every event since
+// the last call was role-neutral and away from the backbone, the cached
+// structures — patched in place by those events — are returned without
+// recomputation (Recomputes does not advance); otherwise the backbone is
+// rebuilt from the repaired roles. Results are cached: treat them as
+// read-only.
 func (s *State) Structures() (*connector.Result, *graph.Graph, error) {
-	g := s.AliveGraph()
 	cl := s.Clustering()
+	if s.cachedConn != nil && s.cachedLDel != nil {
+		return s.cachedConn, s.cachedLDel, nil
+	}
+	g := s.AliveGraph()
 	conn := connector.Centralized(g, cl)
 	ld, err := ldel.Centralized(conn.ICDS, conn.InBackbone, s.radius)
 	if err != nil {
 		return nil, nil, fmt.Errorf("maintain: planarize: %w", err)
 	}
+	s.Recomputes++
+	s.cachedConn = conn
+	s.cachedLDel = ld.PLDel
 	return conn, ld.PLDel, nil
 }
 

@@ -3,6 +3,7 @@ package maintain
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"geospanner/internal/cluster"
@@ -235,5 +236,137 @@ func TestRecoverAsDominatorWhenUncovered(t *testing.T) {
 	}
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStructuresCachedAcrossNeutralEvents: failing a non-backbone
+// dominatee must not trigger a backbone recomputation — the cached
+// structures are patched in place — while failing a dominator must.
+func TestStructuresCachedAcrossNeutralEvents(t *testing.T) {
+	s := newState(t, 7, 80)
+	conn, _, err := s.Structures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recomputes != 1 {
+		t.Fatalf("Recomputes = %d after first derivation, want 1", s.Recomputes)
+	}
+
+	// Fail a dominatee outside the backbone: no recompute.
+	victim := -1
+	for v := 0; v < 80; v++ {
+		if s.Status(v) == cluster.Dominatee && !conn.InBackbone[v] {
+			victim = v
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no non-backbone dominatee found")
+	}
+	if _, err := s.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	conn2, pldel2, err := s.Structures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recomputes != 1 {
+		t.Fatalf("Recomputes = %d after neutral event, want 1 (cache should be patched, not rebuilt)", s.Recomputes)
+	}
+	if conn2.CDSPrime.Degree(victim) != 0 || conn2.ICDSPrime.Degree(victim) != 0 {
+		t.Fatal("patched primed graphs still link the failed dominatee")
+	}
+	if !conn2.CDS.SubsetConnected(conn2.Backbone) {
+		t.Fatal("patched CDS disconnected")
+	}
+	if !pldel2.IsPlanarEmbedding() {
+		t.Fatal("patched backbone not planar")
+	}
+
+	// Fail a dominator: roles change, the backbone must be rebuilt.
+	dom := -1
+	for v := 0; v < 80; v++ {
+		if s.Alive(v) && s.Status(v) == cluster.Dominator {
+			dom = v
+			break
+		}
+	}
+	if dom == -1 {
+		t.Fatal("no dominator found")
+	}
+	if _, err := s.Fail(dom); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Structures(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recomputes != 2 {
+		t.Fatalf("Recomputes = %d after dominator failure, want 2", s.Recomputes)
+	}
+}
+
+// TestPatchedClusteringMatchesFresh: the in-place patches of role-neutral
+// fail/recover events must leave the cached clustering exactly equal to a
+// fresh derivation from the maintained roles.
+func TestPatchedClusteringMatchesFresh(t *testing.T) {
+	s := newState(t, 8, 80)
+	s.Clustering() // prime the cache
+	r := rand.New(rand.NewSource(4))
+	dead := map[int]bool{}
+	for step := 0; step < 120; step++ {
+		v := r.Intn(80)
+		var err error
+		if dead[v] {
+			_, err = s.Recover(v)
+			delete(dead, v)
+		} else {
+			if len(dead) > 15 {
+				continue
+			}
+			_, err = s.Fail(v)
+			dead[v] = true
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched := s.Clustering()
+		s.invalidate()
+		fresh := s.Clustering()
+		if !reflect.DeepEqual(patched, fresh) {
+			t.Fatalf("step %d: patched clustering diverged from fresh derivation", step)
+		}
+	}
+}
+
+// TestConnectorFailureInvalidatesCache: failing a connector changes no
+// clustering role but must force a backbone recompute.
+func TestConnectorFailureInvalidatesCache(t *testing.T) {
+	s := newState(t, 9, 80)
+	conn, _, err := s.Structures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	connector := -1
+	for _, v := range conn.Connectors {
+		if s.Status(v) != cluster.Dominator {
+			connector = v
+			break
+		}
+	}
+	if connector == -1 {
+		t.Skip("no non-dominator connector in this instance")
+	}
+	changed, err := s.Fail(connector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("connector failure changed roles: %v", changed)
+	}
+	if _, _, err := s.Structures(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recomputes != 2 {
+		t.Fatalf("Recomputes = %d after connector failure, want 2", s.Recomputes)
 	}
 }

@@ -135,6 +135,10 @@ type StageMetrics struct {
 	// Retransmissions, GiveUps, StateChanges and Stuck count the
 	// corresponding events.
 	Retransmissions, GiveUps, StateChanges, Stuck int
+	// Partitions counts partition events (one per partial build) and
+	// Components / IncompleteComponents the per-component outcomes of
+	// degraded-mode builds.
+	Partitions, Components, IncompleteComponents int
 }
 
 // Metrics is the rollup sink: it folds the event stream into per-stage
@@ -192,6 +196,13 @@ func (m *Metrics) Emit(e Event) {
 		s.GiveUps++
 	case KindStuck:
 		s.Stuck++
+	case KindPartition:
+		s.Partitions++
+	case KindComponent:
+		s.Components++
+		if e.Note != "complete" {
+			s.IncompleteComponents++
+		}
 	}
 }
 
@@ -234,6 +245,10 @@ func (m *Metrics) String() string {
 			label, s.Runs, s.Rounds.Mean(), s.Rounds.Max, s.Sent,
 			s.Delivered, s.Dropped, s.Retransmissions, s.GiveUps,
 			s.StateChanges, s.Stuck, float64(s.Wall.Sum)/1e6)
+		if s.Partitions > 0 {
+			fmt.Fprintf(&b, "  partitions=%d components=%d incomplete=%d\n",
+				s.Partitions, s.Components, s.IncompleteComponents)
+		}
 		types := make([]string, 0, len(s.ByType))
 		for t := range s.ByType {
 			types = append(types, t)

@@ -66,6 +66,13 @@ const (
 	// budget: one event per not-Done node From, with its self-diagnosis in
 	// Note.
 	KindStuck Kind = "stuck"
+	// KindPartition opens a partition-aware (partial-results) build: N is
+	// the number of live components and Sent the number of dead nodes.
+	KindPartition Kind = "partition"
+	// KindComponent closes one component of a partial build: N is the
+	// component size, Round the total rounds its stages ran, and Note
+	// "complete" or the name of the stage that failed.
+	KindComponent Kind = "component"
 )
 
 // knownKinds is the schema: the set of kinds a valid trace may contain.
@@ -73,7 +80,7 @@ var knownKinds = map[Kind]bool{
 	KindStageStart: true, KindStageEnd: true, KindRound: true,
 	KindSend: true, KindDeliver: true, KindDrop: true, KindState: true,
 	KindRetransmit: true, KindGiveUp: true, KindQuiesceWait: true,
-	KindStuck: true,
+	KindStuck: true, KindPartition: true, KindComponent: true,
 }
 
 // KnownKind reports whether k is part of the trace schema.

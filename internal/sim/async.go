@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -132,6 +133,7 @@ type AsyncNetwork struct {
 	faults   FaultModel
 	tracer   obs.Tracer
 	stage    string
+	ctx      context.Context
 }
 
 // AsyncOption configures an AsyncNetwork.
@@ -146,6 +148,14 @@ func WithAsyncTracer(t obs.Tracer) AsyncOption {
 // WithAsyncStage labels the run's trace events with a stage name.
 func WithAsyncStage(name string) AsyncOption {
 	return func(n *AsyncNetwork) { n.stage = name }
+}
+
+// WithAsyncContext attaches a cancellation context to the run: the event
+// loop checks it periodically and, when it is canceled, stops and returns
+// a *CanceledError (with Rounds set to the simulated time reached) instead
+// of draining the queue.
+func WithAsyncContext(ctx context.Context) AsyncOption {
+	return func(n *AsyncNetwork) { n.ctx = ctx }
 }
 
 // WithAsyncFaults injects a fault model into the asynchronous scheduler:
@@ -219,6 +229,11 @@ func (n *AsyncNetwork) Run(maxEvents int) (deliveries, endTime int, err error) {
 	for n.queue.Len() > 0 {
 		if deliveries >= maxEvents {
 			return deliveries, n.now, finish(fmt.Errorf("sim: async event budget exhausted at t=%d", n.now))
+		}
+		// Poll cancellation every few deliveries: Handle is cheap, so a
+		// per-event ctx.Err() would dominate small protocols' runtime.
+		if n.ctx != nil && deliveries%32 == 0 && n.ctx.Err() != nil {
+			return deliveries, n.now, finish(&CanceledError{Rounds: n.now, Cause: n.ctx.Err()})
 		}
 		ev, ok := heap.Pop(&n.queue).(asyncEvent)
 		if !ok {

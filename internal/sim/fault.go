@@ -26,6 +26,30 @@ type FaultModel interface {
 	Copies(round, from, to, seq int, m Message) int
 }
 
+// CrashScheduler is an optional FaultModel extension: a model that
+// permanently silences nodes reports its schedule here (node -> first
+// crashed round), which is how the degraded-mode build learns which nodes
+// are dead and where the live network partitions. CrashAt implements it,
+// and Compose aggregates over its stages.
+type CrashScheduler interface {
+	CrashSchedule() map[int]int
+}
+
+// CrashRounds extracts the crash schedule of a fault model: a fresh map
+// from node ID to the round it crashes, or nil when the model is nil or
+// schedules no crashes.
+func CrashRounds(fm FaultModel) map[int]int {
+	cs, ok := fm.(CrashScheduler)
+	if !ok {
+		return nil
+	}
+	sched := cs.CrashSchedule()
+	if len(sched) == 0 {
+		return nil
+	}
+	return sched
+}
+
 // splitmix64 is the SplitMix64 mixer: a bijective scramble whose output is
 // uniform enough to use as one fresh 64-bit draw per distinct input.
 func splitmix64(x uint64) uint64 {
@@ -137,10 +161,21 @@ func (c crashAt) Copies(round, from, to, seq int, m Message) int {
 	return 1
 }
 
+// CrashSchedule implements CrashScheduler.
+func (c crashAt) CrashSchedule() map[int]int {
+	cp := make(map[int]int, len(c.at))
+	for k, v := range c.at {
+		cp[k] = v
+	}
+	return cp
+}
+
 // CrashAt returns a fault model in which node v is crashed from round
 // at[v] onward: every delivery from or to a crashed node is lost. A crash
 // violates eventual delivery, so protocols blocked on a crashed node are
-// expected to surface a diagnostic QuiescenceError rather than converge.
+// expected to surface a diagnostic QuiescenceError rather than converge —
+// or, under the partial-results build mode, to be carved out of the live
+// network entirely (the model implements CrashScheduler).
 func CrashAt(at map[int]int) FaultModel {
 	cp := make(map[int]int, len(at))
 	for k, v := range at {
@@ -184,11 +219,59 @@ func (c compose) Copies(round, from, to, seq int, m Message) int {
 	return n
 }
 
+// CrashSchedule implements CrashScheduler: the union of every stage's
+// schedule, earliest crash round winning per node.
+func (c compose) CrashSchedule() map[int]int {
+	var out map[int]int
+	for _, fm := range c.models {
+		for v, r := range CrashRounds(fm) {
+			if out == nil {
+				out = make(map[int]int)
+			}
+			if cur, ok := out[v]; !ok || r < cur {
+				out[v] = r
+			}
+		}
+	}
+	return out
+}
+
 // Compose chains fault models left to right: a delivery survives only if
 // every stage lets it through, and copy counts multiply (so a Bernoulli
 // loss stage composed with a Duplicate stage models a channel that both
 // loses and duplicates).
 func Compose(models ...FaultModel) FaultModel { return compose{models: models} }
+
+// remapFaults translates the node IDs of a subnetwork back to the global
+// IDs of the full network before consulting the wrapped model, so a fault
+// model written against global coordinates (a crash schedule, a per-link
+// loss pattern) applies faithfully to a component extracted under
+// different (local) IDs.
+type remapFaults struct {
+	fm  FaultModel
+	ids []int // local -> global
+}
+
+func (r remapFaults) Copies(round, from, to, seq int, m Message) int {
+	if from >= 0 && from < len(r.ids) {
+		from = r.ids[from]
+	}
+	if to >= 0 && to < len(r.ids) {
+		to = r.ids[to]
+	}
+	return r.fm.Copies(round, from, to, seq, m)
+}
+
+// RemapFaults wraps fm so that local node i is presented to it as global
+// node ids[i]. The degraded-mode build uses it to run per-component
+// pipelines on remapped subgraphs while keeping the caller's fault model —
+// link loss keyed by global IDs — in force. A nil fm returns nil.
+func RemapFaults(fm FaultModel, ids []int) FaultModel {
+	if fm == nil {
+		return nil
+	}
+	return remapFaults{fm: fm, ids: ids}
+}
 
 // dropAdapter lifts a legacy DropFunc to a FaultModel.
 type dropAdapter struct {

@@ -22,6 +22,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -101,6 +102,34 @@ func (e *QuiescenceError) Unwrap() error { return ErrNotQuiescent }
 type StuckReporter interface {
 	StuckReason() string
 }
+
+// ErrCanceled is returned by Run when the network's context (WithContext)
+// is canceled before quiescence. The concrete error is always a
+// *CanceledError; errors.Is also matches the context's own cause
+// (context.Canceled or context.DeadlineExceeded).
+var ErrCanceled = errors.New("sim: run canceled before quiescence")
+
+// CanceledError reports a run cut short by its context: how many rounds
+// executed before the cancellation was observed, and the context's cause.
+// Unlike a QuiescenceError, it says nothing about whether the protocols
+// would have converged — the budget that ran out was the caller's, not the
+// simulator's.
+type CanceledError struct {
+	// Rounds is the number of rounds executed before cancellation.
+	Rounds int
+	// Cause is the context error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("%v (after %d rounds: %v)", ErrCanceled, e.Rounds, e.Cause)
+}
+
+// Unwrap makes errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err())
+// both hold for *CanceledError.
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
 
 // Message is a protocol message. Type names group the per-type counters.
 type Message interface {
@@ -223,6 +252,7 @@ type Network struct {
 	trace    []RoundStats
 	tracer   obs.Tracer
 	stage    string
+	ctx      context.Context
 }
 
 // Option configures a Network.
@@ -257,6 +287,17 @@ func WithTracer(t obs.Tracer) Option {
 // callers composing their own networks may override.
 func WithStage(name string) Option {
 	return func(n *Network) { n.stage = name }
+}
+
+// WithContext attaches a cancellation context to the run: Run checks it
+// once per round and, when it is canceled (deadline hit, caller cancel),
+// stops and returns a *CanceledError instead of spinning to the round
+// budget. A nil context (the default) disables the check. Cancellation is
+// the one intentionally nondeterministic escape hatch — how many rounds
+// execute before the deadline fires depends on wall-clock speed — so
+// callers needing bit-identical output must not race a deadline.
+func WithContext(ctx context.Context) Option {
+	return func(n *Network) { n.ctx = ctx }
 }
 
 // WithReliability wraps every protocol in the Reliable ack/retransmission
@@ -311,6 +352,9 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		n.procs[i].Init(&n.ctxs[i])
 	}
 	for round := 1; round <= maxRounds; round++ {
+		if n.ctx != nil && n.ctx.Err() != nil {
+			return n.rounds, n.finishTrace(start, &CanceledError{Rounds: n.rounds, Cause: n.ctx.Err()})
+		}
 		n.rounds = round
 		inbox := n.outbox
 		n.outbox = nil
@@ -456,6 +500,35 @@ func (n *Network) Protocol(id int) Protocol {
 
 // Rounds returns the number of rounds executed so far.
 func (n *Network) Rounds() int { return n.rounds }
+
+// ReliableNodeStats returns each node's ack/retransmission shim counters
+// for a network run under WithReliability — the per-node give-up ledger a
+// degraded-mode health report is built from. It returns nil for plain
+// networks.
+func (n *Network) ReliableNodeStats() []ReliableStats {
+	if !n.reliable {
+		return nil
+	}
+	out := make([]ReliableStats, len(n.procs))
+	for id, p := range n.procs {
+		if r, ok := p.(*Reliable); ok {
+			out[id] = r.Stats()
+		}
+	}
+	return out
+}
+
+// NotDone returns the IDs of nodes whose protocol has not reported Done,
+// in increasing order — the stuck set of a run that was cut short.
+func (n *Network) NotDone() []int {
+	var out []int
+	for id, p := range n.procs {
+		if !p.Done() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
 
 // Sent returns the number of messages node id has broadcast.
 func (n *Network) Sent(id int) int { return n.sent[id] }
