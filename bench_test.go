@@ -10,7 +10,9 @@ package geospanner
 //	go test -bench=. -benchmem ./...
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -47,6 +49,36 @@ func BenchmarkTable1(b *testing.B) {
 		if _, err := experiments.Table1(100, 60, benchCfg(1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTable1Sharded measures the distributed pipeline behind
+// Table I at a scale where kernel cost dominates (n=2000 at constant
+// average degree ≈ 20): the sequential round loop against the sharded
+// executor at several shard counts. The sharded kernel routes each
+// broadcast to its receivers' mailboxes by binary search instead of
+// re-scanning every node's neighbor list per inbox message, so it is
+// expected to win wall-clock even on a single core; CI's bench-smoke
+// job runs this one benchmark for a single iteration.
+func BenchmarkTable1Sharded(b *testing.B) {
+	const n = 2000
+	radius := 200 * math.Sqrt(20/(math.Pi*float64(n)))
+	inst := benchInstance(b, 23, n, radius)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(inst.UDG, inst.Radius); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(inst.UDG, inst.Radius, core.WithShards(p)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -37,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, all")
+		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, scale, all")
 		trials   = fs.Int("trials", 10, "random vertex sets per configuration")
 		n        = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
 		radius   = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
@@ -46,6 +46,7 @@ func run(args []string) error {
 		outDir   = fs.String("out", ".", "output directory for SVG figures")
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		workers  = fs.Int("workers", 1, "goroutines running trials concurrently (output is identical for any value; 0 or 1 = sequential)")
+		shards   = fs.Int("shards", 0, "simulation-kernel shards per build (output is identical for any value; 0 = sequential kernel)")
 		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -53,7 +54,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -221,6 +222,21 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 		}
 		fmt.Println("chaos: every schedule survived; no failures to shrink")
 		return nil
+	case "scale":
+		ns := experiments.DefaultScaleNs()
+		if n > 0 {
+			ns = []int{n}
+		}
+		tb, err := experiments.Scale(ns, experiments.DefaultScaleShards(), cfg)
+		trials := cfg.Trials
+		if trials == 0 {
+			trials = 10 // Config default
+		}
+		if trials > 3 {
+			trials = 3 // Scale caps repeats per cell
+		}
+		return emit(fmt.Sprintf("Kernel scaling: sequential vs sharded simulation kernel (region=%g, trials=%d)",
+			cfg.Region, trials), tb, err)
 	case "trace":
 		tb, events, err := experiments.Trace(pick(experiments.DefaultTable1N), radius, cfg)
 		if err != nil {

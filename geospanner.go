@@ -25,7 +25,10 @@
 // state transition through a structured-event sink — see NewRingTracer,
 // NewJSONLTracer, NewMetricsTracer). BuildMany runs a batch of instances,
 // in parallel under WithWorkers, with bit-identical results for any
-// worker count.
+// worker count. WithShards parallelizes within one instance instead: the
+// simulator partitions the nodes into p shards that deliver and Tick
+// concurrently with deterministic merges, again bit-identical to the
+// sequential kernel for any p.
 //
 // When the network is damaged, WithPartialResults trades the all-or-nothing
 // contract for graceful degradation: Build partitions the live graph, runs
@@ -169,6 +172,17 @@ func WithTracer(t Tracer) Option { return core.WithTracer(t) }
 // WithWorkers sets the number of goroutines BuildMany uses (0 or 1 =
 // sequential). Results and merged traces are bit-identical for any value.
 func WithWorkers(w int) Option { return core.WithWorkers(w) }
+
+// WithShards runs every protocol stage on the sharded simulation kernel
+// with p shards: within each round, message delivery and per-node Ticks
+// execute concurrently across p static node partitions, with shard-local
+// outboxes merged deterministically. All outputs — graphs, message
+// counters, rounds, trace events — are bit-identical to the default
+// sequential kernel for any p, so sharding is purely a performance knob.
+// Where WithWorkers parallelizes across instances (BuildMany), WithShards
+// parallelizes within one instance; the two compose. p <= 0 (the default)
+// keeps the sequential kernel.
+func WithShards(p int) Option { return core.WithShards(p) }
 
 // WithPartialResults turns network damage from an error into a partial
 // answer: Build detects the fault model's crashed nodes, partitions the

@@ -39,6 +39,57 @@ func TestPublicPipeline(t *testing.T) {
 	}
 }
 
+// TestPublicShardedBuild pins the facade's WithShards contract: a sharded
+// build is bit-identical to the default sequential build — graphs,
+// ledgers, rounds — for several shard counts, including composed with
+// WithWorkers through BuildMany.
+func TestPublicShardedBuild(t *testing.T) {
+	inst, err := GenerateInstance(1, 80, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(inst.UDG, inst.Radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		got, err := Build(inst.UDG.Clone(), inst.Radius, WithShards(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.LDelICDS.Equal(want.LDelICDS) || !got.LDelICDSPrime.Equal(want.LDelICDSPrime) {
+			t.Fatalf("shards=%d: output graphs diverge from sequential build", p)
+		}
+		if got.Rounds != want.Rounds {
+			t.Fatalf("shards=%d: rounds %+v, want %+v", p, got.Rounds, want.Rounds)
+		}
+		if !reflect.DeepEqual(got.MsgsLDel.PerNode, want.MsgsLDel.PerNode) {
+			t.Fatalf("shards=%d: message ledgers diverge", p)
+		}
+	}
+
+	// Sharding composes with BuildMany's per-instance parallelism.
+	instances := make([]*Instance, 3)
+	for i := range instances {
+		if instances[i], err = GenerateInstance(int64(10+i), 40, 200, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := BuildMany(instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildMany(instances, WithWorkers(2), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if !sharded[i].LDelICDS.Equal(seq[i].LDelICDS) {
+			t.Fatalf("instance %d: sharded BuildMany diverges", i)
+		}
+	}
+}
+
 func TestPublicBaselines(t *testing.T) {
 	inst, err := GenerateInstance(2, 60, 200, 60)
 	if err != nil {

@@ -232,6 +232,9 @@ type BuildConfig struct {
 	// implies Partial, so a build that runs out of budget returns what it
 	// has instead of an error.
 	Deadline time.Duration
+	// Shards is the shard count of every stage's simulator (WithShards);
+	// 0 keeps the classic sequential kernel.
+	Shards int
 	// SimOpts are raw options passed through to every stage's network.
 	SimOpts []sim.Option
 }
@@ -285,6 +288,16 @@ func WithFaults(fm sim.FaultModel) BuildOption {
 // ack/retransmission shim (sim.WithReliability).
 func WithReliability(cfg sim.ReliableConfig) BuildOption {
 	return func(c *BuildConfig) { c.Reliability = &cfg }
+}
+
+// WithShards runs every stage's simulator on the sharded kernel with p
+// shards (sim.WithShards): the per-round delivery and Tick work is
+// partitioned across p concurrent shards with deterministic merges, so
+// every output — graphs, message counters, round counts, protocol trace
+// events — is bit-identical to the default sequential kernel for any p.
+// p <= 0 (the default) keeps the sequential kernel.
+func WithShards(p int) BuildOption {
+	return func(c *BuildConfig) { c.Shards = p }
 }
 
 // WithPartialResults switches Build to graceful degradation: instead of
@@ -346,6 +359,9 @@ func (c *BuildConfig) simOptions() []sim.Option {
 	}
 	if c.Tracer != nil {
 		opts = append(opts, sim.WithTracer(c.Tracer))
+	}
+	if c.Shards > 0 {
+		opts = append(opts, sim.WithShards(c.Shards))
 	}
 	return opts
 }

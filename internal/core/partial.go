@@ -298,6 +298,9 @@ func (c *BuildConfig) componentSimOptions(ctx context.Context, members []int) []
 	if ctx != nil {
 		opts = append(opts, sim.WithContext(ctx))
 	}
+	if c.Shards > 0 {
+		opts = append(opts, sim.WithShards(c.Shards))
+	}
 	return opts
 }
 
@@ -311,6 +314,12 @@ type remapTracer struct {
 
 // Emit implements obs.Tracer.
 func (t remapTracer) Emit(e obs.Event) {
+	// Shard events carry a shard index in From, not a node ID; they pass
+	// through untranslated.
+	if e.Kind == obs.KindShard {
+		t.inner.Emit(e)
+		return
+	}
 	if e.From >= 0 && e.From < len(t.ids) {
 		e.From = t.ids[e.From]
 	}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"geospanner/internal/obs"
+	"geospanner/internal/sim"
+	"geospanner/internal/udg"
+)
+
+// stripShardLines removes the executor's per-shard load reports from a
+// JSONL trace. Shard events describe the machine (shard count, wall
+// time), not the protocol, so they are the one part of a traced run
+// excluded from the cross-shard-count determinism contract.
+func stripShardLines(t *testing.T, trace []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range bytes.Split(trace, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		e, err := obs.DecodeJSONL(line, true)
+		if err != nil {
+			t.Fatalf("trace line fails strict schema: %v", err)
+		}
+		if e.Kind == obs.KindShard {
+			continue
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// tracedBuild runs one build with a byte-exact JSONL sink (wall times
+// omitted) and returns the result (nil on failure), the build error text
+// (a wedged lossy run fails deterministically — the error is part of the
+// contract), and the protocol-level trace.
+func tracedBuild(t *testing.T, seed int64, n int, opts ...BuildOption) (*Result, string, []byte) {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(seed, n, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	sink.OmitWall = true
+	res, err := Build(inst.UDG, inst.Radius, append(opts, WithTracer(sink))...)
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return res, errText, stripShardLines(t, buf.Bytes())
+}
+
+// sameResult asserts two builds computed identical structures and ledgers.
+func sameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if !got.LDelICDS.Equal(want.LDelICDS) || !got.LDelICDSPrime.Equal(want.LDelICDSPrime) {
+		t.Fatalf("%s: output graphs diverge", label)
+	}
+	if got.Rounds != want.Rounds {
+		t.Fatalf("%s: rounds %+v, want %+v", label, got.Rounds, want.Rounds)
+	}
+	if !reflect.DeepEqual(got.MsgsLDel.PerNode, want.MsgsLDel.PerNode) {
+		t.Fatalf("%s: per-node message ledger diverges", label)
+	}
+	if !reflect.DeepEqual(got.MsgsLDel.ByType, want.MsgsLDel.ByType) {
+		t.Fatalf("%s: per-type ledger = %v, want %v", label, got.MsgsLDel.ByType, want.MsgsLDel.ByType)
+	}
+	if got.Reliable != want.Reliable {
+		t.Fatalf("%s: reliable counters %+v, want %+v", label, got.Reliable, want.Reliable)
+	}
+}
+
+// TestShardMatrixDeterminism is the determinism-under-composition matrix:
+// every combination of {shards 1, 2, 4, 8} × {Reliable on/off} ×
+// {Bernoulli, Gilbert} must produce a Result and a JSONL protocol trace
+// bit-identical to the sequential kernel's on the same fixed seed.
+func TestShardMatrixDeterminism(t *testing.T) {
+	faults := []struct {
+		name string
+		opt  func() BuildOption
+	}{
+		{"bernoulli", func() BuildOption { return WithFaults(sim.Bernoulli(99, 0.15)) }},
+		{"gilbert", func() BuildOption { return WithFaults(sim.Gilbert(41, 0.2, 0.5, 0.8)) }},
+	}
+	for _, fault := range faults {
+		for _, reliable := range []bool{false, true} {
+			name := fault.name
+			if reliable {
+				name += "+reliable"
+			}
+			t.Run(name, func(t *testing.T) {
+				base := func() []BuildOption {
+					// Fault models are constructed fresh per build: Gilbert
+					// is stateful and must not be shared across runs.
+					opts := []BuildOption{fault.opt(), WithMaxRounds(3000)}
+					if reliable {
+						opts = append(opts, WithReliability(sim.ReliableConfig{}))
+					}
+					return opts
+				}
+				wantRes, wantErr, wantTrace := tracedBuild(t, 21, 40, base()...)
+				for _, p := range []int{1, 2, 4, 8} {
+					gotRes, gotErr, gotTrace := tracedBuild(t, 21, 40, append(base(), WithShards(p))...)
+					if gotErr != wantErr {
+						t.Fatalf("shards=%d: err = %q, want %q", p, gotErr, wantErr)
+					}
+					if wantRes != nil {
+						sameResult(t, fmt.Sprintf("shards=%d", p), wantRes, gotRes)
+					}
+					if !bytes.Equal(wantTrace, gotTrace) {
+						gl, wl := bytes.Split(gotTrace, []byte("\n")), bytes.Split(wantTrace, []byte("\n"))
+						for i := 0; i < len(gl) && i < len(wl); i++ {
+							if !bytes.Equal(gl[i], wl[i]) {
+								t.Fatalf("shards=%d: trace diverges at line %d.\ngot:  %s\nwant: %s", p, i+1, gl[i], wl[i])
+							}
+						}
+						t.Fatalf("shards=%d: trace length %d lines, want %d", p, len(gl), len(wl))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardGoldenTraceUnchanged replays the pinned golden JSONL trace
+// under the sharded kernel: the protocol-level stream must match the
+// committed golden byte for byte, without regenerating it.
+func TestShardGoldenTraceUnchanged(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "trace_seed3_n12.golden.jsonl"))
+	if err != nil {
+		t.Fatalf("missing golden trace: %v", err)
+	}
+	inst, err := udg.ConnectedInstance(3, 12, 100, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		sink.OmitWall = true
+		if _, err := Build(inst.UDG.Clone(), inst.Radius, WithShards(p), WithTracer(sink)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got := stripShardLines(t, buf.Bytes())
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d: sharded trace diverges from the sequential golden", p)
+		}
+	}
+}
+
+// TestShardPartialBuild: the sharded kernel composes with the
+// partition-aware build — per-component pipelines run sharded (remapped
+// faults included) and produce the sequential build's exact partial
+// result.
+func TestShardPartialBuild(t *testing.T) {
+	inst, err := udg.ConnectedInstance(13, 60, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash a node to force the partition machinery into play.
+	crash := sim.CrashAt(map[int]int{5: 1})
+	base := []BuildOption{WithPartialResults(), WithMaxRounds(2000), WithFaults(crash),
+		WithReliability(sim.ReliableConfig{MaxRetries: 3})}
+	want, err := Build(inst.UDG.Clone(), inst.Radius, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		got, err := Build(inst.UDG.Clone(), inst.Radius, append(append([]BuildOption(nil), base...), WithShards(p))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.LDelICDS.Equal(want.LDelICDS) {
+			t.Fatalf("shards=%d: partial-build graphs diverge", p)
+		}
+		if !reflect.DeepEqual(got.MsgsLDel.PerNode, want.MsgsLDel.PerNode) {
+			t.Fatalf("shards=%d: partial-build ledgers diverge", p)
+		}
+		if (got.Health == nil) != (want.Health == nil) {
+			t.Fatalf("shards=%d: health report presence diverges", p)
+		}
+		if got.Health != nil && !reflect.DeepEqual(got.Health.DeadNodes, want.Health.DeadNodes) {
+			t.Fatalf("shards=%d: dead sets diverge", p)
+		}
+	}
+}

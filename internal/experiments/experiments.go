@@ -40,6 +40,19 @@ type Config struct {
 	// each trial is seeded independently and trial results are folded
 	// into the aggregates in trial order regardless of completion order.
 	Workers int
+	// Shards is the shard count of each build's simulation kernel
+	// (core.WithShards); 0 keeps the sequential kernel. Like Workers, it
+	// changes only wall-clock time, never results.
+	Shards int
+}
+
+// buildOptions returns the per-build options implied by the config.
+func (c Config) buildOptions() []core.BuildOption {
+	var opts []core.BuildOption
+	if c.Shards > 0 {
+		opts = append(opts, core.WithShards(c.Shards))
+	}
+	return opts
 }
 
 // Defaults for the paper's setup.
@@ -97,7 +110,7 @@ func buildAll(seed int64, n int, radius float64, cfg Config, distributed bool) (
 	}
 	var res *core.Result
 	if distributed {
-		res, err = core.Build(inst.UDG, radius)
+		res, err = core.Build(inst.UDG, radius, cfg.buildOptions()...)
 	} else {
 		res, err = core.BuildCentralized(inst.UDG, radius)
 	}

@@ -50,13 +50,14 @@ func Loss(n int, radius float64, rates []float64, cfg Config) (*stats.Table, err
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d: %w", trial, err)
 			}
-			plain, err := core.Build(inst.UDG, inst.Radius)
+			plain, err := core.Build(inst.UDG, inst.Radius, cfg.buildOptions()...)
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d (plain): %w", trial, err)
 			}
 			lossy, err := core.Build(inst.UDG.Clone(), inst.Radius,
-				core.WithReliability(sim.ReliableConfig{}),
-				core.WithFaults(sim.Bernoulli(seed*131+int64(rate*1000), rate)))
+				append(cfg.buildOptions(),
+					core.WithReliability(sim.ReliableConfig{}),
+					core.WithFaults(sim.Bernoulli(seed*131+int64(rate*1000), rate)))...)
 			if err != nil {
 				return measure{}, fmt.Errorf("loss trial %d (rate %g): %w", trial, rate, err)
 			}

@@ -38,7 +38,7 @@ func Trace(n int, radius float64, cfg Config) (*stats.Table, []obs.Event, error)
 			return traceMeasure{}, fmt.Errorf("trace trial %d: %w", trial, err)
 		}
 		ring := obs.NewRing(traceRingCap)
-		if _, err := core.Build(inst.UDG, radius, core.WithTracer(ring)); err != nil {
+		if _, err := core.Build(inst.UDG, radius, append(cfg.buildOptions(), core.WithTracer(ring))...); err != nil {
 			return traceMeasure{}, fmt.Errorf("trace trial %d: %w", trial, err)
 		}
 		if ring.Total() > traceRingCap {

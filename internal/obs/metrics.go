@@ -139,6 +139,15 @@ type StageMetrics struct {
 	// Components / IncompleteComponents the per-component outcomes of
 	// degraded-mode builds.
 	Partitions, Components, IncompleteComponents int
+	// ShardReports counts shard events, ShardWall is the per-shard
+	// deliver+tick wall-time distribution (its max-vs-mean spread is the
+	// load-imbalance signal), ShardMaxWall the single slowest shard seen,
+	// and ShardPoolHits / ShardPoolMisses total the mailbox free-list
+	// behavior across shards.
+	ShardReports                   int
+	ShardWall                      Histogram
+	ShardMaxWall                   int64
+	ShardPoolHits, ShardPoolMisses int
 }
 
 // Metrics is the rollup sink: it folds the event stream into per-stage
@@ -203,6 +212,14 @@ func (m *Metrics) Emit(e Event) {
 		if e.Note != "complete" {
 			s.IncompleteComponents++
 		}
+	case KindShard:
+		s.ShardReports++
+		s.ShardWall.Add(e.WallNS)
+		if e.WallNS > s.ShardMaxWall {
+			s.ShardMaxWall = e.WallNS
+		}
+		s.ShardPoolHits += e.Sent
+		s.ShardPoolMisses += e.Delivered
 	}
 }
 
@@ -248,6 +265,20 @@ func (m *Metrics) String() string {
 		if s.Partitions > 0 {
 			fmt.Fprintf(&b, "  partitions=%d components=%d incomplete=%d\n",
 				s.Partitions, s.Components, s.IncompleteComponents)
+		}
+		if s.ShardReports > 0 {
+			// Imbalance is slowest shard over mean shard: 1.00 = perfectly
+			// balanced, 2.00 = one shard did twice the average work.
+			imbalance := 1.0
+			if mean := s.ShardWall.Mean(); mean > 0 {
+				imbalance = float64(s.ShardMaxWall) / mean
+			}
+			hitRate := 0.0
+			if tot := s.ShardPoolHits + s.ShardPoolMisses; tot > 0 {
+				hitRate = float64(s.ShardPoolHits) / float64(tot)
+			}
+			fmt.Fprintf(&b, "  shards=%d imbalance=%.2f pool_hit=%.0f%% shard_wall %s\n",
+				s.ShardReports, imbalance, hitRate*100, s.ShardWall.String())
 		}
 		types := make([]string, 0, len(s.ByType))
 		for t := range s.ByType {

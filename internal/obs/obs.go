@@ -73,6 +73,15 @@ const (
 	// component size, Round the total rounds its stages ran, and Note
 	// "complete" or the name of the stage that failed.
 	KindComponent Kind = "component"
+	// KindShard is the sharded kernel's per-shard load report, emitted
+	// once per shard at stage end when the run executed under WithShards:
+	// From is the shard index, N the number of nodes the shard owns,
+	// WallNS its cumulative deliver+tick wall time, and Sent/Delivered the
+	// mailbox pool's hit/miss counts. Shard events describe the executor,
+	// not the protocol — they are the one part of a trace that varies with
+	// the shard count, so determinism comparisons across shard counts
+	// strip them along with WallNS.
+	KindShard Kind = "shard"
 )
 
 // knownKinds is the schema: the set of kinds a valid trace may contain.
@@ -81,6 +90,7 @@ var knownKinds = map[Kind]bool{
 	KindSend: true, KindDeliver: true, KindDrop: true, KindState: true,
 	KindRetransmit: true, KindGiveUp: true, KindQuiesceWait: true,
 	KindStuck: true, KindPartition: true, KindComponent: true,
+	KindShard: true,
 }
 
 // KnownKind reports whether k is part of the trace schema.

@@ -151,6 +151,53 @@ func TestMetricsRollup(t *testing.T) {
 	}
 }
 
+func TestShardMetricsRollup(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(Event{Kind: KindStageStart, Stage: "cluster", N: 100})
+	// Four shard load reports: From = shard index, N = nodes owned,
+	// Sent/Delivered carry mailbox-pool hits/misses, WallNS the shard's
+	// cumulative deliver+tick wall time.
+	m.Emit(Event{Kind: KindShard, Stage: "cluster", From: 0, N: 25, Sent: 90, Delivered: 10, WallNS: 1000})
+	m.Emit(Event{Kind: KindShard, Stage: "cluster", From: 1, N: 25, Sent: 80, Delivered: 20, WallNS: 1000})
+	m.Emit(Event{Kind: KindShard, Stage: "cluster", From: 2, N: 25, Sent: 70, Delivered: 30, WallNS: 1000})
+	m.Emit(Event{Kind: KindShard, Stage: "cluster", From: 3, N: 25, Sent: 60, Delivered: 40, WallNS: 5000})
+
+	s := m.Stage("cluster")
+	if s.ShardReports != 4 {
+		t.Fatalf("ShardReports = %d, want 4", s.ShardReports)
+	}
+	if s.ShardPoolHits != 300 || s.ShardPoolMisses != 100 {
+		t.Fatalf("pool rollup: hits=%d misses=%d", s.ShardPoolHits, s.ShardPoolMisses)
+	}
+	if s.ShardMaxWall != 5000 || s.ShardWall.Count != 4 {
+		t.Fatalf("wall rollup: max=%d count=%d", s.ShardMaxWall, s.ShardWall.Count)
+	}
+	out := m.String()
+	if !strings.Contains(out, "shards=4") || !strings.Contains(out, "pool_hit=75%") {
+		t.Fatalf("String missing shard line: %s", out)
+	}
+	// mean wall = 2000, slowest = 5000 → imbalance 2.50.
+	if !strings.Contains(out, "imbalance=2.50") {
+		t.Fatalf("String missing imbalance: %s", out)
+	}
+
+	// The shard kind survives the strict JSONL schema round trip.
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	in := Event{Kind: KindShard, Stage: "cluster", From: 2, To: NoNode, N: 25, Sent: 70, Delivered: 30, WallNS: 42}
+	j.Emit(in)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeJSONL(bytes.TrimSpace(buf.Bytes()), true)
+	if err != nil {
+		t.Fatalf("strict decode of shard event: %v", err)
+	}
+	if e != in {
+		t.Fatalf("round trip: got %+v want %+v", e, in)
+	}
+}
+
 func TestMultiAndFunc(t *testing.T) {
 	var got []Kind
 	f := Func(func(e Event) { got = append(got, e.Kind) })

@@ -57,6 +57,32 @@ func TestRangeCircleMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestRangeCircleMatchesGrid pins the interchangeability contract between
+// the two spatial indexes: quadtree.Tree.RangeCircle and
+// geom.Grid.RangeCircle return the identical (closed-disk, ascending)
+// result for the same queries.
+func TestRangeCircleMatchesGrid(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + r.Intn(300)
+		pts := randomPts(r, n, 100)
+		tree := New(pts, 0)
+		grid := geom.NewGrid(pts, 1+r.Float64()*30)
+		for q := 0; q < 10; q++ {
+			c := geom.Pt(r.Float64()*120-10, r.Float64()*120-10)
+			radius := r.Float64() * 50
+			got := grid.RangeCircle(c, radius)
+			want := tree.RangeCircle(c, radius)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: grid %v vs quadtree %v", trial, got, want)
+			}
+		}
+	}
+}
+
 func TestRangeRectMatchesBruteForce(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 20; trial++ {

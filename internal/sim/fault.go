@@ -26,6 +26,41 @@ type FaultModel interface {
 	Copies(round, from, to, seq int, m Message) int
 }
 
+// FaultSharder is an optional FaultModel extension for the sharded kernel
+// (WithShards): ShardFaults returns p independent instances, one per
+// shard, that collectively reproduce the sequential model's exact loss
+// pattern when shard s consults instance s only for deliveries to its own
+// receivers, in the sequential per-receiver order. Stateless models
+// (Bernoulli, CrashAt, Duplicate) return the shared instance p times; the
+// stateful Gilbert model returns fresh same-seed instances, which is
+// sound because its per-link Markov chains are keyed by (from, to) and a
+// directed link's receiver lives on exactly one shard, so each chain is
+// consulted by one shard in the same order as sequentially. ShardFaults
+// may return nil to declare the model unshardable (DropFunc closures,
+// whose internal state the kernel cannot see); the run then falls back to
+// the sequential kernel.
+type FaultSharder interface {
+	ShardFaults(p int) []FaultModel
+}
+
+// shardFaultModels splits fm into p per-shard instances. A nil model
+// shards trivially. The second result is false when the model (or any
+// component of a composition) does not support sharding.
+func shardFaultModels(fm FaultModel, p int) ([]FaultModel, bool) {
+	if fm == nil {
+		return make([]FaultModel, p), true
+	}
+	fs, ok := fm.(FaultSharder)
+	if !ok {
+		return nil, false
+	}
+	out := fs.ShardFaults(p)
+	if out == nil {
+		return nil, false
+	}
+	return out, true
+}
+
 // CrashScheduler is an optional FaultModel extension: a model that
 // permanently silences nodes reports its schedule here (node -> first
 // crashed round), which is how the degraded-mode build learns which nodes
@@ -82,6 +117,16 @@ func (b bernoulli) Copies(round, from, to, seq int, m Message) int {
 	return 1
 }
 
+// ShardFaults implements FaultSharder: the model is a pure function of
+// the delivery coordinates, so every shard shares the one instance.
+func (b bernoulli) ShardFaults(p int) []FaultModel {
+	out := make([]FaultModel, p)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
 // Bernoulli returns a fault model that loses each per-receiver delivery
 // independently with probability p. The loss pattern is a deterministic
 // function of the seed.
@@ -96,6 +141,10 @@ type gilbert struct {
 	pExitBad  float64
 	dropBad   float64
 	state     map[[2]int]*gilbertLink
+	// shards caches the per-shard instances handed out by ShardFaults, so
+	// that per-link chain state persists across the stages of one build
+	// exactly as the parent instance's state does sequentially.
+	shards []FaultModel
 }
 
 type gilbertLink struct {
@@ -130,6 +179,27 @@ func (g *gilbert) Copies(round, from, to, seq int, m Message) int {
 	return 1
 }
 
+// ShardFaults implements FaultSharder with same-seed per-shard instances.
+// Each directed link's Markov chain is lazily seeded from (seed, from,
+// to) alone, and the link is consulted only by the shard owning the
+// receiver `to`, in the same per-receiver delivery order the sequential
+// kernel uses — so every chain replays the identical stream and the
+// aggregate loss pattern is bit-identical for any p. The instances are
+// cached on the parent: a multi-stage run (core.Build threads one fault
+// model through cluster, connector, and LDel) keeps advancing the same
+// chains across stages, exactly as the sequential kernel's single
+// instance does. One Gilbert value must therefore run under a consistent
+// shard count — changing p mid-build would reset the chains.
+func (g *gilbert) ShardFaults(p int) []FaultModel {
+	if len(g.shards) != p {
+		g.shards = make([]FaultModel, p)
+		for i := range g.shards {
+			g.shards[i] = Gilbert(g.seed, g.pEnterBad, g.pExitBad, g.dropBad)
+		}
+	}
+	return g.shards
+}
+
 // Gilbert returns a bursty Gilbert–Elliott loss model: each directed link
 // carries a two-state Markov chain (Good/Bad) advanced once per delivery
 // attempt; a Bad link drops each delivery with probability dropBad. It is
@@ -159,6 +229,16 @@ func (c crashAt) Copies(round, from, to, seq int, m Message) int {
 		return 0
 	}
 	return 1
+}
+
+// ShardFaults implements FaultSharder: the schedule is read-only during a
+// run, so every shard shares the one instance.
+func (c crashAt) ShardFaults(p int) []FaultModel {
+	out := make([]FaultModel, p)
+	for i := range out {
+		out[i] = c
+	}
+	return out
 }
 
 // CrashSchedule implements CrashScheduler.
@@ -197,6 +277,16 @@ func (d duplicate) Copies(round, from, to, seq int, m Message) int {
 	return 1
 }
 
+// ShardFaults implements FaultSharder: pure function of the delivery
+// coordinates, shared across shards.
+func (d duplicate) ShardFaults(p int) []FaultModel {
+	out := make([]FaultModel, p)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
 // Duplicate returns a fault model that delivers each message twice with
 // probability p, exercising receiver-side duplicate suppression.
 func Duplicate(seed int64, p float64) FaultModel { return duplicate{seed: seed, p: p} }
@@ -217,6 +307,29 @@ func (c compose) Copies(round, from, to, seq int, m Message) int {
 		}
 	}
 	return n
+}
+
+// ShardFaults implements FaultSharder componentwise: shard instance s is
+// the composition of every stage's shard-s instance. Unshardable stages
+// make the whole composition unshardable.
+func (c compose) ShardFaults(p int) []FaultModel {
+	parts := make([][]FaultModel, len(c.models))
+	for i, fm := range c.models {
+		sub, ok := shardFaultModels(fm, p)
+		if !ok {
+			return nil
+		}
+		parts[i] = sub
+	}
+	out := make([]FaultModel, p)
+	for s := range out {
+		models := make([]FaultModel, len(parts))
+		for i := range parts {
+			models[i] = parts[i][s]
+		}
+		out[s] = compose{models: models}
+	}
+	return out
 }
 
 // CrashSchedule implements CrashScheduler: the union of every stage's
@@ -262,6 +375,20 @@ func (r remapFaults) Copies(round, from, to, seq int, m Message) int {
 	return r.fm.Copies(round, from, to, seq, m)
 }
 
+// ShardFaults implements FaultSharder by sharding the wrapped model and
+// re-wrapping each instance with the same ID translation.
+func (r remapFaults) ShardFaults(p int) []FaultModel {
+	sub, ok := shardFaultModels(r.fm, p)
+	if !ok {
+		return nil
+	}
+	out := make([]FaultModel, p)
+	for s := range out {
+		out[s] = remapFaults{fm: sub[s], ids: r.ids}
+	}
+	return out
+}
+
 // RemapFaults wraps fm so that local node i is presented to it as global
 // node ids[i]. The degraded-mode build uses it to run per-component
 // pipelines on remapped subgraphs while keeping the caller's fault model —
@@ -285,5 +412,8 @@ func (d dropAdapter) Copies(round, from, to, seq int, m Message) int {
 	return 1
 }
 
-// FromDrop adapts a DropFunc closure to the FaultModel interface.
+// FromDrop adapts a DropFunc closure to the FaultModel interface. The
+// resulting model is opaque to the sharded kernel — a closure may carry
+// arbitrary state — so it does not implement FaultSharder and runs using
+// it fall back to the sequential kernel under WithShards.
 func FromDrop(f DropFunc) FaultModel { return dropAdapter{f: f} }

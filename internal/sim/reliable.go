@@ -201,7 +201,12 @@ func (r *Reliable) Init(ctx *Context) {
 	for _, v := range r.nbrs {
 		r.peers[v] = newPeerState()
 	}
-	r.innerCtx = Context{net: ctx.net, id: ctx.id, send: func(m Message) {
+	// sh is carried over so the inner protocol's EmitState (and any shim
+	// event emitted while a shard goroutine is executing this node) is
+	// buffered in the owning shard rather than hitting the shared tracer
+	// concurrently. All other shim state is per-node, so the shim is
+	// shard-safe as-is: only the owning shard ever touches it.
+	r.innerCtx = Context{net: ctx.net, id: ctx.id, sh: ctx.sh, send: func(m Message) {
 		r.captured = append(r.captured, m)
 	}}
 	r.inner.Init(&r.innerCtx)

@@ -1,0 +1,369 @@
+package sim
+
+// This file is the sharded execution kernel behind WithShards: the same
+// bulk-synchronous round semantics as the classic sequential loop in
+// sim.go, executed by P shard workers instead of one goroutine, with
+// bit-identical results for any P.
+//
+// Partitioning is static and contiguous: shard s owns node IDs
+// [s·n/P, (s+1)·n/P). Within a round the kernel runs two parallel phases
+// with a barrier between them:
+//
+//  1. Deliver — each shard routes the round's inbox into pooled per-node
+//     mailboxes for the receivers it owns (a binary search over each
+//     sender's sorted neighbor list finds the shard's ID range), then
+//     drains the mailboxes in receiver-ID order, consulting its own
+//     fault-model instance and calling Handle.
+//  2. Tick — each shard runs Tick on its nodes in ID order.
+//
+// Everything a shard produces — broadcasts, trace events, per-type send
+// counts — lands in shard-local buffers. After each phase the coordinator
+// merges them in shard-index order, which for a contiguous partition IS
+// node-ID order, so the merged outbox, the assigned send sequence numbers,
+// and the emitted event stream are exactly what the sequential kernel
+// produces. Determinism therefore does not depend on goroutine scheduling
+// at all: scheduling can only reorder work *within* a phase, and nothing
+// observable escapes a shard until the deterministic merge.
+//
+// Fault models are consulted concurrently, one shard instance each (see
+// FaultSharder in fault.go). Per-node protocol state — including the
+// Reliable shim's ack/retransmission bookkeeping — is only ever touched by
+// the owning shard, so protocols need no locking; the one cross-node
+// channel is the message buffers, which are written before the barrier and
+// read after it.
+//
+// The mailbox path also kills the sequential kernel's two hot spots: the
+// O(n·|inbox|) per-round HasEdge scan becomes O(Σ deg(sender)) routing
+// work, and the per-round slice churn is recycled — outbox buffers
+// double-buffer across rounds and mailboxes come from per-shard free
+// lists whose hit rate is reported through the tracer (obs.KindShard).
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"geospanner/internal/obs"
+)
+
+// mailboxPool is a per-shard free list of mailbox buffers. Mailboxes are
+// handed out only for receivers that actually get mail this round, so in
+// the late, sparse rounds of a run the pool shrinks the working set to the
+// handful of still-active nodes. hits/misses feed the obs.KindShard
+// metrics: a warm pool (high hit rate) means the delivery path has stopped
+// allocating.
+type mailboxPool struct {
+	free         [][]envelope
+	hits, misses int
+}
+
+// get returns an empty mailbox, recycling a previously returned buffer
+// when one is available.
+func (p *mailboxPool) get() []envelope {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.hits++
+		return b
+	}
+	p.misses++
+	return make([]envelope, 0, 8)
+}
+
+// put returns a drained mailbox to the free list. Message references are
+// cleared so a pooled buffer does not pin delivered payloads.
+func (p *mailboxPool) put(b []envelope) {
+	for i := range b {
+		b[i].msg = nil
+	}
+	p.free = append(p.free, b[:0])
+}
+
+// shardState is everything one shard owns: its node range, its fault-model
+// instance, its mailboxes and free list, and the local buffers that
+// absorb broadcasts, trace events, and counters until the merge.
+type shardState struct {
+	net    *Network
+	idx    int
+	lo, hi int // owned node IDs: [lo, hi)
+	faults FaultModel
+
+	// Phase-local output, drained by (*shardExec).merge.
+	outbox    []envelope // seq assigned at merge time
+	events    []obs.Event
+	byType    map[string]int
+	delivered int
+
+	// Mailboxes, indexed by id-lo; nil when the node got no mail.
+	mail [][]envelope
+	pool mailboxPool
+
+	// workNS accumulates the shard's deliver+tick wall time, the load
+	// signal of the obs.KindShard report.
+	workNS int64
+}
+
+// broadcast is Context.Broadcast's sharded path: identical bookkeeping,
+// but into shard-local buffers. The send sequence number is assigned at
+// merge time; the merge order equals the sequential kernel's broadcast
+// order, so the numbers come out identical. n.sent is indexed by the
+// broadcasting node, which belongs to exactly one shard, so the write is
+// race-free without atomics.
+func (sh *shardState) broadcast(c *Context, m Message) {
+	n := sh.net
+	n.sent[c.id]++
+	sh.byType[m.Type()]++
+	sh.outbox = append(sh.outbox, envelope{from: c.id, msg: m})
+	if n.tracer != nil {
+		sh.events = append(sh.events, obs.Event{Kind: obs.KindSend, Stage: n.stage, Round: n.rounds,
+			Type: m.Type(), From: c.id, To: obs.NoNode, Bytes: obs.SizeOf(m)})
+	}
+}
+
+// deliver routes the round's inbox into this shard's mailboxes and drains
+// them: receivers in ID order, each mailbox already in global send-order
+// (the inbox is seq-sorted and routing preserves it), matching the
+// sequential kernel's delivery order exactly.
+func (sh *shardState) deliver(round int, inbox []envelope) {
+	start := time.Now()
+	n := sh.net
+	g := n.g
+	for i := range inbox {
+		env := &inbox[i]
+		nbrs := g.Neighbors(env.from)
+		// The shard's receivers form a contiguous ID range; one binary
+		// search per sender finds the slice of its sorted neighbor list
+		// this shard must route to.
+		j := sort.SearchInts(nbrs, sh.lo)
+		for ; j < len(nbrs) && nbrs[j] < sh.hi; j++ {
+			off := nbrs[j] - sh.lo
+			if sh.mail[off] == nil {
+				sh.mail[off] = sh.pool.get()
+			}
+			sh.mail[off] = append(sh.mail[off], *env)
+		}
+	}
+	for off := range sh.mail {
+		box := sh.mail[off]
+		if box == nil {
+			continue
+		}
+		id := sh.lo + off
+		for i := range box {
+			env := &box[i]
+			copies := 1
+			if sh.faults != nil {
+				copies = sh.faults.Copies(round, env.from, id, env.seq, env.msg)
+			}
+			if n.tracer != nil {
+				kind, cnt := obs.KindDeliver, copies
+				if copies == 0 {
+					kind, cnt = obs.KindDrop, 0
+				}
+				sh.events = append(sh.events, obs.Event{Kind: kind, Stage: n.stage, Round: round,
+					Type: env.msg.Type(), From: env.from, To: id, N: cnt})
+			}
+			for c := 0; c < copies; c++ {
+				n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
+				sh.delivered++
+			}
+		}
+		sh.mail[off] = nil
+		sh.pool.put(box)
+	}
+	sh.workNS += time.Since(start).Nanoseconds()
+}
+
+// tick runs the round's Tick on the shard's nodes in ID order.
+func (sh *shardState) tick(round int) {
+	start := time.Now()
+	n := sh.net
+	for id := sh.lo; id < sh.hi; id++ {
+		n.procs[id].Tick(&n.ctxs[id], round)
+	}
+	sh.workNS += time.Since(start).Nanoseconds()
+}
+
+// shardExec drives the shard set for one run.
+type shardExec struct {
+	net    *Network
+	shards []shardState
+}
+
+// newShardExec partitions the network into the configured number of
+// shards and wires each node's Context to its shard. It returns nil — and
+// Run falls back to the sequential kernel — when sharding is off, the
+// network is empty, or the fault model cannot provide independent
+// per-shard instances (see FaultSharder).
+func (n *Network) newShardExec() *shardExec {
+	p := n.shards
+	nn := n.g.N()
+	if p <= 0 || nn == 0 {
+		return nil
+	}
+	if p > nn {
+		p = nn
+	}
+	fms, ok := shardFaultModels(n.faults, p)
+	if !ok {
+		return nil
+	}
+	ex := &shardExec{net: n, shards: make([]shardState, p)}
+	for s := 0; s < p; s++ {
+		lo, hi := s*nn/p, (s+1)*nn/p
+		sh := &ex.shards[s]
+		*sh = shardState{
+			net:    n,
+			idx:    s,
+			lo:     lo,
+			hi:     hi,
+			faults: fms[s],
+			byType: make(map[string]int),
+			mail:   make([][]envelope, hi-lo),
+		}
+		for id := lo; id < hi; id++ {
+			n.ctxs[id].sh = sh
+		}
+	}
+	return ex
+}
+
+// each runs fn on every shard — concurrently for P > 1, inline for a
+// single shard — and returns when all shards are done (the phase barrier).
+func (ex *shardExec) each(fn func(sh *shardState)) {
+	if len(ex.shards) == 1 {
+		fn(&ex.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range ex.shards {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			fn(sh)
+		}(&ex.shards[s])
+	}
+	wg.Wait()
+}
+
+// merge drains every shard's phase-local buffers in shard-index order —
+// node-ID order, for a contiguous partition — assigning global send
+// sequence numbers, appending to the network outbox, replaying trace
+// events, and folding counters. It returns the phase's delivery count.
+// This is the step that restores the sequential kernel's total order, so
+// it must run between phases and never concurrently with them.
+func (ex *shardExec) merge() int {
+	n := ex.net
+	delivered := 0
+	for s := range ex.shards {
+		sh := &ex.shards[s]
+		if n.tracer != nil && len(sh.events) > 0 {
+			for i := range sh.events {
+				n.tracer.Emit(sh.events[i])
+			}
+			sh.events = sh.events[:0]
+		}
+		for i := range sh.outbox {
+			sh.outbox[i].seq = n.seq
+			n.seq++
+			n.outbox = append(n.outbox, sh.outbox[i])
+		}
+		sh.outbox = sh.outbox[:0]
+		if len(sh.byType) > 0 {
+			for t, c := range sh.byType {
+				n.byType[t] += c
+			}
+			clear(sh.byType)
+		}
+		delivered += sh.delivered
+		sh.delivered = 0
+	}
+	return delivered
+}
+
+// emitShardMetrics reports each shard's load and pool behavior through the
+// tracer: From is the shard index, N the number of nodes it owns, WallNS
+// its cumulative deliver+tick wall time, Sent/Delivered the mailbox pool
+// hits/misses. These are executor events — they describe the machine, not
+// the protocol — so they are the one part of a traced run that legitimately
+// varies with the shard count (and, via WallNS, across runs); determinism
+// comparisons across shard counts strip kind "shard" along with wall time.
+func (ex *shardExec) emitShardMetrics() {
+	n := ex.net
+	if n.tracer == nil {
+		return
+	}
+	for s := range ex.shards {
+		sh := &ex.shards[s]
+		n.tracer.Emit(obs.Event{Kind: obs.KindShard, Stage: n.stage, Round: n.rounds,
+			From: sh.idx, To: obs.NoNode, N: sh.hi - sh.lo, WallNS: sh.workNS,
+			Sent: sh.pool.hits, Delivered: sh.pool.misses})
+	}
+}
+
+// runSharded is the sharded twin of the sequential loop in Run: identical
+// round structure, termination conditions, tracing, and error surface,
+// with the deliver and tick work fanned out across the shards.
+func (n *Network) runSharded(ex *shardExec, maxRounds int, start time.Time) (int, error) {
+	finish := func(err error) (int, error) {
+		ex.emitShardMetrics()
+		return n.rounds, n.finishTrace(start, err)
+	}
+	// Init runs sequentially in node-ID order, exactly as the sequential
+	// kernel does; its broadcasts land in the shard buffers (the Contexts
+	// are already wired) and the merge numbers them in the same order a
+	// sequential run would have.
+	for i := range n.procs {
+		n.procs[i].Init(&n.ctxs[i])
+	}
+	ex.merge()
+	// spare double-buffers the outbox: each round's drained inbox becomes
+	// the next round's (emptied) outbox backing array.
+	var spare []envelope
+	for round := 1; round <= maxRounds; round++ {
+		if n.ctx != nil && n.ctx.Err() != nil {
+			return finish(&CanceledError{Rounds: n.rounds, Cause: n.ctx.Err()})
+		}
+		n.rounds = round
+		inbox := n.outbox
+		n.outbox = spare[:0]
+
+		ex.each(func(sh *shardState) { sh.deliver(round, inbox) })
+		delivered := ex.merge()
+		ex.each(func(sh *shardState) { sh.tick(round) })
+		ex.merge()
+
+		// Recycle the drained inbox, dropping message references so the
+		// buffer does not pin delivered payloads until it is overwritten.
+		for i := range inbox {
+			inbox[i].msg = nil
+		}
+		spare = inbox
+
+		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: len(n.outbox)})
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{Kind: obs.KindRound, Stage: n.stage, Round: round,
+				From: obs.NoNode, To: obs.NoNode, Sent: len(n.outbox), Delivered: delivered})
+		}
+
+		if n.reliable {
+			if n.allDone() {
+				return finish(nil)
+			}
+		} else if len(n.outbox) == 0 && n.allDone() {
+			return finish(nil)
+		}
+
+		if n.tracer != nil && round%quiesceSnapshotEvery == 0 {
+			notDone := 0
+			for _, p := range n.procs {
+				if !p.Done() {
+					notDone++
+				}
+			}
+			n.tracer.Emit(obs.Event{Kind: obs.KindQuiesceWait, Stage: n.stage, Round: round,
+				From: obs.NoNode, To: obs.NoNode, N: notDone, Sent: len(n.outbox)})
+		}
+	}
+	return finish(n.quiescenceError())
+}

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/obs"
+)
+
+// gridGraph builds a k×k grid UDG (radius just over 1), a connected,
+// moderately dense topology with nodes of unequal degree — corner nodes
+// have 2 neighbors, interior nodes 4 — so shard boundaries cut real edges.
+func gridGraph(k int) *graph.Graph {
+	pts := make([]geom.Point, 0, k*k)
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			pts = append(pts, geom.Pt(float64(x), float64(y)))
+		}
+	}
+	g := graph.New(pts)
+	id := func(x, y int) int { return y*k + x }
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			if x+1 < k {
+				g.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < k {
+				g.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// echoProto floods, emits a state transition on first hearing, and echoes
+// a bounded number of replies — enough protocol activity (multi-round
+// traffic, state events, per-type counters) to make equivalence tests
+// meaningful.
+type echoMsg struct{ hops int }
+
+func (echoMsg) Type() string { return "echo" }
+
+type echoProto struct {
+	id      int
+	started bool
+	heard   bool
+	replies int
+	history []int // (from, hops) pairs, flattened, in delivery order
+}
+
+func (p *echoProto) Init(ctx *Context) {
+	if p.started {
+		p.heard = true
+		ctx.EmitState("origin")
+		ctx.Broadcast(echoMsg{hops: 0})
+	}
+}
+
+func (p *echoProto) Handle(ctx *Context, from int, m Message) {
+	e := m.(echoMsg)
+	p.history = append(p.history, from, e.hops)
+	if !p.heard {
+		p.heard = true
+		ctx.EmitState("reached")
+		ctx.Broadcast(echoMsg{hops: e.hops + 1})
+	}
+}
+
+func (p *echoProto) Tick(ctx *Context, round int) {
+	if p.heard && p.replies < 2 && round%2 == 0 {
+		p.replies++
+		ctx.Broadcast(echoMsg{hops: -p.replies})
+	}
+}
+
+func (p *echoProto) Done() bool { return !p.started || p.replies >= 2 }
+
+// runEcho executes the echo protocol on a grid with the given options and
+// returns everything observable: counters, round trace, per-node delivery
+// histories, and the full protocol-level event stream (wall times zeroed,
+// executor shard events stripped).
+type echoRun struct {
+	rounds    int
+	err       string
+	sent      []int
+	byType    map[string]int
+	trace     []RoundStats
+	histories [][]int
+	events    []obs.Event
+	shards    int
+}
+
+func runEcho(t *testing.T, k int, opts ...Option) echoRun {
+	t.Helper()
+	ring := obs.NewRing(1 << 20)
+	g := gridGraph(k)
+	opts = append(opts, WithTracer(ring), WithStage("echo"))
+	net := NewNetwork(g, func(id int) Protocol {
+		return &echoProto{id: id, started: id%7 == 0}
+	}, opts...)
+	rounds, err := net.Run(200)
+	out := echoRun{
+		rounds: rounds,
+		sent:   net.SentAll(),
+		byType: net.SentByType(),
+		trace:  net.Trace(),
+		shards: net.ShardsUsed(),
+	}
+	if err != nil {
+		out.err = err.Error()
+	}
+	for id := 0; id < g.N(); id++ {
+		out.histories = append(out.histories, net.Protocol(id).(*echoProto).history)
+	}
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindShard {
+			continue
+		}
+		e.WallNS = 0
+		out.events = append(out.events, e)
+	}
+	return out
+}
+
+func diffRuns(t *testing.T, label string, want, got echoRun) {
+	t.Helper()
+	if want.rounds != got.rounds || want.err != got.err {
+		t.Fatalf("%s: rounds/err = (%d, %q), want (%d, %q)", label, got.rounds, got.err, want.rounds, want.err)
+	}
+	if !reflect.DeepEqual(want.sent, got.sent) {
+		t.Fatalf("%s: per-node sent counters diverge", label)
+	}
+	if !reflect.DeepEqual(want.byType, got.byType) {
+		t.Fatalf("%s: per-type counters = %v, want %v", label, got.byType, want.byType)
+	}
+	if !reflect.DeepEqual(want.trace, got.trace) {
+		t.Fatalf("%s: round trace diverges", label)
+	}
+	if !reflect.DeepEqual(want.histories, got.histories) {
+		t.Fatalf("%s: delivery histories diverge", label)
+	}
+	if len(want.events) != len(got.events) {
+		t.Fatalf("%s: %d events, want %d", label, len(got.events), len(want.events))
+	}
+	for i := range want.events {
+		if want.events[i] != got.events[i] {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, got.events[i], want.events[i])
+		}
+	}
+}
+
+// TestShardEquivalence pins the tentpole contract: the sharded kernel is
+// bit-identical to the sequential one — same counters, same round trace,
+// same per-receiver delivery order, same protocol event stream — for any
+// shard count, with and without faults and the Reliable shim.
+func TestShardEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", nil},
+		{"bernoulli", []Option{WithFaults(Bernoulli(42, 0.2))}},
+		{"gilbert", []Option{WithFaults(Gilbert(7, 0.3, 0.5, 0.9))}},
+		{"compose", []Option{WithFaults(Compose(Bernoulli(1, 0.1), Duplicate(2, 0.2)))}},
+		{"crash", []Option{WithFaults(CrashAt(map[int]int{3: 4, 11: 2}))}},
+		{"reliable+bernoulli", []Option{WithReliability(ReliableConfig{}), WithFaults(Bernoulli(9, 0.25))}},
+		{"reliable+gilbert", []Option{WithReliability(ReliableConfig{}), WithFaults(Gilbert(5, 0.2, 0.6, 0.8))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := runEcho(t, 6, tc.opts...)
+			if seq.shards != 0 {
+				t.Fatalf("sequential run reported %d shards", seq.shards)
+			}
+			for _, p := range []int{1, 2, 4, 8} {
+				got := runEcho(t, 6, append(append([]Option(nil), tc.opts...), WithShards(p))...)
+				if got.shards != p {
+					t.Fatalf("p=%d: ShardsUsed = %d", p, got.shards)
+				}
+				diffRuns(t, fmt.Sprintf("p=%d", p), seq, got)
+			}
+		})
+	}
+}
+
+// TestShardClampsToNodeCount: more shards than nodes degrades to one node
+// per shard, still bit-identical.
+func TestShardClampsToNodeCount(t *testing.T) {
+	seq := runEcho(t, 2)
+	got := runEcho(t, 2, WithShards(64))
+	if got.shards != 4 {
+		t.Fatalf("ShardsUsed = %d, want clamp to 4 nodes", got.shards)
+	}
+	diffRuns(t, "clamped", seq, got)
+}
+
+// TestShardFallbackDropFunc: a raw DropFunc closure cannot be split into
+// per-shard instances, so the run silently uses the sequential kernel —
+// and still produces the right answer.
+func TestShardFallbackDropFunc(t *testing.T) {
+	g := pathGraph(3)
+	net := NewNetwork(g, func(id int) Protocol {
+		return &flooder{id: id, started: id == 0}
+	}, WithShards(4), WithDrop(func(round, from, to int, m Message) bool {
+		return from == 1 && to == 2
+	}))
+	if _, err := net.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if net.ShardsUsed() != 0 {
+		t.Fatalf("ShardsUsed = %d, want sequential fallback", net.ShardsUsed())
+	}
+	if net.Protocol(2).(*flooder).heard {
+		t.Fatal("node 2 heard the flood through a dropped link")
+	}
+}
+
+// TestShardMetricsEmitted: a traced sharded run reports one KindShard
+// event per shard with the node partition and a warm mailbox pool.
+func TestShardMetricsEmitted(t *testing.T) {
+	ring := obs.NewRing(1 << 20)
+	g := gridGraph(6)
+	net := NewNetwork(g, func(id int) Protocol {
+		return &echoProto{id: id, started: id%7 == 0}
+	}, WithShards(4), WithTracer(ring), WithStage("echo"))
+	if _, err := net.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	var shardEvents []obs.Event
+	for _, e := range ring.Events() {
+		if e.Kind == obs.KindShard {
+			shardEvents = append(shardEvents, e)
+		}
+	}
+	if len(shardEvents) != 4 {
+		t.Fatalf("got %d shard events, want 4", len(shardEvents))
+	}
+	nodes, hits := 0, 0
+	for i, e := range shardEvents {
+		if e.From != i {
+			t.Fatalf("shard event %d has From=%d", i, e.From)
+		}
+		nodes += e.N
+		hits += e.Sent
+	}
+	if nodes != g.N() {
+		t.Fatalf("shard events cover %d nodes, want %d", nodes, g.N())
+	}
+	// The echo run lasts many rounds; after the first round every mailbox
+	// should come from the free list.
+	if hits == 0 {
+		t.Fatal("mailbox pool recorded no hits over a multi-round run")
+	}
+}
+
+// TestShardQuiescenceError: the sharded kernel surfaces the same
+// diagnostic QuiescenceError as the sequential one.
+func TestShardQuiescenceError(t *testing.T) {
+	g := pathGraph(4)
+	net := NewNetwork(g, func(id int) Protocol { return chatter{} }, WithShards(2))
+	_, err := net.Run(10)
+	if !errors.Is(err, ErrNotQuiescent) {
+		t.Fatalf("err = %v, want ErrNotQuiescent", err)
+	}
+	if net.Rounds() != 10 {
+		t.Fatalf("Rounds = %d, want 10", net.Rounds())
+	}
+}
+
+// TestShardFaultModels pins shardFaultModels' support matrix.
+func TestShardFaultModels(t *testing.T) {
+	shardable := []FaultModel{
+		nil,
+		Bernoulli(1, 0.5),
+		Gilbert(1, 0.1, 0.5, 0.9),
+		CrashAt(map[int]int{0: 1}),
+		Duplicate(1, 0.1),
+		Compose(Bernoulli(1, 0.1), Duplicate(2, 0.1)),
+		RemapFaults(Bernoulli(1, 0.1), []int{2, 0, 1}),
+	}
+	for i, fm := range shardable {
+		fms, ok := shardFaultModels(fm, 3)
+		if !ok || len(fms) != 3 {
+			t.Fatalf("model %d: shardFaultModels = (%d, %v), want (3, true)", i, len(fms), ok)
+		}
+	}
+	unshardable := []FaultModel{
+		FromDrop(func(round, from, to int, m Message) bool { return false }),
+		Compose(Bernoulli(1, 0.1), FromDrop(func(round, from, to int, m Message) bool { return false })),
+		RemapFaults(FromDrop(func(round, from, to int, m Message) bool { return false }), []int{0}),
+	}
+	for i, fm := range unshardable {
+		if _, ok := shardFaultModels(fm, 3); ok {
+			t.Fatalf("model %d: expected unshardable", i)
+		}
+	}
+}

@@ -159,11 +159,15 @@ type DropFunc func(round, from, to int, m Message) bool
 // Context is the interface a protocol uses to interact with the network.
 // When send is non-nil, Broadcast is redirected to it instead of the radio
 // outbox — the hook the Reliable shim uses to capture an inner protocol's
-// sends and carry them as payloads inside its own envelopes.
+// sends and carry them as payloads inside its own envelopes. When sh is
+// non-nil the node is executing under the sharded kernel (see shard.go)
+// and everything observable — broadcasts, trace events — is buffered in
+// the owning shard and merged deterministically at the phase barrier.
 type Context struct {
 	net  *Network
 	id   int
 	send func(m Message)
+	sh   *shardState
 }
 
 // ID returns the node's identifier (its index in the underlying graph).
@@ -188,6 +192,10 @@ func (c *Context) Broadcast(m Message) {
 		c.send(m)
 		return
 	}
+	if c.sh != nil {
+		c.sh.broadcast(c, m)
+		return
+	}
 	n := c.net
 	n.sent[c.id]++
 	n.byType[m.Type()]++
@@ -207,16 +215,23 @@ func (c *Context) EmitState(state string) {
 	if n == nil || n.tracer == nil {
 		return
 	}
-	n.tracer.Emit(obs.Event{Kind: obs.KindState, Stage: n.stage, Round: n.rounds,
+	c.emit(obs.Event{Kind: obs.KindState, Stage: n.stage, Round: n.rounds,
 		Type: state, From: c.id, To: obs.NoNode})
 }
 
 // emit forwards an event to the network's tracer; sim-internal callers
-// (the Reliable shim) use it for their own event kinds.
+// (the Reliable shim) use it for their own event kinds. Under the sharded
+// kernel the event is buffered in the node's shard and replayed into the
+// tracer at the next merge, preserving the sequential emit order.
 func (c *Context) emit(e obs.Event) {
-	if c.net != nil && c.net.tracer != nil {
-		c.net.tracer.Emit(e)
+	if c.net == nil || c.net.tracer == nil {
+		return
 	}
+	if c.sh != nil {
+		c.sh.events = append(c.sh.events, e)
+		return
+	}
+	c.net.tracer.Emit(e)
 }
 
 // tracing reports whether event construction is worth the work.
@@ -253,6 +268,8 @@ type Network struct {
 	tracer   obs.Tracer
 	stage    string
 	ctx      context.Context
+	shards   int // requested shard count; 0 = classic sequential kernel
+	shardsOn int // shards actually used by the last Run (0 = sequential)
 }
 
 // Option configures a Network.
@@ -298,6 +315,22 @@ func WithStage(name string) Option {
 // callers needing bit-identical output must not race a deadline.
 func WithContext(ctx context.Context) Option {
 	return func(n *Network) { n.ctx = ctx }
+}
+
+// WithShards runs the network on the sharded kernel with p shards: nodes
+// are statically partitioned into p contiguous ID ranges, each round's
+// deliveries and Ticks run concurrently across the shards, and shard-local
+// outboxes, counters, and trace events are merged deterministically at the
+// phase barriers. Results — the computed protocol state, message counters,
+// round counts, and the protocol-level trace event stream — are
+// bit-identical to the sequential kernel for any p (see DESIGN.md §12).
+// p is clamped to the node count; p <= 0 (the default) keeps the classic
+// sequential loop. Fault models built from raw DropFunc closures
+// (WithDrop) cannot be split into independent per-shard instances; such
+// runs silently fall back to the sequential kernel (ShardsUsed reports
+// what actually ran).
+func WithShards(p int) Option {
+	return func(n *Network) { n.shards = p }
 }
 
 // WithReliability wraps every protocol in the Reliable ack/retransmission
@@ -348,6 +381,11 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		n.tracer.Emit(obs.Event{Kind: obs.KindStageStart, Stage: n.stage,
 			From: obs.NoNode, To: obs.NoNode, N: n.g.N()})
 	}
+	if ex := n.newShardExec(); ex != nil {
+		n.shardsOn = len(ex.shards)
+		return n.runSharded(ex, maxRounds, start)
+	}
+	n.shardsOn = 0
 	for i := range n.procs {
 		n.procs[i].Init(&n.ctxs[i])
 	}
@@ -500,6 +538,12 @@ func (n *Network) Protocol(id int) Protocol {
 
 // Rounds returns the number of rounds executed so far.
 func (n *Network) Rounds() int { return n.rounds }
+
+// ShardsUsed returns the number of shards the last Run actually executed
+// on: 0 for the classic sequential kernel (the default, or the fallback
+// when the fault model cannot be sharded), otherwise the clamped
+// WithShards value.
+func (n *Network) ShardsUsed() int { return n.shardsOn }
 
 // ReliableNodeStats returns each node's ack/retransmission shim counters
 // for a network run under WithReliability — the per-node give-up ledger a

@@ -8,7 +8,6 @@ package udg
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
 	"geospanner/internal/geom"
@@ -21,43 +20,17 @@ import (
 var ErrDisconnected = errors.New("udg: no connected instance found")
 
 // Build returns the unit disk graph over pts with the given transmission
-// radius, using a uniform grid spatial index (expected O(n + m) time).
+// radius, using the shared uniform-grid spatial index (geom.Grid,
+// expected O(n + m) time): cell side = radius, so every within-radius
+// pair lives in adjacent cells.
 func Build(pts []geom.Point, radius float64) *graph.Graph {
 	g := graph.New(pts)
 	if len(pts) == 0 || radius <= 0 {
 		return g
 	}
-
-	minX, minY := pts[0].X, pts[0].Y
-	for _, p := range pts[1:] {
-		minX = math.Min(minX, p.X)
-		minY = math.Min(minY, p.Y)
-	}
-	cell := func(p geom.Point) [2]int {
-		return [2]int{int((p.X - minX) / radius), int((p.Y - minY) / radius)}
-	}
-	buckets := make(map[[2]int][]int, len(pts))
-	for i, p := range pts {
-		c := cell(p)
-		buckets[c] = append(buckets[c], i)
-	}
-
-	r2 := radius * radius
-	for i, p := range pts {
-		c := cell(p)
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, j := range buckets[[2]int{c[0] + dx, c[1] + dy}] {
-					if j <= i {
-						continue
-					}
-					if p.Dist2(pts[j]) <= r2 {
-						g.AddEdge(i, j)
-					}
-				}
-			}
-		}
-	}
+	geom.NewGrid(pts, radius).ForEachPairWithin(radius, func(i, j int) {
+		g.AddEdge(i, j)
+	})
 	return g
 }
 

@@ -150,6 +150,13 @@ func timeline(out io.Writer, events []obs.Event) {
 			row(e.Round).states++
 		case obs.KindStuck:
 			fmt.Fprintf(out, "  stuck: node %d (%s)\n", e.From, e.Note)
+		case obs.KindShard:
+			hitRate := 0.0
+			if tot := e.Sent + e.Delivered; tot > 0 {
+				hitRate = float64(e.Sent) / float64(tot)
+			}
+			fmt.Fprintf(out, "  shard %d: nodes=%d work=%.2fms pool_hit=%.0f%%\n",
+				e.From, e.N, float64(e.WallNS)/1e6, hitRate*100)
 		case obs.KindQuiesceWait:
 			fmt.Fprintf(out, "  waiting at round %d: %d in flight\n", e.Round, e.N)
 		}
