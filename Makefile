@@ -9,7 +9,7 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet lint build test race fuzz bench bench-smoke trace-smoke chaos-smoke clean
+.PHONY: check fmt vet lint build test race race-shard fuzz bench bench-smoke trace-smoke chaos-smoke clean
 
 check: fmt lint build test race
 
@@ -41,6 +41,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-shard is the parallel-kernel gate: the shard determinism
+# matrices (sim- and build-level — every cell forces a worker pool
+# wider than one goroutine, so the race detector sees the real
+# concurrent deliver/tick phases even on small runners) plus a short
+# chaos campaign running its partial builds on a sharded kernel with a
+# parallel pool.
+race-shard:
+	$(GO) test -race -count=1 -run 'TestShard' ./internal/sim/ ./internal/core/
+	@tmp="$$(mktemp -d)"; \
+	$(GO) run -race ./cmd/experiments -exp chaos -trials 3 -workers 2 -shards 4 -parallel 2 -out "$$tmp" && \
+	rm -rf "$$tmp"
+
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz=FuzzReadGraph -fuzztime=$(FUZZTIME)
 
@@ -51,11 +63,23 @@ bench:
 	@echo "wrote BENCH_$(DATE).json"
 
 # bench-smoke runs the sharded-vs-sequential Table 1 benchmark for a
-# single iteration — enough for CI to catch a kernel that stopped
-# compiling or regressed catastrophically, without the cost of a full
-# benchmark run.
+# single iteration and gates it against the newest committed
+# BENCH_<date>.json via benchjson -compare — enough for CI to catch a
+# kernel that stopped compiling or regressed catastrophically, without
+# the cost of a full benchmark run. The threshold is deliberately loose
+# (100%): the baseline was recorded on different hardware and a 1x run
+# is noisy; the gate is for order-of-magnitude regressions. BENCHBASE
+# overrides the baseline file, BENCHTHRESHOLD the fraction.
+BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+BENCHTHRESHOLD ?= 1.0
 bench-smoke:
-	$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' .
+	@if [ -n "$(BENCHBASE)" ]; then \
+		$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' . | tee /dev/stderr | \
+			$(GO) run ./tools/benchjson -compare "$(BENCHBASE)" -threshold $(BENCHTHRESHOLD); \
+	else \
+		echo "no BENCH_*.json baseline; running without -compare"; \
+		$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' .; \
+	fi
 
 # trace-smoke runs the traced experiment on a seed instance, writes the
 # JSONL event stream, and validates every line against the sink schema

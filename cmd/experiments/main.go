@@ -47,6 +47,7 @@ func run(args []string) error {
 		asCSV    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		workers  = fs.Int("workers", 1, "goroutines running trials concurrently (output is identical for any value; 0 or 1 = sequential)")
 		shards   = fs.Int("shards", 0, "simulation-kernel shards per build (output is identical for any value; 0 = sequential kernel)")
+		parallel = fs.Int("parallel", 0, "worker-pool bound for the sharded kernel (output is identical for any value; 0 = GOMAXPROCS; no effect without -shards)")
 		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -54,7 +55,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards}
+	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Parallel: *parallel}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -177,6 +177,30 @@ func ExampleBuildMany() {
 	// instance 2 planar: true
 }
 
+// ExampleWithShards runs one build on the sharded simulation kernel
+// with a bounded worker pool; the output is bit-identical to the
+// sequential kernel for any shard count or parallelism.
+func ExampleWithShards() {
+	inst, err := geospanner.GenerateInstance(5, 80, 200, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := geospanner.Build(inst.UDG, inst.Radius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded, err := geospanner.Build(inst.UDG, inst.Radius,
+		geospanner.WithShards(4), geospanner.WithParallelism(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("backbones identical:", sharded.LDelICDS.Equal(seq.LDelICDS))
+	fmt.Println("same total messages:", sharded.MsgsLDel.Total() == seq.MsgsLDel.Total())
+	// Output:
+	// backbones identical: true
+	// same total messages: true
+}
+
 // ExampleNewMaintained repairs the clustering locally when nodes fail.
 func ExampleNewMaintained() {
 	pts := []geospanner.Point{geospanner.Pt(0, 0), geospanner.Pt(0.5, 0)}

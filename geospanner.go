@@ -184,6 +184,15 @@ func WithWorkers(w int) Option { return core.WithWorkers(w) }
 // keeps the sequential kernel.
 func WithShards(p int) Option { return core.WithShards(p) }
 
+// WithParallelism bounds the worker pool the sharded kernel runs its
+// shards on: k workers execute the p shards of each deliver and Tick
+// phase (k <= 0, the default, means GOMAXPROCS; k is clamped to the
+// shard count). Like WithShards it never changes any output — only
+// wall-clock time — and it has no effect without WithShards. Use it to
+// stop a sharded build from oversubscribing a machine that is also
+// running BuildMany workers or other loads.
+func WithParallelism(k int) Option { return core.WithParallelism(k) }
+
 // WithPartialResults turns network damage from an error into a partial
 // answer: Build detects the fault model's crashed nodes, partitions the
 // live unit disk graph into connected components, runs the full pipeline

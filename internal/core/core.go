@@ -235,6 +235,10 @@ type BuildConfig struct {
 	// Shards is the shard count of every stage's simulator (WithShards);
 	// 0 keeps the classic sequential kernel.
 	Shards int
+	// Parallel bounds the sharded kernel's worker pool
+	// (WithParallelism); 0 lets the kernel pick GOMAXPROCS. It has no
+	// effect unless Shards > 0.
+	Parallel int
 	// SimOpts are raw options passed through to every stage's network.
 	SimOpts []sim.Option
 }
@@ -300,6 +304,16 @@ func WithShards(p int) BuildOption {
 	return func(c *BuildConfig) { c.Shards = p }
 }
 
+// WithParallelism bounds the worker pool the sharded kernel uses to
+// execute shards concurrently (sim.WithParallelism). k <= 0 — the
+// default — sizes the pool to GOMAXPROCS; k is always clamped to the
+// shard count. Like WithShards it is pure mechanism: every output is
+// bit-identical for any k, only wall-clock time changes. It has no
+// effect without WithShards.
+func WithParallelism(k int) BuildOption {
+	return func(c *BuildConfig) { c.Parallel = k }
+}
+
 // WithPartialResults switches Build to graceful degradation: instead of
 // failing all-or-nothing when the network is damaged, Build computes the
 // connected components of the live unit disk graph (nodes the fault
@@ -362,6 +376,9 @@ func (c *BuildConfig) simOptions() []sim.Option {
 	}
 	if c.Shards > 0 {
 		opts = append(opts, sim.WithShards(c.Shards))
+		if c.Parallel != 0 {
+			opts = append(opts, sim.WithParallelism(c.Parallel))
+		}
 	}
 	return opts
 }

@@ -300,6 +300,9 @@ func (c *BuildConfig) componentSimOptions(ctx context.Context, members []int) []
 	}
 	if c.Shards > 0 {
 		opts = append(opts, sim.WithShards(c.Shards))
+		if c.Parallel != 0 {
+			opts = append(opts, sim.WithParallelism(c.Parallel))
+		}
 	}
 	return opts
 }
@@ -314,9 +317,13 @@ type remapTracer struct {
 
 // Emit implements obs.Tracer.
 func (t remapTracer) Emit(e obs.Event) {
-	// Shard events carry a shard index in From, not a node ID; they pass
-	// through untranslated.
-	if e.Kind == obs.KindShard {
+	// Executor events carry a shard index in From, not a node ID; only a
+	// repartition's To (the shard's first owned node) is a translatable
+	// node reference.
+	if obs.ExecutorKind(e.Kind) {
+		if e.Kind == obs.KindRepartition && e.To >= 0 && e.To < len(t.ids) {
+			e.To = t.ids[e.To]
+		}
 		t.inner.Emit(e)
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"geospanner/internal/obs"
@@ -13,10 +14,11 @@ import (
 	"geospanner/internal/udg"
 )
 
-// stripShardLines removes the executor's per-shard load reports from a
-// JSONL trace. Shard events describe the machine (shard count, wall
-// time), not the protocol, so they are the one part of a traced run
-// excluded from the cross-shard-count determinism contract.
+// stripShardLines removes the executor's events — per-shard load reports
+// and re-partitioning notices — from a JSONL trace. Executor events
+// describe the machine (shard count, boundaries, wall time), not the
+// protocol, so they are the one part of a traced run excluded from the
+// cross-kernel-configuration determinism contract.
 func stripShardLines(t *testing.T, trace []byte) []byte {
 	t.Helper()
 	var out bytes.Buffer
@@ -28,7 +30,7 @@ func stripShardLines(t *testing.T, trace []byte) []byte {
 		if err != nil {
 			t.Fatalf("trace line fails strict schema: %v", err)
 		}
-		if e.Kind == obs.KindShard {
+		if obs.ExecutorKind(e.Kind) {
 			continue
 		}
 		out.Write(line)
@@ -82,9 +84,12 @@ func sameResult(t *testing.T, label string, want, got *Result) {
 }
 
 // TestShardMatrixDeterminism is the determinism-under-composition matrix:
-// every combination of {shards 1, 2, 4, 8} × {Reliable on/off} ×
-// {Bernoulli, Gilbert} must produce a Result and a JSONL protocol trace
-// bit-identical to the sequential kernel's on the same fixed seed.
+// every combination of {shards 1, 2, 4, 8} × {parallelism 1, NumCPU} ×
+// {Reliable on/off} × {Bernoulli, Gilbert} must produce a Result and a
+// JSONL protocol trace bit-identical to the sequential kernel's on the
+// same fixed seed. Parallelism values are forced explicitly because on a
+// single-core runner the GOMAXPROCS default would collapse every cell to
+// a serial pool.
 func TestShardMatrixDeterminism(t *testing.T) {
 	faults := []struct {
 		name string
@@ -110,22 +115,32 @@ func TestShardMatrixDeterminism(t *testing.T) {
 					return opts
 				}
 				wantRes, wantErr, wantTrace := tracedBuild(t, 21, 40, base()...)
+				// par=2 forces the worker pool even on a single-core
+				// runner; NumCPU adds the real-hardware width elsewhere.
+				pars := []int{1, 2}
+				if c := runtime.NumCPU(); c > 2 {
+					pars = append(pars, c)
+				}
 				for _, p := range []int{1, 2, 4, 8} {
-					gotRes, gotErr, gotTrace := tracedBuild(t, 21, 40, append(base(), WithShards(p))...)
-					if gotErr != wantErr {
-						t.Fatalf("shards=%d: err = %q, want %q", p, gotErr, wantErr)
-					}
-					if wantRes != nil {
-						sameResult(t, fmt.Sprintf("shards=%d", p), wantRes, gotRes)
-					}
-					if !bytes.Equal(wantTrace, gotTrace) {
-						gl, wl := bytes.Split(gotTrace, []byte("\n")), bytes.Split(wantTrace, []byte("\n"))
-						for i := 0; i < len(gl) && i < len(wl); i++ {
-							if !bytes.Equal(gl[i], wl[i]) {
-								t.Fatalf("shards=%d: trace diverges at line %d.\ngot:  %s\nwant: %s", p, i+1, gl[i], wl[i])
-							}
+					for _, k := range pars {
+						label := fmt.Sprintf("shards=%d/par=%d", p, k)
+						gotRes, gotErr, gotTrace := tracedBuild(t, 21, 40,
+							append(base(), WithShards(p), WithParallelism(k))...)
+						if gotErr != wantErr {
+							t.Fatalf("%s: err = %q, want %q", label, gotErr, wantErr)
 						}
-						t.Fatalf("shards=%d: trace length %d lines, want %d", p, len(gl), len(wl))
+						if wantRes != nil {
+							sameResult(t, label, wantRes, gotRes)
+						}
+						if !bytes.Equal(wantTrace, gotTrace) {
+							gl, wl := bytes.Split(gotTrace, []byte("\n")), bytes.Split(wantTrace, []byte("\n"))
+							for i := 0; i < len(gl) && i < len(wl); i++ {
+								if !bytes.Equal(gl[i], wl[i]) {
+									t.Fatalf("%s: trace diverges at line %d.\ngot:  %s\nwant: %s", label, i+1, gl[i], wl[i])
+								}
+							}
+							t.Fatalf("%s: trace length %d lines, want %d", label, len(gl), len(wl))
+						}
 					}
 				}
 			})

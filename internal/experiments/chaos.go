@@ -99,8 +99,10 @@ func (s ChaosSchedule) faults(inst *udg.Instance) sim.FaultModel {
 // the health report instead of burning the default budget.
 const chaosMaxRounds = 200
 
-// chaosBuild runs one partial build under the schedule.
-func chaosBuild(s ChaosSchedule, inst *udg.Instance) (*core.Result, error) {
+// chaosBuild runs one partial build under the schedule. Extra options
+// select the kernel configuration (shards, parallelism) without
+// changing what the campaign verifies — the contract is kernel-blind.
+func chaosBuild(s ChaosSchedule, inst *udg.Instance, extra ...core.BuildOption) (*core.Result, error) {
 	opts := []core.BuildOption{
 		core.WithPartialResults(),
 		core.WithMaxRounds(chaosMaxRounds),
@@ -109,6 +111,7 @@ func chaosBuild(s ChaosSchedule, inst *udg.Instance) (*core.Result, error) {
 	if fm := s.faults(inst); fm != nil {
 		opts = append(opts, core.WithFaults(fm))
 	}
+	opts = append(opts, extra...)
 	return core.Build(inst.UDG.Clone(), inst.Radius, opts...)
 }
 
@@ -123,13 +126,16 @@ func chaosBuild(s ChaosSchedule, inst *udg.Instance) (*core.Result, error) {
 //     = n, give-up ledger matches the Reliable rollup);
 //   - a second build under the same schedule is bit-identical.
 //
-// A nil return means the schedule was survived correctly.
-func CheckSchedule(s ChaosSchedule) error {
+// A nil return means the schedule was survived correctly. Extra build
+// options pick the kernel configuration under test (e.g.
+// core.WithShards + core.WithParallelism); the contract itself is the
+// same for every kernel.
+func CheckSchedule(s ChaosSchedule, extra ...core.BuildOption) error {
 	inst, err := s.instance()
 	if err != nil {
 		return fmt.Errorf("chaos: instance: %w", err)
 	}
-	res, err := chaosBuild(s, inst)
+	res, err := chaosBuild(s, inst, extra...)
 	if err != nil {
 		return fmt.Errorf("chaos: partial build errored: %w", err)
 	}
@@ -146,7 +152,7 @@ func CheckSchedule(s ChaosSchedule) error {
 		return fmt.Errorf("chaos: give-up ledger (%d) disagrees with reliable rollup (%d)",
 			res.Health.GaveUpSlots(), res.Reliable.GaveUp)
 	}
-	res2, err := chaosBuild(s, inst)
+	res2, err := chaosBuild(s, inst, extra...)
 	if err != nil {
 		return fmt.Errorf("chaos: repeat build errored: %w", err)
 	}
@@ -282,9 +288,10 @@ func Chaos(intensities []int, cfg Config) (*stats.Table, []ChaosFailure, error) 
 			seed := cfg.Seed + int64(events*10000+trial)
 			r := rand.New(rand.NewSource(seed))
 			s := genSchedule(r, seed, cfg.Region, events)
-			if err := CheckSchedule(s); err != nil {
+			kernel := cfg.buildOptions()
+			if err := CheckSchedule(s, kernel...); err != nil {
 				shrunk, _ := Shrink(s, func(t ChaosSchedule) bool {
-					return CheckSchedule(t) != nil
+					return CheckSchedule(t, kernel...) != nil
 				})
 				return measure{fail: &ChaosFailure{
 					Original: s, Shrunk: shrunk, Err: err.Error(),
@@ -294,7 +301,7 @@ func Chaos(intensities []int, cfg Config) (*stats.Table, []ChaosFailure, error) 
 			if err != nil {
 				return measure{}, err
 			}
-			res, err := chaosBuild(s, inst)
+			res, err := chaosBuild(s, inst, kernel...)
 			if err != nil {
 				return measure{}, err
 			}

@@ -44,6 +44,9 @@ type Config struct {
 	// (core.WithShards); 0 keeps the sequential kernel. Like Workers, it
 	// changes only wall-clock time, never results.
 	Shards int
+	// Parallel bounds the sharded kernel's worker pool
+	// (core.WithParallelism); 0 = GOMAXPROCS. No effect without Shards.
+	Parallel int
 }
 
 // buildOptions returns the per-build options implied by the config.
@@ -51,6 +54,9 @@ func (c Config) buildOptions() []core.BuildOption {
 	var opts []core.BuildOption
 	if c.Shards > 0 {
 		opts = append(opts, core.WithShards(c.Shards))
+		if c.Parallel != 0 {
+			opts = append(opts, core.WithParallelism(c.Parallel))
+		}
 	}
 	return opts
 }

@@ -17,6 +17,16 @@ func DefaultScaleNs() []int { return []int{500, 2000, 10000} }
 // experiment; 0 is the sequential baseline kernel.
 func DefaultScaleShards() []int { return []int{0, 1, 2, 4, 8} }
 
+// seqScaleCutoff is the largest n the sequential kernel is asked to run.
+// Its per-round inbox scan makes it superlinear in practice (40 s per
+// build at n=10k, hours at n=100k), so above the cutoff the sweep drops
+// the sequential row and reports speedups relative to shards=1 — the
+// same algorithm on the mailbox-routed kernel with one shard and no
+// pool. Large-n runs (100k–1M, via -exp scale -n <value>) therefore
+// measure what actually matters at that scale: sharding and the worker
+// pool against the best single-threaded kernel.
+const seqScaleCutoff = 20000
+
 // scaleRadius picks a transmission radius for the scaling sweep that keeps
 // the UDG average degree roughly constant (≈20, the paper's Table I
 // density) as n grows in the fixed region, so per-round work scales with n
@@ -28,10 +38,14 @@ func scaleRadius(n int, region float64) float64 {
 
 // Scale measures the sharded simulation kernel against the sequential
 // baseline: for each node count it builds one fixed instance with the
-// sequential kernel and then with each shard count, reporting wall-clock
-// time and speedup. Outputs are verified identical across kernels — the
-// experiment would fail loudly if sharding ever changed a result — so the
-// table is purely a performance profile. Trials are averaged per cell.
+// sequential kernel (up to seqScaleCutoff) and then with each shard
+// count, reporting wall-clock time and speedup relative to the first
+// kernel in the sweep. cfg.Parallel bounds the sharded kernels' worker
+// pool and is recorded in the kernel label; 0 leaves the GOMAXPROCS
+// default. Outputs are verified identical across kernels — the
+// experiment fails loudly if any kernel configuration ever changed a
+// result — so the table is purely a performance profile. Trials are
+// averaged per cell, capped at 3 and at 1 for n ≥ 50k.
 func Scale(ns []int, shardCounts []int, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
 	tb := stats.NewTable("n", "kernel", "wall_ms", "speedup", "rounds", "msgs")
@@ -41,21 +55,30 @@ func Scale(ns []int, shardCounts []int, cfg Config) (*stats.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scale n=%d: %w", n, err)
 		}
-		var baseMS float64
-		var baseMsgs, baseRounds int
+		trials := cfg.Trials
+		if trials > 3 {
+			trials = 3 // a scaling point is expensive; 3 repeats suffice
+		}
+		if n >= 50000 && trials > 1 {
+			trials = 1 // one build per cell at 100k+; a run is seconds-stable
+		}
+		baseMS := 0.0
+		baseMsgs, baseRounds := -1, -1
 		for _, p := range shardCounts {
 			var opts []core.BuildOption
 			label := "sequential"
 			if p > 0 {
 				opts = append(opts, core.WithShards(p))
 				label = fmt.Sprintf("shards=%d", p)
+				if cfg.Parallel != 0 {
+					opts = append(opts, core.WithParallelism(cfg.Parallel))
+					label = fmt.Sprintf("shards=%d/par=%d", p, cfg.Parallel)
+				}
+			} else if n > seqScaleCutoff {
+				continue // see seqScaleCutoff
 			}
 			var elapsed time.Duration
 			var msgs, rounds int
-			trials := cfg.Trials
-			if trials > 3 {
-				trials = 3 // a scaling point is expensive; 3 repeats suffice
-			}
 			for trial := 0; trial < trials; trial++ {
 				start := time.Now()
 				res, err := core.Build(inst.UDG.Clone(), radius, opts...)
@@ -66,10 +89,10 @@ func Scale(ns []int, shardCounts []int, cfg Config) (*stats.Table, error) {
 				msgs, rounds = res.MsgsLDel.Total(), res.Rounds.Total()
 			}
 			wallMS := float64(elapsed.Milliseconds()) / float64(trials)
-			if p == 0 {
+			if baseMsgs < 0 {
 				baseMS, baseMsgs, baseRounds = wallMS, msgs, rounds
 			} else if msgs != baseMsgs || rounds != baseRounds {
-				return nil, fmt.Errorf("scale n=%d %s: output diverged from sequential kernel (msgs %d vs %d, rounds %d vs %d)",
+				return nil, fmt.Errorf("scale n=%d %s: output diverged from baseline kernel (msgs %d vs %d, rounds %d vs %d)",
 					n, label, msgs, baseMsgs, rounds, baseRounds)
 			}
 			speedup := 1.0

@@ -148,6 +148,9 @@ type StageMetrics struct {
 	ShardWall                      Histogram
 	ShardMaxWall                   int64
 	ShardPoolHits, ShardPoolMisses int
+	// Repartitions counts per-shard repartition events: occupancy-driven
+	// boundary moves of the sharded kernel.
+	Repartitions int
 }
 
 // Metrics is the rollup sink: it folds the event stream into per-stage
@@ -220,6 +223,8 @@ func (m *Metrics) Emit(e Event) {
 		}
 		s.ShardPoolHits += e.Sent
 		s.ShardPoolMisses += e.Delivered
+	case KindRepartition:
+		s.Repartitions++
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"geospanner/internal/obs"
@@ -78,7 +77,7 @@ func (c *AsyncContext) Broadcast(m Message) {
 			Type: m.Type(), From: c.id, To: obs.NoNode, Bytes: obs.SizeOf(m)})
 	}
 	for _, v := range n.g.Neighbors(c.id) {
-		delay := 1 + n.rng.Intn(n.maxDelay)
+		delay := n.nextDelay()
 		heap.Push(&n.queue, asyncEvent{
 			at:   n.now + delay,
 			seq:  n.seq,
@@ -120,10 +119,15 @@ func (q *eventQueue) Pop() interface{} {
 // AsyncNetwork executes event-driven protocols under randomized,
 // seeded per-message delays (an adversarial but reproducible scheduler).
 type AsyncNetwork struct {
-	g        graphLike
-	procs    []AsyncProtocol
-	ctxs     []AsyncContext
-	rng      *rand.Rand
+	g     graphLike
+	procs []AsyncProtocol
+	ctxs  []AsyncContext
+	// delayRng is the seeded splitmix64 stream behind the per-message
+	// delays. It is a plain per-instance value — not a shared math/rand
+	// source — so concurrently running networks can never contend on (or
+	// perturb) each other's schedules; the same primitive the fault
+	// models use keeps the simulator free of global RNG state.
+	delayRng uint64
 	maxDelay int
 	queue    eventQueue
 	now      int
@@ -183,7 +187,7 @@ func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int)
 		g:        g,
 		procs:    make([]AsyncProtocol, g.N()),
 		ctxs:     make([]AsyncContext, g.N()),
-		rng:      rand.New(rand.NewSource(seed)),
+		delayRng: splitmix64(uint64(seed)),
 		maxDelay: maxDelay,
 		sent:     make([]int, g.N()),
 		byType:   make(map[string]int),
@@ -196,6 +200,15 @@ func NewAsyncNetwork(g graphLike, seed int64, maxDelay int, newProc func(id int)
 		n.ctxs[i] = AsyncContext{net: n, id: i}
 	}
 	return n
+}
+
+// nextDelay draws one per-message delay in [1, maxDelay] from the
+// network's seeded splitmix64 stream. The slight modulo bias is
+// irrelevant for an adversarial-schedule generator; what matters is that
+// the stream is deterministic per seed and confined to this instance.
+func (n *AsyncNetwork) nextDelay() int {
+	n.delayRng = splitmix64(n.delayRng)
+	return 1 + int(n.delayRng%uint64(n.maxDelay))
 }
 
 // Run delivers events until the queue drains or maxEvents deliveries have

@@ -201,11 +201,13 @@ func (r *Reliable) Init(ctx *Context) {
 	for _, v := range r.nbrs {
 		r.peers[v] = newPeerState()
 	}
-	// sh is carried over so the inner protocol's EmitState (and any shim
-	// event emitted while a shard goroutine is executing this node) is
-	// buffered in the owning shard rather than hitting the shared tracer
-	// concurrently. All other shim state is per-node, so the shim is
-	// shard-safe as-is: only the owning shard ever touches it.
+	// Under the sharded kernel the inner protocol's EmitState (and any
+	// shim event emitted while a shard goroutine is executing this node)
+	// is buffered in the owning shard rather than hitting the shared
+	// tracer concurrently; the context resolves the owner dynamically
+	// (Context.shard), so this long-lived copy stays correct when
+	// re-partitioning moves the node. All other shim state is per-node,
+	// so the shim is shard-safe as-is: only the owning shard touches it.
 	r.innerCtx = Context{net: ctx.net, id: ctx.id, sh: ctx.sh, send: func(m Message) {
 		r.captured = append(r.captured, m)
 	}}

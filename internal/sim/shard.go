@@ -2,49 +2,73 @@ package sim
 
 // This file is the sharded execution kernel behind WithShards: the same
 // bulk-synchronous round semantics as the classic sequential loop in
-// sim.go, executed by P shard workers instead of one goroutine, with
-// bit-identical results for any P.
+// sim.go, executed by P shards on a bounded worker pool (WithParallelism)
+// instead of one goroutine, with bit-identical results for any shard
+// count and any parallelism.
 //
-// Partitioning is static and contiguous: shard s owns node IDs
-// [s·n/P, (s+1)·n/P). Within a round the kernel runs two parallel phases
-// with a barrier between them:
+// Partitioning is contiguous: shard s owns the node IDs
+// [starts[s], starts[s+1]). It begins uniform and can be rebalanced
+// between rounds by occupancy-driven re-partitioning (see
+// maybeRepartition). Within a round the kernel runs two parallel phases
+// with a serial merge barrier after each:
 //
-//  1. Deliver — each shard routes the round's inbox into pooled per-node
-//     mailboxes for the receivers it owns (a binary search over each
-//     sender's sorted neighbor list finds the shard's ID range), then
+//  1. Deliver — each shard routes the previous round's staged broadcasts
+//     into pooled per-node mailboxes for the receivers it owns, then
 //     drains the mailboxes in receiver-ID order, consulting its own
 //     fault-model instance and calling Handle.
 //  2. Tick — each shard runs Tick on its nodes in ID order.
 //
-// Everything a shard produces — broadcasts, trace events, per-type send
-// counts — lands in shard-local buffers. After each phase the coordinator
-// merges them in shard-index order, which for a contiguous partition IS
-// node-ID order, so the merged outbox, the assigned send sequence numbers,
-// and the emitted event stream are exactly what the sequential kernel
-// produces. Determinism therefore does not depend on goroutine scheduling
-// at all: scheduling can only reorder work *within* a phase, and nothing
+// Cross-shard hand-off is sender-side staged: Broadcast appends one
+// staged copy per destination shard that owns at least one neighbor of
+// the sender to the sending shard's stage[dst] buffer. No shard ever
+// writes another shard's state — within a phase, shard s writes only its
+// own staging, mailboxes, counters, and event buffer, and reads other
+// shards' previous-round staging, which is frozen at the barrier. The
+// kernel is therefore race-free by confinement, not by locking.
+//
+// Send sequence numbers are assigned without materializing a global
+// outbox: each broadcast gets a per-shard per-round ordinal, and the
+// merge barrier assigns each shard a contiguous seq base per phase in
+// shard-index order. Because the contiguous partition makes shard-index
+// order equal node-ID order, ordinal + base reproduces exactly the seq
+// the sequential kernel hands out, and receivers reconstruct it in O(1)
+// when they consume a staged copy — the merge itself is O(P), not O(M).
+// Within a receiver's mailbox, copies arrive in global seq order because
+// delivery walks the staged batches in seq order: first every source
+// shard's deliver-phase batch (the stage prefix recorded by split), then
+// every source shard's tick-phase batch, source shards ascending.
+//
+// Everything else a shard produces — trace events, per-type send counts,
+// delivery counters — lands in shard-local buffers merged in shard-index
+// order at the barrier, which reproduces the sequential kernel's total
+// order. Determinism does not depend on goroutine scheduling at all:
+// scheduling can only reorder work *within* a phase, and nothing
 // observable escapes a shard until the deterministic merge.
 //
 // Fault models are consulted concurrently, one shard instance each (see
-// FaultSharder in fault.go). Per-node protocol state — including the
-// Reliable shim's ack/retransmission bookkeeping — is only ever touched by
-// the owning shard, so protocols need no locking; the one cross-node
-// channel is the message buffers, which are written before the barrier and
-// read after it.
+// FaultSharder in fault.go); when the partition moves, per-link fault
+// state moves with the receivers (see FaultRehomer). Per-node protocol
+// state — including the Reliable shim's ack/retransmission bookkeeping —
+// is only ever touched by the owning shard, so protocols need no locking.
 //
 // The mailbox path also kills the sequential kernel's two hot spots: the
 // O(n·|inbox|) per-round HasEdge scan becomes O(Σ deg(sender)) routing
-// work, and the per-round slice churn is recycled — outbox buffers
-// double-buffer across rounds and mailboxes come from per-shard free
-// lists whose hit rate is reported through the tracer (obs.KindShard).
+// work, and the per-round slice churn is recycled — staging buffers
+// ping-pong across rounds and mailboxes come from per-shard free lists
+// whose hit rate is reported through the tracer (obs.KindShard).
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"geospanner/internal/obs"
 )
+
+// defaultRepartEvery is the re-partitioning period (in rounds) when
+// WithRepartition was not given. 64 matches the quiescence-snapshot
+// cadence: long enough that the O(n) boundary recomputation is noise,
+// short enough to catch the load migrating as a protocol converges.
+const defaultRepartEvery = 64
 
 // mailboxPool is a per-shard free list of mailbox buffers. Mailboxes are
 // handed out only for receivers that actually get mail this round, so in
@@ -79,19 +103,45 @@ func (p *mailboxPool) put(b []envelope) {
 	p.free = append(p.free, b[:0])
 }
 
+// stagedEnv is one staged copy of a broadcast, parked in the sending
+// shard's stage[dst] buffer until the destination shard consumes it next
+// round. ord is the sender shard's per-round broadcast ordinal; the
+// consumer reconstructs the global send sequence number from it and the
+// shard's merged seq bases (see shardExec.seqOf).
+type stagedEnv struct {
+	from int
+	ord  int
+	msg  Message
+}
+
 // shardState is everything one shard owns: its node range, its fault-model
-// instance, its mailboxes and free list, and the local buffers that
-// absorb broadcasts, trace events, and counters until the merge.
+// instance, its staging and mailbox buffers, and the local counters and
+// event buffer that absorb output until the merge. All fields are written
+// only by the owning shard during a phase (or by the coordinator between
+// phases); other shards read only prevStage/prevSplit, which are frozen.
 type shardState struct {
 	net    *Network
+	ex     *shardExec
 	idx    int
 	lo, hi int // owned node IDs: [lo, hi)
 	faults FaultModel
 
-	// Phase-local output, drained by (*shardExec).merge.
-	outbox    []envelope // seq assigned at merge time
+	// ordn counts the shard's broadcasts this round; it is the staged
+	// copies' ord source and is folded into seq bases at the merges.
+	ordn int
+
+	// stage[d] accumulates this round's staged copies destined for shard
+	// d; split[d] is the length of its deliver-phase prefix, recorded at
+	// the end of the deliver phase. prevStage/prevSplit are last round's,
+	// being consumed this round; the coordinator ping-pongs the pairs at
+	// the tick merge, and the shard clears the recycled buffers in its
+	// next deliver prologue.
+	stage, prevStage [][]stagedEnv
+	split, prevSplit []int
+
+	// Phase-local output, drained by the merges.
 	events    []obs.Event
-	byType    map[string]int
+	byType    map[string]int // this round's broadcasts by type
 	delivered int
 
 	// Mailboxes, indexed by id-lo; nil when the node got no mail.
@@ -104,45 +154,106 @@ type shardState struct {
 }
 
 // broadcast is Context.Broadcast's sharded path: identical bookkeeping,
-// but into shard-local buffers. The send sequence number is assigned at
-// merge time; the merge order equals the sequential kernel's broadcast
-// order, so the numbers come out identical. n.sent is indexed by the
-// broadcasting node, which belongs to exactly one shard, so the write is
-// race-free without atomics.
+// but into shard-local buffers. One staged copy is appended per
+// destination shard owning at least one neighbor of the sender — the
+// sorted neighbor list is walked once, skipping shard by shard. n.sent is
+// indexed by the broadcasting node, which belongs to exactly one shard,
+// so the write is race-free without atomics.
 func (sh *shardState) broadcast(c *Context, m Message) {
 	n := sh.net
 	n.sent[c.id]++
 	sh.byType[m.Type()]++
-	sh.outbox = append(sh.outbox, envelope{from: c.id, msg: m})
+	ord := sh.ordn
+	sh.ordn++
+	starts := sh.ex.starts
+	nn := n.g.N()
+	nbrs := n.g.Neighbors(c.id)
+	for j := 0; j < len(nbrs); {
+		d := ownerOf(starts, nbrs[j])
+		sh.stage[d] = append(sh.stage[d], stagedEnv{from: c.id, ord: ord, msg: m})
+		end := nn
+		if d+1 < len(starts) {
+			end = starts[d+1]
+		}
+		for j < len(nbrs) && nbrs[j] < end {
+			j++
+		}
+	}
 	if n.tracer != nil {
 		sh.events = append(sh.events, obs.Event{Kind: obs.KindSend, Stage: n.stage, Round: n.rounds,
 			Type: m.Type(), From: c.id, To: obs.NoNode, Bytes: obs.SizeOf(m)})
 	}
 }
 
-// deliver routes the round's inbox into this shard's mailboxes and drains
-// them: receivers in ID order, each mailbox already in global send-order
-// (the inbox is seq-sorted and routing preserves it), matching the
-// sequential kernel's delivery order exactly.
-func (sh *shardState) deliver(round int, inbox []envelope) {
+// deliver consumes the previous round's staged broadcasts addressed to
+// this shard and drains them: receivers in ID order, each mailbox in
+// global send-order, matching the sequential kernel's delivery order
+// exactly. Staged batches are walked in seq order — deliver-phase
+// prefixes of every source shard first, then tick-phase suffixes, source
+// shards ascending — so mailbox append order IS seq order.
+//
+// Columns are indexed under prevStarts, the partition in force when the
+// copies were staged. Normally only column sh.idx concerns this shard;
+// after a re-partition the shard's new range can overlap several old
+// columns, so routing is clamped to each intersection. Every receiver
+// lived in exactly one old column, so per-receiver order is unaffected.
+func (sh *shardState) deliver(round int) {
 	start := time.Now()
 	n := sh.net
+	ex := sh.ex
 	g := n.g
-	for i := range inbox {
-		env := &inbox[i]
-		nbrs := g.Neighbors(env.from)
-		// The shard's receivers form a contiguous ID range; one binary
-		// search per sender finds the slice of its sorted neighbor list
-		// this shard must route to.
-		j := sort.SearchInts(nbrs, sh.lo)
-		for ; j < len(nbrs) && nbrs[j] < sh.hi; j++ {
-			off := nbrs[j] - sh.lo
-			if sh.mail[off] == nil {
-				sh.mail[off] = sh.pool.get()
+
+	// Recycle the staging buffers the ping-pong handed back: their
+	// contents were consumed a round ago, so dropping the message
+	// references here cannot free anything still in flight.
+	for d := range sh.stage {
+		row := sh.stage[d]
+		for i := range row {
+			row[i].msg = nil
+		}
+		sh.stage[d] = row[:0]
+		sh.split[d] = 0
+	}
+
+	if sh.hi > sh.lo {
+		c0 := ownerOf(ex.prevStarts, sh.lo)
+		c1 := ownerOf(ex.prevStarts, sh.hi-1)
+		for pass := 0; pass < 2; pass++ {
+			for s := range ex.shards {
+				src := &ex.shards[s]
+				for c := c0; c <= c1; c++ {
+					// Clamp this shard's range to old column c's range.
+					cl, ch := sh.lo, sh.hi
+					if b := ex.prevStarts[c]; b > cl {
+						cl = b
+					}
+					if c+1 < len(ex.prevStarts) && ex.prevStarts[c+1] < ch {
+						ch = ex.prevStarts[c+1]
+					}
+					batch := src.prevStage[c]
+					if pass == 0 {
+						batch = batch[:src.prevSplit[c]]
+					} else {
+						batch = batch[src.prevSplit[c]:]
+					}
+					for i := range batch {
+						e := &batch[i]
+						seq := ex.seqOf(s, e.ord)
+						nbrs := g.Neighbors(e.from)
+						j := sort.SearchInts(nbrs, cl)
+						for ; j < len(nbrs) && nbrs[j] < ch; j++ {
+							off := nbrs[j] - sh.lo
+							if sh.mail[off] == nil {
+								sh.mail[off] = sh.pool.get()
+							}
+							sh.mail[off] = append(sh.mail[off], envelope{from: e.from, seq: seq, msg: e.msg})
+						}
+					}
+				}
 			}
-			sh.mail[off] = append(sh.mail[off], *env)
 		}
 	}
+
 	for off := range sh.mail {
 		box := sh.mail[off]
 		if box == nil {
@@ -167,9 +278,16 @@ func (sh *shardState) deliver(round int, inbox []envelope) {
 				n.procs[id].Handle(&n.ctxs[id], env.from, env.msg)
 				sh.delivered++
 			}
+			ex.loads[id] += copies
 		}
 		sh.mail[off] = nil
 		sh.pool.put(box)
+	}
+
+	// Freeze the deliver-phase staging prefix: everything staged from here
+	// on belongs to the tick batch, which consumers replay second.
+	for d := range sh.stage {
+		sh.split[d] = len(sh.stage[d])
 	}
 	sh.workNS += time.Since(start).Nanoseconds()
 }
@@ -184,10 +302,66 @@ func (sh *shardState) tick(round int) {
 	sh.workNS += time.Since(start).Nanoseconds()
 }
 
-// shardExec drives the shard set for one run.
+// ownerOf returns the index of the shard owning node v under the
+// contiguous partition described by starts (starts[s] is shard s's first
+// node; starts[0] is always 0).
+func ownerOf(starts []int, v int) int {
+	return sort.SearchInts(starts, v+1) - 1
+}
+
+// shardExec drives the shard set for one run: the partition, the merged
+// seq bases, the worker pool, and the re-partitioning machinery. All of
+// its fields except loads are written only by the coordinator between
+// phases; loads is sliced by node ownership, so shards write disjoint
+// ranges.
 type shardExec struct {
 	net    *Network
 	shards []shardState
+	pool   *phasePool // nil when phases run inline (parallelism 1)
+
+	// starts is the current partition; prevStarts is the partition under
+	// which the in-flight staged copies (prevStage) were routed. They
+	// differ only in the round immediately after a re-partition.
+	starts, prevStarts []int
+
+	// Per-shard seq bases of the round being consumed (prev*) and the
+	// round being produced: shard s's deliver-phase broadcast k carries
+	// seq dBase[s]+k, its tick-phase broadcast k carries tBase[s]+k, and
+	// dCount[s] splits the ordinals between the two phases.
+	dCount, dBase, tBase             []int
+	prevDCount, prevDBase, prevTBase []int
+
+	// loads counts delivered Handle copies per node since the last
+	// re-partition — the occupancy signal boundaries are rebalanced on.
+	loads []int
+
+	// inFlight tallies the last merged round's broadcasts by type: after
+	// the final round it is exactly the undelivered traffic a
+	// QuiescenceError reports.
+	inFlight map[string]int
+
+	// canRepart records whether the fault model can migrate its per-link
+	// state when boundaries move (see FaultRehomer); repartEvery is the
+	// rebalancing period in rounds (0 = disabled).
+	canRepart   bool
+	repartEvery int
+}
+
+// end returns the first node ID beyond shard s's range.
+func (ex *shardExec) end(s int) int {
+	if s+1 < len(ex.starts) {
+		return ex.starts[s+1]
+	}
+	return ex.net.g.N()
+}
+
+// seqOf reconstructs the global send sequence number of source shard s's
+// previous-round broadcast with ordinal ord.
+func (ex *shardExec) seqOf(s, ord int) int {
+	if ord < ex.prevDCount[s] {
+		return ex.prevDBase[s] + ord
+	}
+	return ex.prevTBase[s] + ord - ex.prevDCount[s]
 }
 
 // newShardExec partitions the network into the configured number of
@@ -208,77 +382,217 @@ func (n *Network) newShardExec() *shardExec {
 	if !ok {
 		return nil
 	}
-	ex := &shardExec{net: n, shards: make([]shardState, p)}
+	ex := &shardExec{
+		net:        n,
+		shards:     make([]shardState, p),
+		starts:     make([]int, p),
+		prevStarts: make([]int, p),
+		dCount:     make([]int, p),
+		dBase:      make([]int, p),
+		tBase:      make([]int, p),
+		prevDCount: make([]int, p),
+		prevDBase:  make([]int, p),
+		prevTBase:  make([]int, p),
+		loads:      make([]int, nn),
+		inFlight:   make(map[string]int),
+	}
 	for s := 0; s < p; s++ {
-		lo, hi := s*nn/p, (s+1)*nn/p
+		ex.starts[s] = s * nn / p
+	}
+	copy(ex.prevStarts, ex.starts)
+	for s := 0; s < p; s++ {
+		lo, hi := ex.starts[s], ex.end(s)
 		sh := &ex.shards[s]
 		*sh = shardState{
-			net:    n,
-			idx:    s,
-			lo:     lo,
-			hi:     hi,
-			faults: fms[s],
-			byType: make(map[string]int),
-			mail:   make([][]envelope, hi-lo),
+			net:       n,
+			ex:        ex,
+			idx:       s,
+			lo:        lo,
+			hi:        hi,
+			faults:    fms[s],
+			byType:    make(map[string]int),
+			mail:      make([][]envelope, hi-lo),
+			stage:     make([][]stagedEnv, p),
+			prevStage: make([][]stagedEnv, p),
+			split:     make([]int, p),
+			prevSplit: make([]int, p),
 		}
 		for id := lo; id < hi; id++ {
 			n.ctxs[id].sh = sh
 		}
 	}
+	switch {
+	case n.repartEvery > 0:
+		ex.repartEvery = n.repartEvery
+	case n.repartEvery == 0:
+		ex.repartEvery = defaultRepartEvery
+	}
+	// Re-align any fault state a previous stage left homed under its
+	// final (possibly rebalanced) partition with this run's initial
+	// uniform partition. Cached per-shard instances persist across the
+	// stages of one build (see gilbert.ShardFaults), so without this a
+	// re-partition in stage k would corrupt stage k+1's loss pattern. A
+	// model that cannot rehome also can never have been moved, so the
+	// probe doubles as the re-partitioning capability check.
+	ex.canRepart = rehomeFaults(n.faults, func(v int) int { return ownerOf(ex.starts, v) })
 	return ex
 }
 
-// each runs fn on every shard — concurrently for P > 1, inline for a
-// single shard — and returns when all shards are done (the phase barrier).
+// each runs fn on every shard — on the worker pool when one is attached,
+// inline otherwise — and returns when all shards are done (the phase
+// barrier).
 func (ex *shardExec) each(fn func(sh *shardState)) {
-	if len(ex.shards) == 1 {
-		fn(&ex.shards[0])
+	if ex.pool != nil {
+		ex.pool.run(fn)
 		return
 	}
-	var wg sync.WaitGroup
 	for s := range ex.shards {
-		wg.Add(1)
-		go func(sh *shardState) {
-			defer wg.Done()
-			fn(sh)
-		}(&ex.shards[s])
+		fn(&ex.shards[s])
 	}
-	wg.Wait()
 }
 
-// merge drains every shard's phase-local buffers in shard-index order —
-// node-ID order, for a contiguous partition — assigning global send
-// sequence numbers, appending to the network outbox, replaying trace
-// events, and folding counters. It returns the phase's delivery count.
-// This is the step that restores the sequential kernel's total order, so
-// it must run between phases and never concurrently with them.
-func (ex *shardExec) merge() int {
+// replayEvents forwards a shard's buffered trace events to the tracer.
+// Replaying at the barrier in shard-index order — node-ID order, for a
+// contiguous partition — reproduces the sequential kernel's emit order.
+func (ex *shardExec) replayEvents(sh *shardState) {
+	if ex.net.tracer == nil || len(sh.events) == 0 {
+		return
+	}
+	for i := range sh.events {
+		ex.net.tracer.Emit(sh.events[i])
+	}
+	sh.events = sh.events[:0]
+}
+
+// deliverMerge is the barrier after the deliver phase: it replays trace
+// events, records each shard's deliver-phase broadcast count, and assigns
+// the shards' seq bases in shard-index order — exactly the numbers the
+// sequential kernel would have handed out one broadcast at a time. It
+// returns the phase's delivery count.
+func (ex *shardExec) deliverMerge() int {
 	n := ex.net
 	delivered := 0
 	for s := range ex.shards {
 		sh := &ex.shards[s]
-		if n.tracer != nil && len(sh.events) > 0 {
-			for i := range sh.events {
-				n.tracer.Emit(sh.events[i])
-			}
-			sh.events = sh.events[:0]
-		}
-		for i := range sh.outbox {
-			sh.outbox[i].seq = n.seq
-			n.seq++
-			n.outbox = append(n.outbox, sh.outbox[i])
-		}
-		sh.outbox = sh.outbox[:0]
-		if len(sh.byType) > 0 {
-			for t, c := range sh.byType {
-				n.byType[t] += c
-			}
-			clear(sh.byType)
-		}
+		ex.replayEvents(sh)
+		ex.dCount[s] = sh.ordn
+		ex.dBase[s] = n.seq
+		n.seq += sh.ordn
 		delivered += sh.delivered
 		sh.delivered = 0
 	}
 	return delivered
+}
+
+// tickMerge is the barrier after the tick phase: it replays trace events,
+// assigns the tick-phase seq bases, folds the per-type counters, resets
+// the per-round shard state, and ping-pongs the staging buffers — this
+// round's stage becomes next round's prevStage, and the consumed buffers
+// come back for recycling. It returns the round's broadcast count (the
+// sequential kernel's len(outbox)).
+func (ex *shardExec) tickMerge() int {
+	n := ex.net
+	sent := 0
+	clear(ex.inFlight)
+	for s := range ex.shards {
+		sh := &ex.shards[s]
+		ex.replayEvents(sh)
+		ex.tBase[s] = n.seq
+		n.seq += sh.ordn - ex.dCount[s]
+		sent += sh.ordn
+		sh.ordn = 0
+		for t, c := range sh.byType {
+			n.byType[t] += c
+			ex.inFlight[t] += c
+		}
+		clear(sh.byType)
+		sh.stage, sh.prevStage = sh.prevStage, sh.stage
+		sh.split, sh.prevSplit = sh.prevSplit, sh.split
+	}
+	ex.prevDCount, ex.dCount = ex.dCount, ex.prevDCount
+	ex.prevDBase, ex.dBase = ex.dBase, ex.prevDBase
+	ex.prevTBase, ex.tBase = ex.tBase, ex.prevTBase
+	copy(ex.prevStarts, ex.starts)
+	return sent
+}
+
+// maybeRepartition rebalances the contiguous node ranges every
+// repartEvery rounds, driven only by the merged per-node delivery
+// counters — a pure function of deterministic state, so every run (any
+// parallelism) moves the same boundaries at the same rounds. Weights are
+// 1 + delivered copies since the last window, so idle nodes still count:
+// a shard of quiet nodes stays cheap but never collapses to zero width.
+//
+// Only starts moves; prevStarts keeps describing the in-flight staging
+// until the next tick merge, and deliver clamps old columns to new ranges
+// for that one round. Per-link fault state migrates with the receivers.
+func (ex *shardExec) maybeRepartition(round int) {
+	p := len(ex.shards)
+	if p <= 1 || !ex.canRepart || ex.repartEvery <= 0 || round%ex.repartEvery != 0 {
+		return
+	}
+	n := ex.net
+	nn := n.g.N()
+	total := int64(nn)
+	for _, l := range ex.loads {
+		total += int64(l)
+	}
+	// Greedy prefix split: boundary s lands where the running weight
+	// crosses s/p of the total, constrained so every shard keeps at least
+	// one node.
+	newStarts := make([]int, p)
+	acc := int64(0)
+	node := 0
+	for s := 1; s < p; s++ {
+		target := total * int64(s) / int64(p)
+		atLeast := newStarts[s-1] + 1 // shard s-1 keeps ≥ 1 node
+		atMost := nn - (p - s)        // every later shard keeps ≥ 1 node
+		for node < atLeast || (acc < target && node < atMost) {
+			acc += int64(1 + ex.loads[node])
+			node++
+		}
+		newStarts[s] = node
+	}
+	changed := false
+	for s := range newStarts {
+		if newStarts[s] != ex.starts[s] {
+			changed = true
+			break
+		}
+	}
+	// The observation window resets whether or not boundaries moved, so
+	// the signal is always "load since the last decision".
+	for i := range ex.loads {
+		ex.loads[i] = 0
+	}
+	if !changed {
+		return
+	}
+	copy(ex.starts, newStarts)
+	for s := 0; s < p; s++ {
+		sh := &ex.shards[s]
+		sh.lo, sh.hi = ex.starts[s], ex.end(s)
+		// Mailbox slots are nil whenever the kernel is between rounds
+		// (deliver nils every drained slot), so resizing the window by
+		// reslicing re-exposes only nil slots; reallocate when widening
+		// past the backing array.
+		if w := sh.hi - sh.lo; w <= cap(sh.mail) {
+			sh.mail = sh.mail[:w]
+		} else {
+			sh.mail = make([][]envelope, w)
+		}
+		for id := sh.lo; id < sh.hi; id++ {
+			n.ctxs[id].sh = sh
+		}
+	}
+	rehomeFaults(n.faults, func(v int) int { return ownerOf(ex.starts, v) })
+	if n.tracer != nil {
+		for s := 0; s < p; s++ {
+			sh := &ex.shards[s]
+			n.tracer.Emit(obs.Event{Kind: obs.KindRepartition, Stage: n.stage, Round: round,
+				From: sh.idx, To: sh.lo, N: sh.hi - sh.lo})
+		}
+	}
 }
 
 // emitShardMetrics reports each shard's load and pool behavior through the
@@ -287,7 +601,8 @@ func (ex *shardExec) merge() int {
 // hits/misses. These are executor events — they describe the machine, not
 // the protocol — so they are the one part of a traced run that legitimately
 // varies with the shard count (and, via WallNS, across runs); determinism
-// comparisons across shard counts strip kind "shard" along with wall time.
+// comparisons across kernel configurations strip them (obs.ExecutorKind)
+// along with wall time.
 func (ex *shardExec) emitShardMetrics() {
 	n := ex.net
 	if n.tracer == nil {
@@ -303,54 +618,59 @@ func (ex *shardExec) emitShardMetrics() {
 
 // runSharded is the sharded twin of the sequential loop in Run: identical
 // round structure, termination conditions, tracing, and error surface,
-// with the deliver and tick work fanned out across the shards.
+// with the deliver and tick work fanned out across the shards on the
+// worker pool.
 func (n *Network) runSharded(ex *shardExec, maxRounds int, start time.Time) (int, error) {
+	par := n.par
+	if par <= 0 {
+		par = defaultParallelism()
+	}
+	if par > len(ex.shards) {
+		par = len(ex.shards)
+	}
+	n.parOn = par
+	if par > 1 {
+		ex.pool = newPhasePool(ex.shards, par)
+		defer ex.pool.close()
+	}
 	finish := func(err error) (int, error) {
 		ex.emitShardMetrics()
 		return n.rounds, n.finishTrace(start, err)
 	}
 	// Init runs sequentially in node-ID order, exactly as the sequential
-	// kernel does; its broadcasts land in the shard buffers (the Contexts
-	// are already wired) and the merge numbers them in the same order a
-	// sequential run would have.
+	// kernel does; its broadcasts land in the shard staging buffers (the
+	// Contexts are already wired). It is merged as a round-0 tick batch:
+	// no deliver phase ran, so the deliver counts are zero and every Init
+	// broadcast numbers from the tick bases — node-ID order again.
 	for i := range n.procs {
 		n.procs[i].Init(&n.ctxs[i])
 	}
-	ex.merge()
-	// spare double-buffers the outbox: each round's drained inbox becomes
-	// the next round's (emptied) outbox backing array.
-	var spare []envelope
+	for s := range ex.shards {
+		ex.dCount[s], ex.dBase[s] = 0, 0
+	}
+	ex.tickMerge()
 	for round := 1; round <= maxRounds; round++ {
 		if n.ctx != nil && n.ctx.Err() != nil {
 			return finish(&CanceledError{Rounds: n.rounds, Cause: n.ctx.Err()})
 		}
 		n.rounds = round
-		inbox := n.outbox
-		n.outbox = spare[:0]
 
-		ex.each(func(sh *shardState) { sh.deliver(round, inbox) })
-		delivered := ex.merge()
+		ex.each(func(sh *shardState) { sh.deliver(round) })
+		delivered := ex.deliverMerge()
 		ex.each(func(sh *shardState) { sh.tick(round) })
-		ex.merge()
+		sent := ex.tickMerge()
 
-		// Recycle the drained inbox, dropping message references so the
-		// buffer does not pin delivered payloads until it is overwritten.
-		for i := range inbox {
-			inbox[i].msg = nil
-		}
-		spare = inbox
-
-		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: len(n.outbox)})
+		n.trace = append(n.trace, RoundStats{Round: round, Delivered: delivered, Sent: sent})
 		if n.tracer != nil {
 			n.tracer.Emit(obs.Event{Kind: obs.KindRound, Stage: n.stage, Round: round,
-				From: obs.NoNode, To: obs.NoNode, Sent: len(n.outbox), Delivered: delivered})
+				From: obs.NoNode, To: obs.NoNode, Sent: sent, Delivered: delivered})
 		}
 
 		if n.reliable {
 			if n.allDone() {
 				return finish(nil)
 			}
-		} else if len(n.outbox) == 0 && n.allDone() {
+		} else if sent == 0 && n.allDone() {
 			return finish(nil)
 		}
 
@@ -362,8 +682,17 @@ func (n *Network) runSharded(ex *shardExec, maxRounds int, start time.Time) (int
 				}
 			}
 			n.tracer.Emit(obs.Event{Kind: obs.KindQuiesceWait, Stage: n.stage, Round: round,
-				From: obs.NoNode, To: obs.NoNode, N: notDone, Sent: len(n.outbox)})
+				From: obs.NoNode, To: obs.NoNode, N: notDone, Sent: sent})
 		}
+
+		ex.maybeRepartition(round)
 	}
-	return finish(n.quiescenceError())
+	// ex.inFlight still holds the final round's broadcasts by type — the
+	// undelivered traffic, exactly what the sequential kernel reads off
+	// its outbox.
+	inFlight := make(map[string]int, len(ex.inFlight))
+	for t, c := range ex.inFlight {
+		inFlight[t] = c
+	}
+	return finish(n.stuckError(inFlight))
 }

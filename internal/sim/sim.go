@@ -170,6 +170,19 @@ type Context struct {
 	sh   *shardState
 }
 
+// shard returns the node's current owning shard (nil on the sequential
+// kernel). The canonical Contexts in net.ctxs carry the live assignment;
+// copies a protocol cached (the Reliable shim's inner context) must not
+// trust their embedded sh — re-partitioning can move the node to another
+// shard after the copy was made, and buffering into the old shard would
+// both reorder the merged event stream and race with its owner.
+func (c *Context) shard() *shardState {
+	if c.net == nil || len(c.net.ctxs) <= c.id {
+		return c.sh
+	}
+	return c.net.ctxs[c.id].sh
+}
+
 // ID returns the node's identifier (its index in the underlying graph).
 func (c *Context) ID() int { return c.id }
 
@@ -192,8 +205,8 @@ func (c *Context) Broadcast(m Message) {
 		c.send(m)
 		return
 	}
-	if c.sh != nil {
-		c.sh.broadcast(c, m)
+	if sh := c.shard(); sh != nil {
+		sh.broadcast(c, m)
 		return
 	}
 	n := c.net
@@ -227,8 +240,8 @@ func (c *Context) emit(e obs.Event) {
 	if c.net == nil || c.net.tracer == nil {
 		return
 	}
-	if c.sh != nil {
-		c.sh.events = append(c.sh.events, e)
+	if sh := c.shard(); sh != nil {
+		sh.events = append(sh.events, e)
 		return
 	}
 	c.net.tracer.Emit(e)
@@ -270,6 +283,11 @@ type Network struct {
 	ctx      context.Context
 	shards   int // requested shard count; 0 = classic sequential kernel
 	shardsOn int // shards actually used by the last Run (0 = sequential)
+	par      int // requested worker parallelism; 0 = GOMAXPROCS
+	parOn    int // workers the last sharded Run used (0 = sequential)
+	// repartEvery is the occupancy-driven re-partitioning period in
+	// rounds: 0 selects the default, negative disables re-partitioning.
+	repartEvery int
 }
 
 // Option configures a Network.
@@ -333,6 +351,36 @@ func WithShards(p int) Option {
 	return func(n *Network) { n.shards = p }
 }
 
+// WithParallelism bounds the worker pool the sharded kernel runs its
+// deliver and tick phases on: k worker goroutines execute the shards of
+// each phase, k <= 0 (the default) means one worker per available CPU
+// (GOMAXPROCS), and the effective value is clamped to the shard count.
+// Parallelism is pure mechanism — results, traces, and seq numbers are
+// bit-identical for every k, because nothing observable leaves a shard
+// until the deterministic merge barrier (see DESIGN.md §13). It has no
+// effect without WithShards.
+func WithParallelism(k int) Option {
+	return func(n *Network) { n.par = k }
+}
+
+// WithRepartition sets the sharded kernel's occupancy-driven
+// re-partitioning period: every `every` rounds the contiguous node ranges
+// are rebalanced from the merged per-node delivery counters, so shard
+// boundaries follow the protocol's active region. every <= 0 disables
+// re-partitioning; without this option a default period applies.
+// Re-partitioning is deterministic (a pure function of deterministic
+// counters) and invisible to results and protocol-level traces; it is
+// skipped when the fault model cannot migrate its per-link state (see
+// FaultRehomer).
+func WithRepartition(every int) Option {
+	return func(n *Network) {
+		if every <= 0 {
+			every = -1
+		}
+		n.repartEvery = every
+	}
+}
+
 // WithReliability wraps every protocol in the Reliable ack/retransmission
 // shim, making the run loss-tolerant: under any fault model that delivers
 // each message eventually, the wrapped protocols compute exactly what they
@@ -385,7 +433,7 @@ func (n *Network) Run(maxRounds int) (int, error) {
 		n.shardsOn = len(ex.shards)
 		return n.runSharded(ex, maxRounds, start)
 	}
-	n.shardsOn = 0
+	n.shardsOn, n.parOn = 0, 0
 	for i := range n.procs {
 		n.procs[i].Init(&n.ctxs[i])
 	}
@@ -492,13 +540,24 @@ func (n *Network) finishTrace(start time.Time, err error) error {
 	return err
 }
 
-// quiescenceError assembles the diagnostic for a run that exhausted its
-// round budget: the nodes that were not Done (with self-diagnoses where
-// available) and the types of the messages still in flight.
+// quiescenceError assembles the sequential kernel's diagnostic for a run
+// that exhausted its round budget, reading the in-flight traffic off the
+// outbox; the sharded kernel computes the same tally from its merged
+// per-round counters and calls stuckError directly.
 func (n *Network) quiescenceError() error {
+	inFlight := make(map[string]int)
+	for _, env := range n.outbox {
+		inFlight[env.msg.Type()]++
+	}
+	return n.stuckError(inFlight)
+}
+
+// stuckError builds the QuiescenceError: the nodes that were not Done
+// (with self-diagnoses where available) and the supplied in-flight tally.
+func (n *Network) stuckError(inFlight map[string]int) error {
 	e := &QuiescenceError{
 		Rounds:   n.rounds,
-		InFlight: make(map[string]int),
+		InFlight: inFlight,
 		Reasons:  make(map[int]string),
 	}
 	for id, p := range n.procs {
@@ -509,9 +568,6 @@ func (n *Network) quiescenceError() error {
 		if sr, ok := p.(StuckReporter); ok {
 			e.Reasons[id] = sr.StuckReason()
 		}
-	}
-	for _, env := range n.outbox {
-		e.InFlight[env.msg.Type()]++
 	}
 	return e
 }
@@ -544,6 +600,12 @@ func (n *Network) Rounds() int { return n.rounds }
 // when the fault model cannot be sharded), otherwise the clamped
 // WithShards value.
 func (n *Network) ShardsUsed() int { return n.shardsOn }
+
+// ParallelismUsed returns the number of phase workers the last Run
+// actually executed with: 0 for the sequential kernel, otherwise the
+// resolved WithParallelism value (defaulted to GOMAXPROCS, clamped to the
+// shard count).
+func (n *Network) ParallelismUsed() int { return n.parOn }
 
 // ReliableNodeStats returns each node's ack/retransmission shim counters
 // for a network run under WithReliability — the per-node give-up ledger a

@@ -7,13 +7,27 @@
 // measured ns/op, and, when -benchmem was given, B/op and allocs/op.
 // Non-benchmark lines (package headers, PASS/ok trailers) are ignored, so
 // the raw `go test` stream can be piped in unfiltered.
+//
+// With -compare old.json the tool turns into a regression gate: it parses
+// the current run from stdin, loads the baseline array from old.json, and
+// prints one delta line per benchmark the two runs share. If any shared
+// benchmark's ns/op regressed by more than -threshold (a fraction;
+// default 0.20 = 20%), benchjson exits nonzero after printing the full
+// table, so CI fails on the whole picture rather than the first offender:
+//
+//	go test -bench=. -run='^$' . | go run ./tools/benchjson -compare BENCH_2026-08-06.json
+//
+// Benchmark names are matched with any -cpu suffix stripped, so a
+// baseline recorded on an 8-way machine still gates a 4-way runner.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,13 +42,33 @@ type Result struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	compare := flag.String("compare", "", "baseline JSON file (from a prior benchjson run) to diff against instead of emitting JSON")
+	threshold := flag.Float64("threshold", 0.20, "with -compare, the ns/op regression fraction that fails the run (0.20 = 20%)")
+	flag.Parse()
+	if err := run(*compare, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(compare string, threshold float64) error {
+	results, err := parseStream()
+	if err != nil {
+		return err
+	}
+	if compare == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	old, err := loadBaseline(compare)
+	if err != nil {
+		return err
+	}
+	return diff(os.Stdout, old, results, threshold)
+}
+
+func parseStream() ([]Result, error) {
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -43,12 +77,84 @@ func run() error {
 			results = append(results, r)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	return results, sc.Err()
+}
+
+func loadBaseline(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	var old []Result
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return old, nil
+}
+
+// baseName strips the -cpu suffix go test appends (`BenchmarkX-8` →
+// `BenchmarkX`), so runs from machines with different core counts
+// compare by benchmark identity.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diff prints one line per benchmark present in both runs plus a note
+// for each one-sided name, then returns an error iff any shared
+// benchmark's ns/op grew by more than threshold.
+func diff(out *os.File, old, cur []Result, threshold float64) error {
+	base := make(map[string]Result, len(old))
+	for _, r := range old {
+		base[baseName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(cur))
+	var regressed []string
+	w := 0
+	for _, r := range cur {
+		if n := len(baseName(r.Name)); n > w {
+			w = n
+		}
+	}
+	for _, r := range cur {
+		name := baseName(r.Name)
+		seen[name] = true
+		o, ok := base[name]
+		if !ok {
+			fmt.Fprintf(out, "%-*s  %12.0f ns/op  (new, no baseline)\n", w, name, r.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = r.NsPerOp/o.NsPerOp - 1
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", name, delta*100))
+		}
+		fmt.Fprintf(out, "%-*s  %12.0f ns/op  -> %12.0f ns/op  %+7.1f%%%s\n",
+			w, name, o.NsPerOp, r.NsPerOp, delta*100, mark)
+	}
+	var gone []string
+	for name := range base {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(out, "%-*s  (in baseline only)\n", w, name)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% on ns/op: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // parseLine parses one benchmark output line, e.g.
