@@ -9,7 +9,7 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet lint build test race race-shard fuzz bench bench-smoke trace-smoke chaos-smoke clean
+.PHONY: check fmt vet lint build test race race-shard fuzz bench bench-smoke trace-smoke chaos-smoke serve-smoke clean
 
 check: fmt lint build test race
 
@@ -99,6 +99,13 @@ chaos-smoke:
 	$(GO) run ./cmd/experiments -exp chaos -trials 3 -workers 4 -out "$$tmp" && \
 	rm -rf "$$tmp"
 	$(GO) test ./internal/experiments/ -run 'Chaos|Shrink' -count=1
+
+# serve-smoke boots the topology service, drives a short seeded churn
+# schedule through its own HTTP API (one POST per epoch), asserts the
+# health endpoint answers for the final epoch, and requires a clean
+# shutdown — the end-to-end gate of cmd/spannerd and internal/serve.
+serve-smoke:
+	$(GO) run ./cmd/spannerd -smoke -n 120 -epochs 6 -batch 15 -seed 7
 
 clean:
 	$(GO) clean ./...

@@ -37,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, scale, all")
+		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, scale, churn, all")
 		trials   = fs.Int("trials", 10, "random vertex sets per configuration")
 		n        = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
 		radius   = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
@@ -238,6 +238,14 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 		}
 		return emit(fmt.Sprintf("Kernel scaling: sequential vs sharded simulation kernel (region=%g, trials=%d)",
 			cfg.Region, trials), tb, err)
+	case "churn":
+		ns := experiments.DefaultChurnNs()
+		if n > 0 {
+			ns = []int{n}
+		}
+		tb, err := experiments.Churn(ns, cfg)
+		return emit(fmt.Sprintf("Churn campaign: live topology service under synthetic churn (region=%g, seed=%d)",
+			cfg.Region, cfg.Seed), tb, err)
 	case "trace":
 		tb, events, err := experiments.Trace(pick(experiments.DefaultTable1N), radius, cfg)
 		if err != nil {

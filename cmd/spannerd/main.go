@@ -1,0 +1,184 @@
+// Command spannerd is the long-lived topology service: it owns one live
+// network instance, ingests churn batches over HTTP (one POST = one
+// epoch), and serves route/topology/health queries against immutable
+// per-epoch snapshots.
+//
+// Usage:
+//
+//	spannerd -n 500 -addr 127.0.0.1:7070        # serve until SIGINT/SIGTERM
+//	spannerd -smoke -n 120 -epochs 8            # self-driven churn smoke, then exit
+//
+// The instance is synthetic: n nodes uniform in a square region with a
+// transmission radius that keeps the average degree near the paper's
+// Table I density (override with -radius). In smoke mode the daemon binds
+// an ephemeral port, drives a seeded churn schedule through its own HTTP
+// API, asserts the health endpoint answers for the final epoch, and shuts
+// down cleanly — the mode `make serve-smoke` and CI run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geospanner/internal/serve"
+	"geospanner/internal/udg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spannerd", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7070", "HTTP listen address (smoke mode always uses an ephemeral port)")
+		n      = fs.Int("n", 200, "nodes of the synthetic instance")
+		region = fs.Float64("region", 200, "side of the square deployment region")
+		radius = fs.Float64("radius", 0, "transmission radius (0 = keep average degree near 20)")
+		seed   = fs.Int64("seed", 1, "instance and churn-schedule seed")
+		smoke  = fs.Bool("smoke", false, "drive a short churn schedule through the HTTP API and exit")
+		epochs = fs.Int("epochs", 8, "epochs of the smoke schedule")
+		batch  = fs.Int("batch", 15, "events per epoch of the smoke schedule")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := *radius
+	if r <= 0 {
+		// Same constant-density rule as the experiment sweeps: average
+		// degree ≈ n·π·r²/region² ≈ 20.
+		r = *region * math.Sqrt(20.0/(math.Pi*float64(*n)))
+	}
+	inst, err := udg.ConnectedInstance(*seed, *n, *region, r, 0)
+	if err != nil {
+		return fmt.Errorf("building instance: %w", err)
+	}
+	s, err := serve.New(inst.Points, r)
+	if err != nil {
+		return err
+	}
+
+	listenAddr := *addr
+	if *smoke {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "spannerd: serving n=%d radius=%.1f on http://%s\n", *n, r, ln.Addr())
+
+	if *smoke {
+		err := runSmoke(out, s, inst, "http://"+ln.Addr().String(), *seed, *region, r, *epochs, *batch)
+		shutdownErr := shutdown(hs, serveErr)
+		if err != nil {
+			return err
+		}
+		if shutdownErr != nil {
+			return shutdownErr
+		}
+		fmt.Fprintln(out, "spannerd: clean shutdown")
+		return nil
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "spannerd: shutting down")
+	if err := shutdown(hs, serveErr); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "spannerd: clean shutdown")
+	return nil
+}
+
+func shutdown(hs *http.Server, serveErr chan error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runSmoke drives a seeded churn schedule through the daemon's own HTTP
+// API and asserts the service's answers: every epoch POST succeeds and
+// advances the sequence, the health endpoint answers for the final epoch,
+// and the stats endpoint accounts for every event.
+func runSmoke(out io.Writer, s *serve.Server, inst *udg.Instance, base string, seed int64, region, radius float64, epochs, batch int) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	sched := serve.NewScheduler(seed+1, inst.Points, region, radius)
+	for e := 1; e <= epochs; e++ {
+		body, err := json.Marshal(serve.EpochRequest{Events: serve.EncodeEvents(sched.Batch(batch))})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+"/v1/epoch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("smoke epoch %d: %w", e, err)
+		}
+		var er serve.EpochResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&er)
+		resp.Body.Close()
+		if decErr != nil {
+			return fmt.Errorf("smoke epoch %d: %w", e, decErr)
+		}
+		if resp.StatusCode != http.StatusOK || er.Epoch != uint64(e) {
+			return fmt.Errorf("smoke epoch %d: status %d, response %+v", e, resp.StatusCode, er)
+		}
+		fmt.Fprintf(out, "smoke: epoch %d applied=%d rejected=%d roles=%d mode=%s\n",
+			er.Epoch, er.Applied, er.Rejected, er.RoleChanges, er.Mode)
+	}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke health: %w", err)
+	}
+	var hr serve.HealthResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&hr)
+	resp.Body.Close()
+	if decErr != nil {
+		return fmt.Errorf("smoke health: %w", decErr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke health: status %d", resp.StatusCode)
+	}
+	if hr.Epoch != uint64(epochs) || hr.Mode != "live" || hr.Components == 0 || hr.Alive == 0 {
+		return fmt.Errorf("smoke health: implausible report %+v", hr)
+	}
+	fmt.Fprintf(out, "smoke: health epoch=%d alive=%d dead=%d components=%d healthy=%v\n",
+		hr.Epoch, hr.Alive, hr.Dead, hr.Components, hr.Healthy)
+
+	st := s.Stats()
+	if st.Epochs != int64(epochs) || st.Applied+st.Rejected != st.Events {
+		return fmt.Errorf("smoke stats: inconsistent %+v", st)
+	}
+	fmt.Fprintf(out, "smoke: %d epochs, %d/%d events applied, recompute_ratio=%.2f\n",
+		st.Epochs, st.Applied, st.Events, st.RecomputeRatio)
+	return nil
+}

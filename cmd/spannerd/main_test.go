@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeMode runs the full smoke flow in-process: ephemeral port, churn
+// schedule over the real HTTP API, health assertion, clean shutdown.
+func TestSmokeMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-smoke", "-n", "80", "-epochs", "4", "-batch", "10", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatalf("smoke run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"smoke: epoch 4", "smoke: health epoch=4", "clean shutdown"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geospanner/internal/obs"
+	"geospanner/internal/serve"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+)
+
+// DefaultChurnNs is the node-count sweep of the churn campaign. The large
+// point is the service-scale measurement (sustained events/sec and query
+// QPS at n=10k); the small one is cheap enough to verify end to end.
+func DefaultChurnNs() []int { return []int{1000, 10000} }
+
+// churnEpochs and churnReaders shape the campaign: epochs per node count,
+// and concurrent reader goroutines issuing route queries against the
+// current snapshot while the writer applies batches.
+const (
+	churnEpochs  = 30
+	churnReaders = 4
+)
+
+// Churn is the live-service campaign: for each node count it builds a
+// connected instance at constant average degree (≈20, like the scaling
+// sweep), starts an in-process topology service, and applies churnEpochs
+// synthetic churn batches while churnReaders goroutines hammer route
+// queries against the epoch snapshots. It reports the writer's sustained
+// event throughput, the concurrent query throughput, the route success
+// fraction, and the maintenance profile (recompute ratio, fallbacks, role
+// churn). For n ≤ 2000 the final maintained backbone is re-verified
+// against the full degraded-mode invariant set.
+func Churn(ns []int, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("n", "epochs", "events", "applied", "events_per_sec", "qps", "route_ok", "recompute_ratio", "fallbacks", "role_changes", "alive_final")
+	for _, n := range ns {
+		radius := scaleRadius(n, cfg.Region)
+		inst, err := udg.ConnectedInstance(cfg.Seed, n, cfg.Region, radius, cfg.MaxTries)
+		if err != nil {
+			return nil, fmt.Errorf("churn n=%d: %w", n, err)
+		}
+		metrics := obs.NewMetrics()
+		srv, err := serve.New(inst.Points, radius, serve.WithTracer(metrics))
+		if err != nil {
+			return nil, fmt.Errorf("churn n=%d: %w", n, err)
+		}
+		sched := serve.NewScheduler(cfg.Seed+1, inst.Points, cfg.Region, radius)
+		batch := n / 25
+		if batch < 20 {
+			batch = 20
+		}
+
+		var (
+			stop            = make(chan struct{})
+			wg              sync.WaitGroup
+			queries, routed atomic.Int64
+		)
+		for r := 0; r < churnReaders; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(100+r)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ep := srv.Current()
+					src, dst := pickAlive(rng, ep), pickAlive(rng, ep)
+					if src < 0 || dst < 0 || src == dst {
+						continue
+					}
+					if _, err := ep.Route(src, dst); err == nil {
+						routed.Add(1)
+					}
+					queries.Add(1)
+				}
+			}(r)
+		}
+
+		start := time.Now()
+		for epoch := 0; epoch < churnEpochs; epoch++ {
+			if _, err := srv.Apply(sched.Batch(batch)); err != nil {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("churn n=%d epoch %d: %w", n, epoch+1, err)
+			}
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		wg.Wait()
+
+		if n <= 2000 {
+			conn, pldel, err := srv.State().Structures()
+			if err != nil {
+				return nil, fmt.Errorf("churn n=%d: final structures: %w", n, err)
+			}
+			if err := srv.State().VerifyBackbone(conn, pldel); err != nil {
+				return nil, fmt.Errorf("churn n=%d: final backbone invalid: %w", n, err)
+			}
+		}
+
+		st := srv.Stats()
+		routeOK := 0.0
+		if q := queries.Load(); q > 0 {
+			routeOK = float64(routed.Load()) / float64(q)
+		}
+		secs := elapsed.Seconds()
+		tb.AddRow(n, st.Epochs, st.Events, st.Applied,
+			fmt.Sprintf("%.0f", float64(st.Applied)/secs),
+			fmt.Sprintf("%.0f", float64(queries.Load())/secs),
+			fmt.Sprintf("%.3f", routeOK),
+			fmt.Sprintf("%.2f", st.RecomputeRatio),
+			st.Fallbacks, st.RoleChanges, srv.Current().Topology().Alive)
+	}
+	return tb, nil
+}
+
+// pickAlive rejection-samples an alive node of the epoch (at least a
+// quarter of the nodes stay alive under the scheduler's quorum rule, so
+// the loop is short); -1 when the epoch has no alive nodes.
+func pickAlive(rng *rand.Rand, ep *serve.Epoch) int {
+	for tries := 0; tries < 64; tries++ {
+		if v := rng.Intn(ep.N()); ep.Alive(v) {
+			return v
+		}
+	}
+	for v := 0; v < ep.N(); v++ {
+		if ep.Alive(v) {
+			return v
+		}
+	}
+	return -1
+}

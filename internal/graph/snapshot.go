@@ -1,0 +1,32 @@
+package graph
+
+import "geospanner/internal/geom"
+
+// Snapshot is an epoch-tagged Frozen: the unit a long-lived topology
+// service publishes per maintenance epoch and swaps copy-on-write, so
+// readers pin one snapshot and never observe a half-applied batch. Two
+// differences from a plain Freeze make it safe under a live writer:
+//
+//   - the position slice is deep-copied, so a later Move of the source
+//     state cannot mutate geometry under a pinned reader;
+//   - the epoch tag travels with the data, letting readers (and the race
+//     tests) assert that everything they touched came from one epoch.
+type Snapshot struct {
+	*Frozen
+	epoch uint64
+}
+
+// SnapshotAt freezes g into an epoch-tagged CSR snapshot with its own copy
+// of the positions. The snapshot is immutable and safe to share across
+// goroutines even while the source graph (and its position slice) keeps
+// changing.
+func (g *Graph) SnapshotAt(epoch uint64) *Snapshot {
+	f := g.Freeze()
+	pts := make([]geom.Point, len(f.pts))
+	copy(pts, f.pts)
+	f.pts = pts
+	return &Snapshot{Frozen: f, epoch: epoch}
+}
+
+// Epoch returns the tag the snapshot was published under.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }

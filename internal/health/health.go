@@ -29,6 +29,13 @@ const (
 	// ModePartial is a partition-aware build: per-component pipelines,
 	// partial results instead of errors.
 	ModePartial Mode = "partial"
+	// ModeLive is the per-epoch report of a long-lived topology service
+	// (internal/serve): the same questions — dead nodes, partitions,
+	// coverage — answered continuously against the maintained state
+	// instead of once per build. Live components are always Complete
+	// (maintenance is centralized per epoch); the degradation signal is
+	// the component count, the dead list, and any uncovered survivors.
+	ModeLive Mode = "live"
 )
 
 // Stage names used in Stuck and GiveUp records mirror the protocol

@@ -210,7 +210,15 @@ func (s *State) Recover(v int) ([]int, error) {
 		// (it must be reconnected by fresh connectors).
 		s.invalidate()
 	} else {
+		// The clustering cache is patched exactly (the local formulas equal
+		// the full derivation), but the derived structures must be dropped:
+		// a rejoining node adds candidate connector paths, so the canonical
+		// election over the new graph may differ from the cached one even
+		// though no role changed. Removing a non-elected candidate (Fail)
+		// cannot change the election argmin; adding one can.
 		s.patchRecover(v)
+		s.cachedConn = nil
+		s.cachedLDel = nil
 	}
 	return nil, nil
 }
@@ -236,9 +244,11 @@ func (s *State) patchFail(v int) {
 	}
 }
 
-// patchRecover updates the cached derived structures for a node rejoining
-// as a covered dominatee with its old role: it regains its coverage links
-// and reappears in its neighbors' two-hop views.
+// patchRecover updates the cached clustering for a node rejoining as a
+// covered dominatee with its old role: it regains its dominator links and
+// reappears in its neighbors' two-hop views. Only the clustering cache is
+// patched — Recover drops the derived structures, whose canonical form may
+// change when a candidate connector node appears.
 func (s *State) patchRecover(v int) {
 	if s.cachedCl != nil {
 		cl := s.cachedCl
@@ -254,12 +264,6 @@ func (s *State) patchRecover(v int) {
 		cl.TwoHopDominators[v] = s.twoHopOf(cl, v)
 		for _, x := range s.aliveNeighbors(v) {
 			cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
-		}
-		if s.cachedConn != nil {
-			for _, u := range doms {
-				s.cachedConn.CDSPrime.AddEdge(v, u)
-				s.cachedConn.ICDSPrime.AddEdge(v, u)
-			}
 		}
 	} else {
 		// No clustering cache to read dominators from; anything derived is

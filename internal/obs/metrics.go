@@ -151,6 +151,30 @@ type StageMetrics struct {
 	// Repartitions counts per-shard repartition events: occupancy-driven
 	// boundary moves of the sharded kernel.
 	Repartitions int
+	// Epochs counts maintenance epochs of a live topology service;
+	// EpochEvents is the per-epoch applied-event distribution,
+	// EpochRejected the total no-op events, EpochRoleChanges the total
+	// role churn, and EpochRecomputes / EpochFallbacks the epochs whose
+	// backbone was rebuilt (rather than patched in place) and the subset
+	// that fell back to a from-scratch re-clustering. Snapshots counts
+	// published epoch snapshots.
+	Epochs           int
+	EpochEvents      Histogram
+	EpochRejected    int
+	EpochRoleChanges int
+	EpochRecomputes  int
+	EpochFallbacks   int
+	Snapshots        int
+}
+
+// RecomputeRatio returns the fraction of epochs that rebuilt the backbone
+// instead of patching the cached structures (0 when no epochs ran) — the
+// headline metric of incremental maintenance.
+func (s *StageMetrics) RecomputeRatio() float64 {
+	if s.Epochs == 0 {
+		return 0
+	}
+	return float64(s.EpochRecomputes) / float64(s.Epochs)
 }
 
 // Metrics is the rollup sink: it folds the event stream into per-stage
@@ -225,6 +249,20 @@ func (m *Metrics) Emit(e Event) {
 		s.ShardPoolMisses += e.Delivered
 	case KindRepartition:
 		s.Repartitions++
+	case KindEpoch:
+		s.Epochs++
+		s.EpochEvents.Add(int64(e.N))
+		s.EpochRejected += e.Delivered
+		s.EpochRoleChanges += e.Sent
+		switch e.Note {
+		case "recomputed":
+			s.EpochRecomputes++
+		case "fallback":
+			s.EpochRecomputes++
+			s.EpochFallbacks++
+		}
+	case KindSnapshot:
+		s.Snapshots++
 	}
 }
 
@@ -284,6 +322,11 @@ func (m *Metrics) String() string {
 			}
 			fmt.Fprintf(&b, "  shards=%d imbalance=%.2f pool_hit=%.0f%% shard_wall %s\n",
 				s.ShardReports, imbalance, hitRate*100, s.ShardWall.String())
+		}
+		if s.Epochs > 0 {
+			fmt.Fprintf(&b, "  epochs=%d snapshots=%d recompute_ratio=%.2f fallbacks=%d rejected=%d role_changes=%d applied %s\n",
+				s.Epochs, s.Snapshots, s.RecomputeRatio(), s.EpochFallbacks,
+				s.EpochRejected, s.EpochRoleChanges, s.EpochEvents.String())
 		}
 		types := make([]string, 0, len(s.ByType))
 		for t := range s.ByType {

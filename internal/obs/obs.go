@@ -89,6 +89,19 @@ const (
 	// node ID, and Round the round after which the rebalance took effect.
 	// Like KindShard, it describes the executor, not the protocol.
 	KindRepartition Kind = "repartition"
+	// KindEpoch closes one maintenance epoch of a long-lived topology
+	// service: Round is the epoch sequence number, N the events applied,
+	// Delivered the events rejected as no-ops, Sent the roles changed, and
+	// Note how the backbone was brought current ("patched" when the cached
+	// structures absorbed the batch, "recomputed" when they were rebuilt,
+	// "fallback" when role churn forced a from-scratch re-clustering).
+	// WallNS is the apply wall time — as everywhere, the one
+	// nondeterministic field.
+	KindEpoch Kind = "epoch"
+	// KindSnapshot reports the immutable snapshot published for an epoch:
+	// Round is the epoch, N the alive node count, Sent the live UDG edge
+	// count, and Delivered the planar backbone edge count.
+	KindSnapshot Kind = "snapshot"
 )
 
 // knownKinds is the schema: the set of kinds a valid trace may contain.
@@ -98,6 +111,7 @@ var knownKinds = map[Kind]bool{
 	KindRetransmit: true, KindGiveUp: true, KindQuiesceWait: true,
 	KindStuck: true, KindPartition: true, KindComponent: true,
 	KindShard: true, KindRepartition: true,
+	KindEpoch: true, KindSnapshot: true,
 }
 
 // KnownKind reports whether k is part of the trace schema.

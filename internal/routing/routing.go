@@ -81,12 +81,17 @@ type Planner struct {
 }
 
 // NewPlanner freezes g and precomputes the rotation system.
-func NewPlanner(g *graph.Graph) *Planner {
-	f := g.Freeze()
+func NewPlanner(g *graph.Graph) *Planner { return NewPlannerFrozen(g.Freeze()) }
+
+// NewPlannerFrozen precomputes the rotation system over an existing frozen
+// snapshot without re-freezing. A topology service that already published
+// an immutable epoch snapshot plans routes directly against it, so query
+// execution pins exactly the snapshot the reader holds.
+func NewPlannerFrozen(f *graph.Frozen) *Planner {
 	n := f.N()
 	p := &Planner{
 		f:         f,
-		pts:       g.Points(),
+		pts:       f.Points(),
 		angIDs:    make([]int32, 2*f.NumEdges()),
 		angThetas: make([]float64, 2*f.NumEdges()),
 	}
@@ -342,9 +347,18 @@ type DSRouter struct {
 
 // NewDSRouter freezes the flat graph and plans the backbone once.
 func NewDSRouter(udgG, backbone *graph.Graph, domsOf [][]int, inBackbone []bool) *DSRouter {
+	return NewDSRouterFrozen(udgG.Freeze(), NewPlanner(backbone), domsOf, inBackbone)
+}
+
+// NewDSRouterFrozen builds the router over pre-frozen snapshots: flat is
+// the full (UDG) adjacency and backbone a Planner of the planar backbone.
+// This is the pinned-snapshot entry point of a live topology service —
+// every query executes against exactly the epoch the caller holds, with no
+// hidden re-freeze of a possibly moving graph.
+func NewDSRouterFrozen(flat *graph.Frozen, backbone *Planner, domsOf [][]int, inBackbone []bool) *DSRouter {
 	return &DSRouter{
-		flat:       udgG.Freeze(),
-		backbone:   NewPlanner(backbone),
+		flat:       flat,
+		backbone:   backbone,
 		domsOf:     domsOf,
 		inBackbone: inBackbone,
 	}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/udg"
+)
+
+// benchRadius mirrors the experiment sweeps: shrink the radius with n so
+// average degree stays ≈20 and per-epoch cost tracks topology size
+// rather than density blowup.
+func benchRadius(n int, region float64) float64 {
+	return region * math.Sqrt(20/(math.Pi*float64(n)))
+}
+
+// BenchmarkEpochApply measures the service's write path end to end: one
+// maintenance epoch — a mixed churn batch through maintain.State, the
+// backbone patch or recompute, and the copy-on-write snapshot build that
+// publishes the new epoch to readers.
+func BenchmarkEpochApply(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			const region = 200.0
+			radius := benchRadius(n, region)
+			inst, err := udg.ConnectedInstance(21, n, region, radius, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := New(inst.Points, radius)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sched := NewScheduler(22, inst.Points, region, radius)
+			batch := max(20, n/25)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Apply(sched.Batch(batch)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteQuery measures the read path: one route query against a
+// pinned epoch snapshot, exactly what each reader goroutine does between
+// copy-on-write swaps.
+func BenchmarkRouteQuery(b *testing.B) {
+	const (
+		n      = 2000
+		region = 200.0
+	)
+	radius := benchRadius(n, region)
+	inst, err := udg.ConnectedInstance(21, n, region, radius, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(inst.Points, radius)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := srv.Current()
+	alive := make([]int, 0, n)
+	for v := 0; v < ep.N(); v++ {
+		if ep.Alive(v) {
+			alive = append(alive, v)
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := alive[rng.Intn(len(alive))]
+		dst := alive[rng.Intn(len(alive))]
+		if src == dst {
+			continue
+		}
+		if _, err := ep.Route(src, dst); err != nil {
+			b.Fatalf("route %d->%d: %v", src, dst, err)
+		}
+	}
+}

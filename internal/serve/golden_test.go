@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geospanner/internal/obs"
+	"geospanner/internal/udg"
+)
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+// churnTrace runs the canonical seeded churn schedule against a fresh
+// server and returns its JSONL epoch trace (WallNS stripped).
+func churnTrace(t *testing.T) []byte {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(61, 40, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	sink.OmitWall = true
+	s, err := New(inst.Points, inst.Radius, WithTracer(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(62, inst.Points, 200, inst.Radius)
+	for epoch := 0; epoch < 8; epoch++ {
+		if _, err := s.Apply(sched.Batch(12)); err != nil {
+			t.Fatalf("epoch %d: %v", epoch+1, err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChurnTraceGolden pins the epoch trace of a seeded churn schedule
+// byte for byte: every field of every epoch/snapshot event is a pure
+// function of the schedule, so the service's maintenance behavior —
+// applied/rejected splits, role churn, patch-vs-recompute decisions, alive
+// and edge counts per snapshot — cannot drift silently. Regenerate with
+// UPDATE_GOLDEN=1.
+func TestChurnTraceGolden(t *testing.T) {
+	got := churnTrace(t)
+
+	// Every line must satisfy the strict trace schema.
+	for i, line := range bytes.Split(bytes.TrimRight(got, "\n"), []byte("\n")) {
+		e, err := obs.DecodeJSONL(line, true)
+		if err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if e.Kind != obs.KindEpoch && e.Kind != obs.KindSnapshot {
+			t.Fatalf("line %d: unexpected kind %q in serve trace", i+1, e.Kind)
+		}
+		if e.WallNS != 0 {
+			t.Fatalf("line %d: wall time leaked into deterministic trace", i+1)
+		}
+	}
+
+	path := filepath.Join("testdata", "churn_seed61_n40.golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("churn epoch trace changed from golden snapshot.\nIf intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestChurnTraceRerunIdentical re-runs the schedule in-process: the trace
+// must be reproducible without reference to the golden file too.
+func TestChurnTraceRerunIdentical(t *testing.T) {
+	a, b := churnTrace(t), churnTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs of the same churn schedule produced different traces")
+	}
+}

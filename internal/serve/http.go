@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/maintain"
+)
+
+// The HTTP+JSON API of spannerd. Every read endpoint pins one epoch for
+// the whole request, so a response is internally consistent even while a
+// POST /v1/epoch is building the next snapshot.
+//
+//	GET  /healthz       -> HealthResponse for the current epoch
+//	GET  /v1/topology   -> Topology of the current epoch
+//	GET  /v1/route?src=A&dst=B -> RouteResponse against the current epoch
+//	GET  /v1/stats      -> Stats (cumulative counters)
+//	POST /v1/epoch      -> apply an EpochRequest batch; one POST = one epoch
+
+// HealthResponse is the wire form of a live health report.
+type HealthResponse struct {
+	Epoch              uint64 `json:"epoch"`
+	Healthy            bool   `json:"healthy"`
+	Mode               string `json:"mode"`
+	Alive              int    `json:"alive"`
+	Dead               int    `json:"dead"`
+	Uncovered          int    `json:"uncovered"`
+	Components         int    `json:"components"`
+	CompleteComponents int    `json:"complete_components"`
+	Summary            string `json:"summary"`
+}
+
+// RouteResponse is the wire form of a route query answer.
+type RouteResponse struct {
+	Epoch  uint64  `json:"epoch"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Path   []int   `json:"path,omitempty"`
+	Hops   int     `json:"hops"`
+	Length float64 `json:"length"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// WireEvent is one churn event of an EpochRequest. Kind is one of "join",
+// "leave", "crash", "move"; X and Y carry the destination of joins and
+// moves.
+type WireEvent struct {
+	Kind string  `json:"kind"`
+	Node int     `json:"node"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+}
+
+// EpochRequest is the body of POST /v1/epoch.
+type EpochRequest struct {
+	Events []WireEvent `json:"events"`
+}
+
+// EpochResponse summarizes the applied epoch.
+type EpochResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	Events      int    `json:"events"`
+	Applied     int    `json:"applied"`
+	Rejected    int    `json:"rejected"`
+	RoleChanges int    `json:"role_changes"`
+	Mode        string `json:"mode"`
+	WallMS      int64  `json:"wall_ms"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/topology", s.handleTopology)
+	mux.HandleFunc("GET /v1/route", s.handleRoute)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/epoch", s.handleEpoch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	report, epoch := s.Health()
+	ep := s.Current()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Epoch:              epoch,
+		Healthy:            report.Healthy(),
+		Mode:               string(report.Mode),
+		Alive:              ep.Topology().Alive,
+		Dead:               len(report.DeadNodes),
+		Uncovered:          len(report.UncoveredNodes),
+		Components:         len(report.Components),
+		CompleteComponents: report.CompleteComponents(),
+		Summary:            report.String(),
+	})
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Topology())
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
+	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		writeJSON(w, http.StatusBadRequest, RouteResponse{Error: "src and dst must be integer node IDs"})
+		return
+	}
+	ep := s.Current()
+	path, err := ep.Route(src, dst)
+	s.routeQueries.Add(1)
+	resp := RouteResponse{Epoch: ep.Seq, Src: src, Dst: dst}
+	if err != nil {
+		s.routeFailures.Add(1)
+		resp.Error = err.Error()
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrNodeDown) {
+			status = http.StatusGone
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+	resp.Path = path
+	resp.Hops = len(path) - 1
+	resp.Length = ep.PathLength(path)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	var req EpochRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	events, err := DecodeEvents(req.Events)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	ep, err := s.Apply(events)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, EpochResponse{
+		Epoch:       ep.Seq,
+		Events:      ep.Stats.Batch.Events,
+		Applied:     ep.Stats.Batch.Applied,
+		Rejected:    ep.Stats.Batch.Rejected,
+		RoleChanges: ep.Stats.Batch.RoleChanges,
+		Mode:        ep.Stats.Mode(),
+		WallMS:      ep.Stats.WallNS / 1e6,
+	})
+}
+
+// DecodeEvents converts wire events to maintain events, rejecting unknown
+// kinds.
+func DecodeEvents(wire []WireEvent) ([]maintain.Event, error) {
+	events := make([]maintain.Event, 0, len(wire))
+	for i, we := range wire {
+		var kind maintain.EventKind
+		switch we.Kind {
+		case "join":
+			kind = maintain.EventJoin
+		case "leave":
+			kind = maintain.EventLeave
+		case "crash":
+			kind = maintain.EventCrash
+		case "move":
+			kind = maintain.EventMove
+		default:
+			return nil, fmt.Errorf("serve: event %d: unknown kind %q", i, we.Kind)
+		}
+		events = append(events, maintain.Event{
+			Kind: kind, Node: we.Node, To: geom.Point{X: we.X, Y: we.Y},
+		})
+	}
+	return events, nil
+}
+
+// EncodeEvents converts maintain events to their wire form (the inverse of
+// DecodeEvents); used by the spannerd smoke driver and tests.
+func EncodeEvents(events []maintain.Event) []WireEvent {
+	wire := make([]WireEvent, 0, len(events))
+	for _, e := range events {
+		wire = append(wire, WireEvent{
+			Kind: e.Kind.String(), Node: e.Node, X: e.To.X, Y: e.To.Y,
+		})
+	}
+	return wire
+}

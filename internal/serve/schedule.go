@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"math/rand"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/maintain"
+)
+
+// Scheduler generates deterministic synthetic churn batches: a seeded
+// mixed stream of join/leave/crash/move events against a mirror of the
+// alive set and positions, so that the same seed always produces the same
+// schedule regardless of how the server applies it. The mirror tracks
+// exactly what ApplyBatch will accept, so scheduled events are never
+// rejected — rejection paths are exercised separately by tests.
+//
+// The event mix leans toward mobility (the common case in an ad hoc
+// network): roughly 45% moves, 20% crashes, 20% joins, 15% voluntary
+// leaves. Crashes and leaves are suppressed when fewer than a quarter of
+// the nodes survive, so long schedules churn a living network instead of
+// emptying it.
+type Scheduler struct {
+	rng    *rand.Rand
+	pts    []geom.Point
+	alive  []bool
+	nAlive int
+	region float64
+	radius float64
+}
+
+// NewScheduler builds a scheduler over a mirror of the initial positions
+// (all nodes alive). region is the deployment square side; radius bounds
+// the per-move displacement.
+func NewScheduler(seed int64, pts []geom.Point, region, radius float64) *Scheduler {
+	sc := &Scheduler{
+		rng:    rand.New(rand.NewSource(seed)),
+		pts:    append([]geom.Point(nil), pts...),
+		alive:  make([]bool, len(pts)),
+		nAlive: len(pts),
+		region: region,
+		radius: radius,
+	}
+	for v := range sc.alive {
+		sc.alive[v] = true
+	}
+	return sc
+}
+
+// Batch generates the next k events of the schedule.
+func (sc *Scheduler) Batch(k int) []maintain.Event {
+	events := make([]maintain.Event, 0, k)
+	for i := 0; i < k; i++ {
+		events = append(events, sc.next())
+	}
+	return events
+}
+
+func (sc *Scheduler) next() maintain.Event {
+	n := len(sc.pts)
+	roll := sc.rng.Intn(100)
+	quorum := sc.nAlive*4 >= n // at least a quarter alive
+	switch {
+	case roll < 45 && sc.nAlive > 0: // move
+		v := sc.pickAlive()
+		to := sc.jitter(sc.pts[v])
+		sc.pts[v] = to
+		return maintain.Event{Kind: maintain.EventMove, Node: v, To: to}
+	case roll < 65 && quorum && sc.nAlive > 1: // crash
+		v := sc.pickAlive()
+		sc.alive[v] = false
+		sc.nAlive--
+		return maintain.Event{Kind: maintain.EventCrash, Node: v}
+	case roll < 85 && sc.nAlive < n: // join (a dead node rejoins where it died)
+		v := sc.pickDead()
+		sc.alive[v] = true
+		sc.nAlive++
+		return maintain.Event{Kind: maintain.EventJoin, Node: v, To: sc.pts[v]}
+	case quorum && sc.nAlive > 1: // leave
+		v := sc.pickAlive()
+		sc.alive[v] = false
+		sc.nAlive--
+		return maintain.Event{Kind: maintain.EventLeave, Node: v}
+	default: // degenerate states fall back to a move (or a join when empty)
+		if sc.nAlive == 0 {
+			v := sc.pickDead()
+			sc.alive[v] = true
+			sc.nAlive++
+			return maintain.Event{Kind: maintain.EventJoin, Node: v, To: sc.pts[v]}
+		}
+		v := sc.pickAlive()
+		to := sc.jitter(sc.pts[v])
+		sc.pts[v] = to
+		return maintain.Event{Kind: maintain.EventMove, Node: v, To: to}
+	}
+}
+
+// jitter displaces p by a uniform step of at most half the radio radius
+// per axis, clamped to the deployment region — small enough that most
+// moves stay within their neighborhood, large enough to churn edges.
+func (sc *Scheduler) jitter(p geom.Point) geom.Point {
+	step := sc.radius / 2
+	return geom.Point{
+		X: clamp(p.X+(sc.rng.Float64()*2-1)*step, 0, sc.region),
+		Y: clamp(p.Y+(sc.rng.Float64()*2-1)*step, 0, sc.region),
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// pickAlive returns a uniformly random alive node. Callers guarantee at
+// least one exists.
+func (sc *Scheduler) pickAlive() int {
+	for {
+		if v := sc.rng.Intn(len(sc.pts)); sc.alive[v] {
+			return v
+		}
+	}
+}
+
+// pickDead returns a uniformly random dead node. Callers guarantee at
+// least one exists.
+func (sc *Scheduler) pickDead() int {
+	for {
+		if v := sc.rng.Intn(len(sc.pts)); !sc.alive[v] {
+			return v
+		}
+	}
+}

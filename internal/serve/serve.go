@@ -1,0 +1,419 @@
+// Package serve is the long-lived topology service: it owns one maintained
+// network instance (internal/maintain), ingests churn event batches as
+// epochs, and publishes an immutable, epoch-tagged snapshot of the live
+// topology per batch. The concurrency contract is single-writer /
+// many-reader with copy-on-write publication:
+//
+//   - the writer (Apply) holds the server mutex, patches the backbone
+//     incrementally via maintain.State — falling back to a from-scratch
+//     re-clustering when a batch invalidates too much — and then builds a
+//     fresh Epoch whose graphs, positions, dominator lists and router are
+//     copied or frozen, sharing nothing mutable with the maintained state;
+//   - readers call Current (one atomic pointer load, never a lock) and
+//     execute route/topology/health queries entirely against the pinned
+//     Epoch, so a query sees exactly one epoch end to end and never blocks
+//     on — or is blocked by — the writer.
+//
+// The paper's construction is local precisely so the backbone survives a
+// live network; this package is where the repo stops rebuilding from
+// scratch and starts serving.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/connector"
+	"geospanner/internal/geom"
+	"geospanner/internal/graph"
+	"geospanner/internal/health"
+	"geospanner/internal/maintain"
+	"geospanner/internal/obs"
+	"geospanner/internal/routing"
+)
+
+// Stage is the label of serve-layer events in traces and metrics rollups.
+const Stage = "serve"
+
+// ErrNodeDown is returned by route queries whose endpoint is dead in the
+// pinned epoch.
+var ErrNodeDown = errors.New("serve: node is down")
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithTracer attaches an observability sink; the server emits one
+// obs.KindEpoch and one obs.KindSnapshot event per applied epoch.
+func WithTracer(t obs.Tracer) Option { return func(s *Server) { s.tracer = t } }
+
+// WithFallbackFraction overrides the role-churn fraction above which an
+// epoch re-clusters from scratch (maintain.DefaultFallbackFraction by
+// default; <= 0 disables the fallback).
+func WithFallbackFraction(f float64) Option { return func(s *Server) { s.fallbackFrac = f } }
+
+// Server owns a maintained topology and serves epoch snapshots of it.
+type Server struct {
+	mu           sync.Mutex // serializes writers (Apply); readers never take it
+	st           *maintain.State
+	seq          uint64
+	fallbackFrac float64
+	tracer       obs.Tracer
+
+	cur atomic.Pointer[Epoch]
+
+	// Cumulative counters. The writer-side ones are only written under mu
+	// but are atomics so Stats can read them from any goroutine.
+	epochs, events, applied, rejected  atomic.Int64
+	roleChanges, recomputes, fallbacks atomic.Int64
+	routeQueries, routeFailures        atomic.Int64
+	topologyQueries, healthQueries     atomic.Int64
+}
+
+// New builds a server over its own copy of the positions, derives the
+// initial backbone, and publishes epoch 0. The initial derivation is not
+// counted as a recompute: the recompute-ratio metric measures maintenance,
+// not construction.
+func New(pts []geom.Point, radius float64, opts ...Option) (*Server, error) {
+	own := append([]geom.Point(nil), pts...)
+	s := &Server{
+		st:           maintain.New(own, radius),
+		fallbackFrac: maintain.DefaultFallbackFraction,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	conn, pldel, err := s.st.Structures()
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial backbone: %w", err)
+	}
+	s.cur.Store(s.buildEpoch(0, conn, pldel, EpochStats{}))
+	return s, nil
+}
+
+// Current returns the most recently published epoch. It is a single
+// atomic load: readers never block the writer and are never blocked by it.
+func (s *Server) Current() *Epoch { return s.cur.Load() }
+
+// Apply ingests one batch of churn events as the next epoch: it patches
+// the maintained backbone (or rebuilds it when the patches invalidate too
+// much), publishes a fresh immutable snapshot, and returns it. Concurrent
+// Apply calls serialize; readers keep serving the previous epoch until the
+// new pointer is stored. On error (planarization failure) the previous
+// epoch stays current and the maintained roles retain the applied events.
+func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	recBefore := s.st.Recomputes
+	batch := s.st.ApplyBatch(events, s.fallbackFrac)
+	conn, pldel, err := s.st.Structures()
+	if err != nil {
+		return nil, fmt.Errorf("serve: epoch %d: %w", s.seq+1, err)
+	}
+	stats := EpochStats{
+		Batch:      batch,
+		Recomputed: s.st.Recomputes > recBefore,
+		WallNS:     time.Since(start).Nanoseconds(),
+	}
+	s.seq++
+	ep := s.buildEpoch(s.seq, conn, pldel, stats)
+	s.cur.Store(ep)
+
+	s.epochs.Add(1)
+	s.events.Add(int64(batch.Events))
+	s.applied.Add(int64(batch.Applied))
+	s.rejected.Add(int64(batch.Rejected))
+	s.roleChanges.Add(int64(batch.RoleChanges))
+	if stats.Recomputed {
+		s.recomputes.Add(1)
+	}
+	if batch.Fallback {
+		s.fallbacks.Add(1)
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Kind: obs.KindEpoch, Stage: Stage, Round: int(ep.Seq),
+			From: obs.NoNode, To: obs.NoNode,
+			N: batch.Applied, Delivered: batch.Rejected, Sent: batch.RoleChanges,
+			Note: stats.Mode(), WallNS: stats.WallNS,
+		})
+		s.tracer.Emit(obs.Event{
+			Kind: obs.KindSnapshot, Stage: Stage, Round: int(ep.Seq),
+			From: obs.NoNode, To: obs.NoNode,
+			N: ep.Report.LiveNodes(), Sent: ep.UDG.NumEdges(), Delivered: ep.Backbone.NumEdges(),
+		})
+	}
+	return ep, nil
+}
+
+// State exposes the maintained state for in-process drivers (tests, the
+// churn experiment). Callers must not mutate it outside Apply.
+func (s *Server) State() *maintain.State { return s.st }
+
+// EpochStats is the per-epoch maintenance summary.
+type EpochStats struct {
+	// Batch is the event-application summary of the epoch's batch.
+	Batch maintain.BatchStats
+	// Recomputed reports whether the backbone was rebuilt from the
+	// maintained roles (false: the cached structures absorbed every event
+	// in place — the "skip the recompute" contract).
+	Recomputed bool
+	// WallNS is the wall time of the whole apply (events + derivation +
+	// snapshot build).
+	WallNS int64
+}
+
+// Mode names how the epoch was brought current: "patched", "recomputed",
+// or "fallback" — the Note vocabulary of obs.KindEpoch events.
+func (st EpochStats) Mode() string {
+	switch {
+	case st.Batch.Fallback:
+		return "fallback"
+	case st.Recomputed:
+		return "recomputed"
+	default:
+		return "patched"
+	}
+}
+
+// Epoch is one published topology snapshot. Everything reachable from an
+// Epoch is immutable and internally consistent: the graphs, positions,
+// dominator lists and router were all derived from the maintained state at
+// the same sequence number, under the writer lock, and share no mutable
+// memory with it.
+type Epoch struct {
+	// Seq is the epoch sequence number; the UDG and Backbone snapshots
+	// carry the same number as their tag.
+	Seq uint64
+	// UDG is the live unit disk graph (dead nodes isolated).
+	UDG *graph.Snapshot
+	// Backbone is the planarized backbone, LDel(ICDS).
+	Backbone *graph.Snapshot
+	// Report is the epoch's live health report (health.ModeLive).
+	Report *health.Report
+	// Stats summarizes the maintenance that produced the epoch.
+	Stats EpochStats
+	// Created is the publication time (snapshot age = now - Created).
+	Created time.Time
+
+	alive      []bool
+	status     []cluster.Status
+	domsOf     [][]int
+	inBackbone []bool
+	router     *routing.DSRouter
+}
+
+// buildEpoch derives an immutable Epoch from the maintained state. Caller
+// holds mu.
+func (s *Server) buildEpoch(seq uint64, conn *connector.Result, pldel *graph.Graph, stats EpochStats) *Epoch {
+	pts := s.st.Positions()
+	alive, status := s.st.Roles()
+
+	liveG := graph.New(pts)
+	liveG.AddAll(s.st.AliveGraph())
+	bbG := graph.New(pts)
+	bbG.AddAll(pldel)
+
+	cl := s.st.Clustering()
+	n := len(pts)
+	domsOf := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if len(cl.DominatorsOf[v]) > 0 {
+			domsOf[v] = append([]int(nil), cl.DominatorsOf[v]...)
+		}
+	}
+	inBackbone := append([]bool(nil), conn.InBackbone...)
+
+	udgSnap := liveG.SnapshotAt(seq)
+	bbSnap := bbG.SnapshotAt(seq)
+	router := routing.NewDSRouterFrozen(udgSnap.Frozen, routing.NewPlannerFrozen(bbSnap.Frozen), domsOf, inBackbone)
+
+	return &Epoch{
+		Seq:        seq,
+		UDG:        udgSnap,
+		Backbone:   bbSnap,
+		Report:     liveReport(liveG, alive, status),
+		Stats:      stats,
+		Created:    time.Now(),
+		alive:      alive,
+		status:     status,
+		domsOf:     domsOf,
+		inBackbone: inBackbone,
+		router:     router,
+	}
+}
+
+// liveReport builds the per-epoch health report: dead nodes, live
+// components, and any uncovered survivors.
+func liveReport(liveG *graph.Graph, alive []bool, status []cluster.Status) *health.Report {
+	r := &health.Report{Mode: health.ModeLive}
+	for v, a := range alive {
+		if !a {
+			r.DeadNodes = append(r.DeadNodes, v)
+		}
+	}
+	for _, comp := range liveG.Components() {
+		if len(comp) == 1 && !alive[comp[0]] {
+			continue // dead nodes are isolated singletons of the live graph
+		}
+		r.Components = append(r.Components, health.Component{Nodes: comp, Complete: true})
+	}
+	for v, a := range alive {
+		if !a || status[v] == cluster.Dominator {
+			continue
+		}
+		covered := false
+		for _, u := range liveG.Neighbors(v) {
+			if alive[u] && status[u] == cluster.Dominator {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			r.UncoveredNodes = append(r.UncoveredNodes, v)
+		}
+	}
+	sort.Ints(r.UncoveredNodes)
+	return r
+}
+
+// N returns the number of node slots, alive or dead.
+func (e *Epoch) N() int { return len(e.alive) }
+
+// Alive reports whether node v is alive in this epoch.
+func (e *Epoch) Alive(v int) bool { return v >= 0 && v < len(e.alive) && e.alive[v] }
+
+// Route executes dominating-set routing between two alive nodes, entirely
+// against this epoch's pinned snapshots.
+func (e *Epoch) Route(src, dst int) ([]int, error) {
+	if src < 0 || src >= len(e.alive) || dst < 0 || dst >= len(e.alive) {
+		return nil, fmt.Errorf("serve: route %d->%d: node out of range [0,%d)", src, dst, len(e.alive))
+	}
+	if !e.alive[src] {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeDown, src)
+	}
+	if !e.alive[dst] {
+		return nil, fmt.Errorf("%w: destination %d", ErrNodeDown, dst)
+	}
+	return e.router.Route(src, dst, 0)
+}
+
+// PathLength returns the Euclidean length of a path at this epoch's
+// positions.
+func (e *Epoch) PathLength(path []int) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += e.UDG.Point(path[i-1]).Dist(e.UDG.Point(path[i]))
+	}
+	return total
+}
+
+// Topology is the summary answer of a topology query.
+type Topology struct {
+	Epoch         uint64 `json:"epoch"`
+	Nodes         int    `json:"nodes"`
+	Alive         int    `json:"alive"`
+	UDGEdges      int    `json:"udg_edges"`
+	BackboneEdges int    `json:"backbone_edges"`
+	Dominators    int    `json:"dominators"`
+	BackboneNodes int    `json:"backbone_nodes"`
+	Components    int    `json:"components"`
+}
+
+// Topology summarizes this epoch's live topology.
+func (e *Epoch) Topology() Topology {
+	t := Topology{
+		Epoch:         e.Seq,
+		Nodes:         len(e.alive),
+		UDGEdges:      e.UDG.NumEdges(),
+		BackboneEdges: e.Backbone.NumEdges(),
+		Components:    len(e.Report.Components),
+	}
+	for v, a := range e.alive {
+		if !a {
+			continue
+		}
+		t.Alive++
+		if e.status[v] == cluster.Dominator {
+			t.Dominators++
+		}
+		if e.inBackbone[v] {
+			t.BackboneNodes++
+		}
+	}
+	return t
+}
+
+// Route pins the current epoch, routes on it, and records the query in the
+// server's counters. It returns the epoch the query executed against.
+func (s *Server) Route(src, dst int) ([]int, uint64, error) {
+	ep := s.Current()
+	path, err := ep.Route(src, dst)
+	s.routeQueries.Add(1)
+	if err != nil {
+		s.routeFailures.Add(1)
+	}
+	return path, ep.Seq, err
+}
+
+// Topology pins the current epoch and summarizes it.
+func (s *Server) Topology() Topology {
+	s.topologyQueries.Add(1)
+	return s.Current().Topology()
+}
+
+// Health pins the current epoch and returns its live report with the
+// epoch it describes.
+func (s *Server) Health() (*health.Report, uint64) {
+	s.healthQueries.Add(1)
+	ep := s.Current()
+	return ep.Report, ep.Seq
+}
+
+// Stats is the cumulative service-level metrics rollup.
+type Stats struct {
+	Epoch           uint64  `json:"epoch"`
+	Epochs          int64   `json:"epochs"`
+	Events          int64   `json:"events"`
+	Applied         int64   `json:"applied"`
+	Rejected        int64   `json:"rejected"`
+	RoleChanges     int64   `json:"role_changes"`
+	Recomputes      int64   `json:"recomputes"`
+	Fallbacks       int64   `json:"fallbacks"`
+	RecomputeRatio  float64 `json:"recompute_ratio"`
+	RouteQueries    int64   `json:"route_queries"`
+	RouteFailures   int64   `json:"route_failures"`
+	TopologyQueries int64   `json:"topology_queries"`
+	HealthQueries   int64   `json:"health_queries"`
+	SnapshotAgeMS   int64   `json:"snapshot_age_ms"`
+}
+
+// Stats reports the cumulative per-epoch and query counters plus the age
+// of the current snapshot.
+func (s *Server) Stats() Stats {
+	ep := s.Current()
+	st := Stats{
+		Epoch:           ep.Seq,
+		Epochs:          s.epochs.Load(),
+		Events:          s.events.Load(),
+		Applied:         s.applied.Load(),
+		Rejected:        s.rejected.Load(),
+		RoleChanges:     s.roleChanges.Load(),
+		Recomputes:      s.recomputes.Load(),
+		Fallbacks:       s.fallbacks.Load(),
+		RouteQueries:    s.routeQueries.Load(),
+		RouteFailures:   s.routeFailures.Load(),
+		TopologyQueries: s.topologyQueries.Load(),
+		HealthQueries:   s.healthQueries.Load(),
+		SnapshotAgeMS:   time.Since(ep.Created).Milliseconds(),
+	}
+	if st.Epochs > 0 {
+		st.RecomputeRatio = float64(st.Recomputes) / float64(st.Epochs)
+	}
+	return st
+}

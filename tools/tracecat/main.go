@@ -2,7 +2,11 @@
 // `experiments -exp trace -trace-out f.jsonl` or any obs.JSONL sink) into
 // a human-readable per-round timeline: one block per (trial, stage) run,
 // one line per simulator round with its send/deliver/drop/retransmission
-// and state-transition counts.
+// and state-transition counts. Epoch traces of the live topology service
+// (spannerd / internal/serve) render as an epoch timeline instead: one
+// line per maintenance epoch with its applied/rejected split and
+// patch-vs-recompute mode, plus the published snapshot's alive and edge
+// counts.
 //
 // Usage:
 //
@@ -162,6 +166,12 @@ func timeline(out io.Writer, events []obs.Event) {
 				e.Round, e.From, e.To, e.To+e.N)
 		case obs.KindQuiesceWait:
 			fmt.Fprintf(out, "  waiting at round %d: %d in flight\n", e.Round, e.N)
+		case obs.KindEpoch:
+			fmt.Fprintf(out, "epoch %d [%s]: applied=%d rejected=%d roles=%d wall=%.2fms\n",
+				e.Round, e.Note, e.N, e.Delivered, e.Sent, float64(e.WallNS)/1e6)
+		case obs.KindSnapshot:
+			fmt.Fprintf(out, "  snapshot %d: alive=%d udg_edges=%d backbone_edges=%d\n",
+				e.Round, e.N, e.Sent, e.Delivered)
 		}
 	}
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// serveGolden is the committed epoch trace of the serve package's seeded
+// churn schedule — a real artifact, so this test breaks if either the
+// schema or the renderer drifts.
+var serveGolden = filepath.Join("..", "..", "internal", "serve", "testdata", "churn_seed61_n40.golden")
+
+func TestCheckServeGolden(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-check", serveGolden}, &out); err != nil {
+		t.Fatalf("strict schema check failed on serve golden: %v", err)
+	}
+	if !strings.Contains(out.String(), "schema ok") {
+		t.Fatalf("unexpected -check output: %s", out.String())
+	}
+}
+
+func TestEpochTimeline(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{serveGolden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"epoch 1 [", "applied=12", "snapshot 1: alive=", "backbone_edges="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEpochSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-summary", serveGolden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"stage serve", "epochs=8", "snapshots=8", "recompute_ratio"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
