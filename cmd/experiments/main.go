@@ -49,13 +49,14 @@ func run(args []string) error {
 		shards   = fs.Int("shards", 0, "simulation-kernel shards per build (output is identical for any value; 0 = sequential kernel)")
 		parallel = fs.Int("parallel", 0, "worker-pool bound for the sharded kernel (output is identical for any value; 0 = GOMAXPROCS; no effect without -shards)")
 		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
+		dataDir  = fs.String("data", "", "write-ahead-log root for -exp churn: run the service durably (per-n subdirectories) and measure crash recovery")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Parallel: *parallel}
+	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Parallel: *parallel, DataDir: *dataDir}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

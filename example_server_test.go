@@ -1,0 +1,40 @@
+package geospanner_test
+
+import (
+	"fmt"
+
+	"geospanner"
+)
+
+// ExampleNewServer runs the long-lived topology service in process: build
+// a server over a random connected instance, apply one churn epoch, and
+// query the published snapshot. Add geospanner.WithWAL(dir) to make the
+// same server durable, and geospanner.RecoverServer(dir) to rebuild it
+// bit-exactly after a crash.
+func ExampleNewServer() {
+	inst, err := geospanner.GenerateInstance(1, 60, 200, 60)
+	if err != nil {
+		panic(err)
+	}
+	s, err := geospanner.NewServer(inst.Points, inst.Radius)
+	if err != nil {
+		panic(err)
+	}
+
+	ep, err := s.Apply([]geospanner.TopologyEvent{
+		geospanner.NewCrash(7),
+		geospanner.NewMove(3, geospanner.Pt(100, 100)),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	topo := ep.Topology()
+	fmt.Println("epoch:", ep.Seq)
+	fmt.Println("alive:", topo.Alive, "of", topo.Nodes)
+	fmt.Println("node 7 alive:", ep.Alive(7))
+	// Output:
+	// epoch: 1
+	// alive: 59 of 60
+	// node 7 alive: false
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,9 +36,17 @@ const (
 // fraction, and the maintenance profile (recompute ratio, fallbacks, role
 // churn). For n ≤ 2000 the final maintained backbone is re-verified
 // against the full degraded-mode invariant set.
+//
+// With cfg.DataDir the service runs durably: every epoch is fsync'd to a
+// write-ahead log before it is acknowledged — so events_per_sec then
+// measures the durable write path — and after the campaign the server is
+// abandoned without shutdown and recovered from the directory alone. The
+// wal_mb, recover_ms and replayed columns report the log size, the wall
+// time of the crash-restart, and the epochs replayed; recovery must be
+// bit-exact (equal epoch fingerprints) or the campaign fails.
 func Churn(ns []int, cfg Config) (*stats.Table, error) {
 	cfg = cfg.withDefaults()
-	tb := stats.NewTable("n", "epochs", "events", "applied", "events_per_sec", "qps", "route_ok", "recompute_ratio", "fallbacks", "role_changes", "alive_final")
+	tb := stats.NewTable("n", "epochs", "events", "applied", "events_per_sec", "qps", "route_ok", "recompute_ratio", "fallbacks", "role_changes", "alive_final", "wal_mb", "recover_ms", "replayed")
 	for _, n := range ns {
 		radius := scaleRadius(n, cfg.Region)
 		inst, err := udg.ConnectedInstance(cfg.Seed, n, cfg.Region, radius, cfg.MaxTries)
@@ -45,7 +54,13 @@ func Churn(ns []int, cfg Config) (*stats.Table, error) {
 			return nil, fmt.Errorf("churn n=%d: %w", n, err)
 		}
 		metrics := obs.NewMetrics()
-		srv, err := serve.New(inst.Points, radius, serve.WithTracer(metrics))
+		opts := []serve.Option{serve.WithTracer(metrics)}
+		walDir := ""
+		if cfg.DataDir != "" {
+			walDir = filepath.Join(cfg.DataDir, fmt.Sprintf("n%d", n))
+			opts = append(opts, serve.WithWAL(walDir))
+		}
+		srv, err := serve.New(inst.Points, radius, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("churn n=%d: %w", n, err)
 		}
@@ -111,13 +126,34 @@ func Churn(ns []int, cfg Config) (*stats.Table, error) {
 		if q := queries.Load(); q > 0 {
 			routeOK = float64(routed.Load()) / float64(q)
 		}
+
+		// Durability half of the campaign: abandon the server without
+		// shutdown (the file state a SIGKILL leaves) and time the crash
+		// restart, asserting bit-exact recovery.
+		walMB, recoverMS, replayed := "-", "-", "-"
+		if walDir != "" {
+			walMB = fmt.Sprintf("%.2f", float64(st.WALSegmentBytes)/(1<<20))
+			recStart := time.Now()
+			rec, info, err := serve.Recover(walDir)
+			if err != nil {
+				return nil, fmt.Errorf("churn n=%d: recover: %w", n, err)
+			}
+			recoverMS = fmt.Sprintf("%.0f", time.Since(recStart).Seconds()*1e3)
+			replayed = fmt.Sprintf("%d", info.Replayed)
+			if got, want := rec.Current().Fingerprint(), srv.Current().Fingerprint(); got != want {
+				return nil, fmt.Errorf("churn n=%d: recovery not bit-exact: fingerprint %x, want %x", n, got, want)
+			}
+			rec.Close()
+		}
+
 		secs := elapsed.Seconds()
 		tb.AddRow(n, st.Epochs, st.Events, st.Applied,
 			fmt.Sprintf("%.0f", float64(st.Applied)/secs),
 			fmt.Sprintf("%.0f", float64(queries.Load())/secs),
 			fmt.Sprintf("%.3f", routeOK),
 			fmt.Sprintf("%.2f", st.RecomputeRatio),
-			st.Fallbacks, st.RoleChanges, srv.Current().Topology().Alive)
+			st.Fallbacks, st.RoleChanges, srv.Current().Topology().Alive,
+			walMB, recoverMS, replayed)
 	}
 	return tb, nil
 }

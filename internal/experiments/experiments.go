@@ -47,6 +47,11 @@ type Config struct {
 	// Parallel bounds the sharded kernel's worker pool
 	// (core.WithParallelism); 0 = GOMAXPROCS. No effect without Shards.
 	Parallel int
+	// DataDir, when set, runs the churn campaign's service durably: each
+	// node count logs its epochs to a write-ahead log under this root and
+	// the campaign measures crash recovery (restart time, bit-exactness)
+	// on top of the usual throughput numbers. Empty = not durable.
+	DataDir string
 }
 
 // buildOptions returns the per-build options implied by the config.

@@ -1,0 +1,160 @@
+// The canonical wire encoding of churn events. One versioned, validated
+// schema is shared by every producer and consumer of the event stream:
+// POST /v1/epoch bodies, write-ahead-log records, synthetic schedules, and
+// replay tooling all speak []WireEvent, so a batch captured on any surface
+// replays bit-identically on any other (Go's JSON float encoding is
+// shortest-round-trip, so positions survive the hop exactly).
+//
+// Event values themselves are constructed only through NewJoin, NewLeave,
+// NewCrash and NewMove — raw Event literals outside this package are a
+// schema change waiting to go unnoticed.
+package maintain
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"geospanner/internal/geom"
+)
+
+// SchemaVersion is the current version of the wire event schema. Encoders
+// stamp it on every event; decoders accept version 0 (a legacy event from
+// before the field existed, identical to version 1) and the current
+// version, and reject anything newer with a structured error instead of
+// misreading it.
+const SchemaVersion = 1
+
+// NewJoin returns the event that brings node up at its current slot
+// position (a rejoining node comes back where it died; use NewMove first
+// to relocate a dead slot).
+func NewJoin(node int) Event { return Event{Kind: EventJoin, Node: node} }
+
+// NewLeave returns the event that takes node down gracefully.
+func NewLeave(node int) Event { return Event{Kind: EventLeave, Node: node} }
+
+// NewCrash returns the event that takes node down abruptly.
+func NewCrash(node int) Event { return Event{Kind: EventCrash, Node: node} }
+
+// NewMove returns the event that relocates node to to, alive or dead.
+func NewMove(node int, to geom.Point) Event {
+	return Event{Kind: EventMove, Node: node, To: to}
+}
+
+// WireEvent is the canonical encoded form of one churn event.
+type WireEvent struct {
+	// Version is the schema version the event was encoded under (0 is
+	// read as 1, the version that predates the field).
+	Version int `json:"v,omitempty"`
+	// Kind is one of "join", "leave", "crash", "move".
+	Kind string `json:"kind"`
+	// Node is the addressed node slot.
+	Node int `json:"node"`
+	// X, Y carry the destination of a move; other kinds omit them.
+	X float64 `json:"x,omitempty"`
+	Y float64 `json:"y,omitempty"`
+}
+
+// EventError is one per-record validation failure of a decoded batch.
+type EventError struct {
+	// Index is the position of the invalid event in the batch.
+	Index int `json:"index"`
+	// Reason says what is wrong with it.
+	Reason string `json:"reason"`
+}
+
+// ValidationError reports every invalid record of a decoded batch, not
+// just the first: a client fixing a 500-event batch wants the full list.
+type ValidationError struct {
+	Events []EventError
+}
+
+// Error implements error; it lists up to three failures and counts the
+// rest.
+func (e *ValidationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "maintain: %d invalid event(s):", len(e.Events))
+	for i, ee := range e.Events {
+		if i == 3 {
+			fmt.Fprintf(&b, " (+%d more)", len(e.Events)-i)
+			break
+		}
+		fmt.Fprintf(&b, " [%d] %s;", ee.Index, ee.Reason)
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// EncodeWire converts events to their canonical wire form, stamping the
+// current schema version. It is the inverse of DecodeWire.
+func EncodeWire(events []Event) []WireEvent {
+	wire := make([]WireEvent, 0, len(events))
+	for _, e := range events {
+		we := WireEvent{Version: SchemaVersion, Kind: e.Kind.String(), Node: e.Node}
+		if e.Kind == EventMove {
+			we.X, we.Y = e.To.X, e.To.Y
+		}
+		wire = append(wire, we)
+	}
+	return wire
+}
+
+// DecodeWire validates and converts a wire batch. On failure it returns a
+// *ValidationError naming every invalid record (index + reason); the batch
+// is all-or-nothing, so a partially invalid batch applies no events.
+func DecodeWire(wire []WireEvent) ([]Event, error) {
+	events := make([]Event, 0, len(wire))
+	var errs []EventError
+	bad := func(i int, format string, args ...any) {
+		errs = append(errs, EventError{Index: i, Reason: fmt.Sprintf(format, args...)})
+	}
+	for i, we := range wire {
+		if we.Version != 0 && we.Version != SchemaVersion {
+			bad(i, "unsupported schema version %d (this build speaks <= %d)", we.Version, SchemaVersion)
+			continue
+		}
+		if we.Node < 0 {
+			bad(i, "negative node id %d", we.Node)
+			continue
+		}
+		var e Event
+		switch we.Kind {
+		case "join":
+			e = NewJoin(we.Node)
+		case "leave":
+			e = NewLeave(we.Node)
+		case "crash":
+			e = NewCrash(we.Node)
+		case "move":
+			if math.IsNaN(we.X) || math.IsInf(we.X, 0) || math.IsNaN(we.Y) || math.IsInf(we.Y, 0) {
+				bad(i, "non-finite move destination (%v, %v)", we.X, we.Y)
+				continue
+			}
+			e = NewMove(we.Node, geom.Point{X: we.X, Y: we.Y})
+		default:
+			bad(i, "unknown kind %q", we.Kind)
+			continue
+		}
+		events = append(events, e)
+	}
+	if len(errs) > 0 {
+		return nil, &ValidationError{Events: errs}
+	}
+	return events, nil
+}
+
+// MarshalEvents serializes a batch as a JSON array of wire events — the
+// payload format of WAL epoch records and the body shape of POST
+// /v1/epoch.
+func MarshalEvents(events []Event) ([]byte, error) {
+	return json.Marshal(EncodeWire(events))
+}
+
+// UnmarshalEvents parses and validates a MarshalEvents payload.
+func UnmarshalEvents(data []byte) ([]Event, error) {
+	var wire []WireEvent
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("maintain: event payload: %w", err)
+	}
+	return DecodeWire(wire)
+}

@@ -1,0 +1,108 @@
+package maintain
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"geospanner/internal/geom"
+)
+
+// TestWireRoundTrip: encode → marshal → unmarshal → identical events,
+// versions stamped. The JSON hop must be lossless including float
+// positions (Go's encoder is shortest-round-trip).
+func TestWireRoundTrip(t *testing.T) {
+	events := []Event{
+		NewJoin(3),
+		NewLeave(7),
+		NewCrash(0),
+		NewMove(12, geom.Point{X: 1.0 / 3.0, Y: math.Nextafter(100, 101)}),
+	}
+	data, err := MarshalEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEvents(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	for i, we := range EncodeWire(events) {
+		if we.Version != SchemaVersion {
+			t.Fatalf("event %d encoded with version %d", i, we.Version)
+		}
+	}
+}
+
+// TestDecodeWireCollectsEveryError pins the structured validation
+// contract: every invalid record is reported with its index and reason,
+// and a batch with any invalid record applies nothing.
+func TestDecodeWireCollectsEveryError(t *testing.T) {
+	wire := []WireEvent{
+		{Kind: "join", Node: 1},                         // ok (legacy version 0)
+		{Kind: "explode", Node: 2},                      // unknown kind
+		{Version: SchemaVersion + 1, Kind: "join"},      // future version
+		{Kind: "move", Node: 3, X: math.NaN()},          // non-finite
+		{Kind: "crash", Node: -1},                       // negative node
+		{Version: SchemaVersion, Kind: "move", Node: 4}, // ok
+	}
+	events, err := DecodeWire(wire)
+	if events != nil {
+		t.Fatalf("invalid batch returned events: %v", events)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is %T, want *ValidationError", err)
+	}
+	wantIdx := []int{1, 2, 3, 4}
+	if len(ve.Events) != len(wantIdx) {
+		t.Fatalf("got %d errors %v, want indices %v", len(ve.Events), ve.Events, wantIdx)
+	}
+	for i, ee := range ve.Events {
+		if ee.Index != wantIdx[i] || ee.Reason == "" {
+			t.Fatalf("error %d: %+v, want index %d with a reason", i, ee, wantIdx[i])
+		}
+	}
+	if msg := ve.Error(); !strings.Contains(msg, "4 invalid") || !strings.Contains(msg, "+1 more") {
+		t.Fatalf("error message %q should count all failures and elide past three", msg)
+	}
+}
+
+// TestConstructorsMatchApplyBatch: constructor-built events drive
+// ApplyBatch exactly like the former raw literals.
+func TestConstructorsMatchApplyBatch(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	s := New(append([]geom.Point(nil), pts...), 1.5)
+	st := s.ApplyBatch([]Event{
+		NewCrash(1),
+		NewCrash(1), // noise: already dead
+		NewMove(2, geom.Point{X: 2.5, Y: 0}),
+		NewJoin(1),
+		NewLeave(3),
+	}, 0)
+	if st.Applied != 4 || st.Rejected != 1 || st.Moves != 1 {
+		t.Fatalf("batch stats %+v", st)
+	}
+	if s.Alive(3) || !s.Alive(1) {
+		t.Fatalf("alive flags wrong after batch")
+	}
+	if got := s.Positions()[2]; got != (geom.Point{X: 2.5, Y: 0}) {
+		t.Fatalf("move not applied: %v", got)
+	}
+}
+
+// TestUnmarshalEventsRejectsMalformedJSON: a syntactically broken payload
+// fails with a plain error, not a panic or a partial batch.
+func TestUnmarshalEventsRejectsMalformedJSON(t *testing.T) {
+	if _, err := UnmarshalEvents([]byte(`[{"kind":`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

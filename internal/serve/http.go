@@ -3,11 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
 
-	"geospanner/internal/geom"
 	"geospanner/internal/maintain"
 )
 
@@ -20,6 +18,13 @@ import (
 //	GET  /v1/route?src=A&dst=B -> RouteResponse against the current epoch
 //	GET  /v1/stats      -> Stats (cumulative counters)
 //	POST /v1/epoch      -> apply an EpochRequest batch; one POST = one epoch
+//
+// Every error, on every endpoint, is the same envelope:
+//
+//	{"error": "...", "code": <http status>, "events": [{"index": i, "reason": "..."}]}
+//
+// where events appears only on batch validation failures and names every
+// invalid record, not just the first.
 
 // HealthResponse is the wire form of a live health report.
 type HealthResponse struct {
@@ -34,26 +39,21 @@ type HealthResponse struct {
 	Summary            string `json:"summary"`
 }
 
-// RouteResponse is the wire form of a route query answer.
+// RouteResponse is the wire form of a route query answer. Failures use the
+// ErrorResponse envelope instead.
 type RouteResponse struct {
 	Epoch  uint64  `json:"epoch"`
 	Src    int     `json:"src"`
 	Dst    int     `json:"dst"`
-	Path   []int   `json:"path,omitempty"`
+	Path   []int   `json:"path"`
 	Hops   int     `json:"hops"`
 	Length float64 `json:"length"`
-	Error  string  `json:"error,omitempty"`
 }
 
-// WireEvent is one churn event of an EpochRequest. Kind is one of "join",
-// "leave", "crash", "move"; X and Y carry the destination of joins and
-// moves.
-type WireEvent struct {
-	Kind string  `json:"kind"`
-	Node int     `json:"node"`
-	X    float64 `json:"x,omitempty"`
-	Y    float64 `json:"y,omitempty"`
-}
+// WireEvent is the canonical encoded churn event (maintain.WireEvent): the
+// element type of EpochRequest batches, WAL record payloads, and replay
+// schedules alike.
+type WireEvent = maintain.WireEvent
 
 // EpochRequest is the body of POST /v1/epoch.
 type EpochRequest struct {
@@ -71,6 +71,18 @@ type EpochResponse struct {
 	WallMS      int64  `json:"wall_ms"`
 }
 
+// ErrorResponse is the uniform error envelope of every endpoint.
+type ErrorResponse struct {
+	// Error is the human-readable failure summary.
+	Error string `json:"error"`
+	// Code echoes the HTTP status, so the envelope is self-describing when
+	// it travels beyond the response (logs, traces).
+	Code int `json:"code"`
+	// Events names each invalid record of a rejected batch (index +
+	// reason); empty outside batch validation failures.
+	Events []maintain.EventError `json:"events,omitempty"`
+}
+
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -82,11 +94,22 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.Encode(v)
+}
+
+// writeError sends the uniform envelope; a *maintain.ValidationError cause
+// carries its per-event details into the body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error(), Code: status}
+	var ve *maintain.ValidationError
+	if errors.As(err, &ve) {
+		resp.Events = ve.Events
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -113,27 +136,25 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
 	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
 	if err1 != nil || err2 != nil {
-		writeJSON(w, http.StatusBadRequest, RouteResponse{Error: "src and dst must be integer node IDs"})
+		writeError(w, http.StatusBadRequest, errors.New("src and dst must be integer node IDs"))
 		return
 	}
 	ep := s.Current()
 	path, err := ep.Route(src, dst)
 	s.routeQueries.Add(1)
-	resp := RouteResponse{Epoch: ep.Seq, Src: src, Dst: dst}
 	if err != nil {
 		s.routeFailures.Add(1)
-		resp.Error = err.Error()
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrNodeDown) {
 			status = http.StatusGone
 		}
-		writeJSON(w, status, resp)
+		writeError(w, status, err)
 		return
 	}
-	resp.Path = path
-	resp.Hops = len(path) - 1
-	resp.Length = ep.PathLength(path)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, RouteResponse{
+		Epoch: ep.Seq, Src: src, Dst: dst,
+		Path: path, Hops: len(path) - 1, Length: ep.PathLength(path),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -143,17 +164,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	var req EpochRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, errors.New("bad request body: "+err.Error()))
 		return
 	}
 	events, err := DecodeEvents(req.Events)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	ep, err := s.Apply(events)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EpochResponse{
@@ -167,39 +188,15 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// DecodeEvents converts wire events to maintain events, rejecting unknown
-// kinds.
+// DecodeEvents validates and converts a wire batch through the canonical
+// codec. The error, when non-nil, is a *maintain.ValidationError naming
+// every invalid record.
 func DecodeEvents(wire []WireEvent) ([]maintain.Event, error) {
-	events := make([]maintain.Event, 0, len(wire))
-	for i, we := range wire {
-		var kind maintain.EventKind
-		switch we.Kind {
-		case "join":
-			kind = maintain.EventJoin
-		case "leave":
-			kind = maintain.EventLeave
-		case "crash":
-			kind = maintain.EventCrash
-		case "move":
-			kind = maintain.EventMove
-		default:
-			return nil, fmt.Errorf("serve: event %d: unknown kind %q", i, we.Kind)
-		}
-		events = append(events, maintain.Event{
-			Kind: kind, Node: we.Node, To: geom.Point{X: we.X, Y: we.Y},
-		})
-	}
-	return events, nil
+	return maintain.DecodeWire(wire)
 }
 
-// EncodeEvents converts maintain events to their wire form (the inverse of
-// DecodeEvents); used by the spannerd smoke driver and tests.
+// EncodeEvents converts maintain events to their canonical wire form (the
+// inverse of DecodeEvents); used by the spannerd smoke driver and tests.
 func EncodeEvents(events []maintain.Event) []WireEvent {
-	wire := make([]WireEvent, 0, len(events))
-	for _, e := range events {
-		wire = append(wire, WireEvent{
-			Kind: e.Kind.String(), Node: e.Node, X: e.To.X, Y: e.To.Y,
-		})
-	}
-	return wire
+	return maintain.EncodeWire(events)
 }

@@ -64,33 +64,33 @@ func (sc *Scheduler) next() maintain.Event {
 		v := sc.pickAlive()
 		to := sc.jitter(sc.pts[v])
 		sc.pts[v] = to
-		return maintain.Event{Kind: maintain.EventMove, Node: v, To: to}
+		return maintain.NewMove(v, to)
 	case roll < 65 && quorum && sc.nAlive > 1: // crash
 		v := sc.pickAlive()
 		sc.alive[v] = false
 		sc.nAlive--
-		return maintain.Event{Kind: maintain.EventCrash, Node: v}
+		return maintain.NewCrash(v)
 	case roll < 85 && sc.nAlive < n: // join (a dead node rejoins where it died)
 		v := sc.pickDead()
 		sc.alive[v] = true
 		sc.nAlive++
-		return maintain.Event{Kind: maintain.EventJoin, Node: v, To: sc.pts[v]}
+		return maintain.NewJoin(v)
 	case quorum && sc.nAlive > 1: // leave
 		v := sc.pickAlive()
 		sc.alive[v] = false
 		sc.nAlive--
-		return maintain.Event{Kind: maintain.EventLeave, Node: v}
+		return maintain.NewLeave(v)
 	default: // degenerate states fall back to a move (or a join when empty)
 		if sc.nAlive == 0 {
 			v := sc.pickDead()
 			sc.alive[v] = true
 			sc.nAlive++
-			return maintain.Event{Kind: maintain.EventJoin, Node: v, To: sc.pts[v]}
+			return maintain.NewJoin(v)
 		}
 		v := sc.pickAlive()
 		to := sc.jitter(sc.pts[v])
 		sc.pts[v] = to
-		return maintain.Event{Kind: maintain.EventMove, Node: v, To: to}
+		return maintain.NewMove(v, to)
 	}
 }
 

@@ -20,8 +20,12 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +39,7 @@ import (
 	"geospanner/internal/maintain"
 	"geospanner/internal/obs"
 	"geospanner/internal/routing"
+	"geospanner/internal/wal"
 )
 
 // Stage is the label of serve-layer events in traces and metrics rollups.
@@ -56,6 +61,21 @@ func WithTracer(t obs.Tracer) Option { return func(s *Server) { s.tracer = t } }
 // default; <= 0 disables the fallback).
 func WithFallbackFraction(f float64) Option { return func(s *Server) { s.fallbackFrac = f } }
 
+// WithWAL makes the server durable: every Apply appends the epoch's event
+// batch to a write-ahead log in dir — before the new snapshot is
+// published, so an acknowledged epoch is a durable epoch — and the log
+// periodically compacts behind a checkpoint of the maintained state. New
+// refuses a directory that already holds a log (recover it with Recover
+// instead of silently shadowing it). Durability defaults: fsync every
+// append, checkpoint every wal.DefaultSnapshotEvery epochs.
+func WithWAL(dir string) Option { return func(s *Server) { s.walDir = dir } }
+
+// WithWALConfig is WithWAL with explicit log tuning (fsync batching,
+// snapshot cadence) — the knob tests and experiments use.
+func WithWALConfig(dir string, cfg wal.Config) Option {
+	return func(s *Server) { s.walDir, s.walCfg = dir, cfg }
+}
+
 // Server owns a maintained topology and serves epoch snapshots of it.
 type Server struct {
 	mu           sync.Mutex // serializes writers (Apply); readers never take it
@@ -63,6 +83,10 @@ type Server struct {
 	seq          uint64
 	fallbackFrac float64
 	tracer       obs.Tracer
+
+	walDir string
+	walCfg wal.Config
+	wal    *wal.Log
 
 	cur atomic.Pointer[Epoch]
 
@@ -92,7 +116,110 @@ func New(pts []geom.Point, radius float64, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("serve: initial backbone: %w", err)
 	}
 	s.cur.Store(s.buildEpoch(0, conn, pldel, EpochStats{}))
+	if s.walDir != "" {
+		if s.wal, err = wal.Create(s.walDir, s.st, 0, s.walCfg); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// RecoverInfo reports what Recover reconstructed.
+type RecoverInfo struct {
+	// Seq is the recovered epoch sequence number.
+	Seq uint64
+	// SnapshotSeq is the checkpoint the replay started from.
+	SnapshotSeq uint64
+	// Replayed counts log records applied on top of the snapshot.
+	Replayed int
+	// TruncatedBytes counts torn or corrupt tail bytes dropped from the
+	// log (0 after a clean shutdown).
+	TruncatedBytes int64
+}
+
+// Recover rebuilds a server from the write-ahead log in dir: it loads the
+// newest checkpoint, replays the logged epochs through the same
+// deterministic maintenance path Apply uses, truncates any torn tail, and
+// publishes the recovered epoch. Because the stack is deterministic, the
+// recovered topology — roles, positions, backbone — is bit-identical to
+// the crashed server's last durable epoch (pass the same
+// WithFallbackFraction the crashed server ran with; the fraction is part
+// of the replay semantics, not the log). The returned server keeps
+// logging to dir.
+func Recover(dir string, opts ...Option) (*Server, RecoverInfo, error) {
+	s := &Server{fallbackFrac: maintain.DefaultFallbackFraction}
+	for _, o := range opts {
+		o(s)
+	}
+	log, res, err := wal.Recover(dir, s.fallbackFrac, s.walCfg)
+	if err != nil {
+		return nil, RecoverInfo{}, fmt.Errorf("serve: recover: %w", err)
+	}
+	info := RecoverInfo{
+		Seq:            res.Seq,
+		SnapshotSeq:    res.SnapshotSeq,
+		Replayed:       res.Replayed,
+		TruncatedBytes: res.TruncatedBytes,
+	}
+	s.st, s.seq, s.wal, s.walDir = res.State, res.Seq, log, dir
+	conn, pldel, err := s.st.Structures()
+	if err != nil {
+		log.Close()
+		return nil, RecoverInfo{}, fmt.Errorf("serve: recover: backbone at epoch %d: %w", res.Seq, err)
+	}
+	s.cur.Store(s.buildEpoch(s.seq, conn, pldel, EpochStats{}))
+	return s, info, nil
+}
+
+// Snapshot writes a self-contained, checksummed backup of the maintained
+// state at the current epoch to w. Restore round-trips it bit-exactly.
+// Snapshot serializes with Apply, so the backup is a consistent epoch
+// boundary, never a half-applied batch.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wal.WriteSnapshot(w, s.st, s.seq)
+}
+
+// Restore builds a server from a Snapshot stream, resuming at the backed-up
+// epoch with a topology bit-identical to the one serialized. Combine with
+// WithWAL to start a fresh durable log at the restored sequence (the
+// directory must not already hold a log).
+func Restore(r io.Reader, opts ...Option) (*Server, error) {
+	st, seq, err := wal.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	s := &Server{st: st, seq: seq, fallbackFrac: maintain.DefaultFallbackFraction}
+	for _, o := range opts {
+		o(s)
+	}
+	conn, pldel, err := s.st.Structures()
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: backbone at epoch %d: %w", seq, err)
+	}
+	s.cur.Store(s.buildEpoch(seq, conn, pldel, EpochStats{}))
+	if s.walDir != "" {
+		if s.wal, err = wal.Create(s.walDir, s.st, seq, s.walCfg); err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Durable reports whether the server is backed by a write-ahead log.
+func (s *Server) Durable() bool { return s.wal != nil }
+
+// Close syncs and releases the write-ahead log; a no-op for a non-durable
+// server. Apply fails after Close, but readers keep serving the last
+// published epoch.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // Current returns the most recently published epoch. It is a single
@@ -103,26 +230,41 @@ func (s *Server) Current() *Epoch { return s.cur.Load() }
 // the maintained backbone (or rebuilds it when the patches invalidate too
 // much), publishes a fresh immutable snapshot, and returns it. Concurrent
 // Apply calls serialize; readers keep serving the previous epoch until the
-// new pointer is stored. On error (planarization failure) the previous
-// epoch stays current and the maintained roles retain the applied events.
+// new pointer is stored. On a durable server the batch is appended to the
+// write-ahead log — and fsync'd, at the configured cadence — before any
+// state changes, so every epoch a reader can observe is recoverable. On
+// error (append failure, planarization failure) the previous epoch stays
+// current; after a planarization failure the maintained roles retain the
+// applied events and the log retains the record, keeping log and state
+// aligned for recovery.
 func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
+	if s.wal != nil {
+		if err := s.wal.Append(s.seq+1, events); err != nil {
+			return nil, fmt.Errorf("serve: epoch %d: %w", s.seq+1, err)
+		}
+	}
 	recBefore := s.st.Recomputes
 	batch := s.st.ApplyBatch(events, s.fallbackFrac)
+	s.seq++
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
-		return nil, fmt.Errorf("serve: epoch %d: %w", s.seq+1, err)
+		return nil, fmt.Errorf("serve: epoch %d: %w", s.seq, err)
 	}
 	stats := EpochStats{
 		Batch:      batch,
 		Recomputed: s.st.Recomputes > recBefore,
 		WallNS:     time.Since(start).Nanoseconds(),
 	}
-	s.seq++
 	ep := s.buildEpoch(s.seq, conn, pldel, stats)
 	s.cur.Store(ep)
+	if s.wal != nil {
+		if _, err := s.wal.MaybeCompact(s.st, s.seq); err != nil {
+			return nil, fmt.Errorf("serve: epoch %d: %w", s.seq, err)
+		}
+	}
 
 	s.epochs.Add(1)
 	s.events.Add(int64(batch.Events))
@@ -285,6 +427,47 @@ func liveReport(liveG *graph.Graph, alive []bool, status []cluster.Status) *heal
 // N returns the number of node slots, alive or dead.
 func (e *Epoch) N() int { return len(e.alive) }
 
+// Fingerprint is a deterministic FNV-1a hash of the epoch's entire
+// published topology: sequence number, positions (raw IEEE-754 bits),
+// liveness, roles, and both edge sets. Equal fingerprints across a crash
+// and recovery mean the recovered epoch is bit-identical to the durable
+// one — the check the wal-smoke harness gates on.
+func (e *Epoch) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(e.Seq)
+	word(uint64(len(e.alive)))
+	for v := range e.alive {
+		p := e.UDG.Point(v)
+		word(math.Float64bits(p.X))
+		word(math.Float64bits(p.Y))
+		bits := uint64(e.status[v]) << 1
+		if e.alive[v] {
+			bits |= 1
+		}
+		if e.inBackbone[v] {
+			bits |= 4
+		}
+		word(bits)
+	}
+	edges := func(f *graph.Frozen) {
+		for v := 0; v < f.N(); v++ {
+			for _, u := range f.Neighbors(v) {
+				if int(u) > v {
+					word(uint64(v)<<32 | uint64(u))
+				}
+			}
+		}
+	}
+	edges(e.UDG.Frozen)
+	edges(e.Backbone.Frozen)
+	return h.Sum64()
+}
+
 // Alive reports whether node v is alive in this epoch.
 func (e *Epoch) Alive(v int) bool { return v >= 0 && v < len(e.alive) && e.alive[v] }
 
@@ -391,6 +574,17 @@ type Stats struct {
 	TopologyQueries int64   `json:"topology_queries"`
 	HealthQueries   int64   `json:"health_queries"`
 	SnapshotAgeMS   int64   `json:"snapshot_age_ms"`
+
+	// Durability rollup; zero values when the server has no WAL.
+	WAL              bool   `json:"wal"`
+	WALSegmentBytes  int64  `json:"wal_segment_bytes,omitempty"`
+	WALRecords       int64  `json:"wal_records,omitempty"`
+	WALLastSeq       uint64 `json:"wal_last_seq,omitempty"`
+	WALCheckpointSeq uint64 `json:"wal_checkpoint_seq,omitempty"`
+	// WALCheckpointAge counts epochs logged since the last checkpoint.
+	WALCheckpointAge int64 `json:"wal_checkpoint_age,omitempty"`
+	// WALSyncAgeMS is the wall time since the last fsync.
+	WALSyncAgeMS int64 `json:"wal_sync_age_ms,omitempty"`
 }
 
 // Stats reports the cumulative per-epoch and query counters plus the age
@@ -414,6 +608,16 @@ func (s *Server) Stats() Stats {
 	}
 	if st.Epochs > 0 {
 		st.RecomputeRatio = float64(st.Recomputes) / float64(st.Epochs)
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = true
+		st.WALSegmentBytes = ws.SegmentBytes
+		st.WALRecords = ws.SegmentRecords
+		st.WALLastSeq = ws.LastSeq
+		st.WALCheckpointSeq = ws.SnapshotSeq
+		st.WALCheckpointAge = ws.SnapshotAge
+		st.WALSyncAgeMS = time.Since(ws.LastSync).Milliseconds()
 	}
 	return st
 }

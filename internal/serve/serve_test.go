@@ -130,7 +130,7 @@ func pickAlivePair(rng *rand.Rand, ep *Epoch) (src, dst int) {
 // TestRouteRejectsDeadEndpoints pins the ErrNodeDown contract.
 func TestRouteRejectsDeadEndpoints(t *testing.T) {
 	s, _ := newServer(t, 44, 60)
-	if _, err := s.Apply([]maintain.Event{{Kind: maintain.EventCrash, Node: 7}}); err != nil {
+	if _, err := s.Apply([]maintain.Event{maintain.NewCrash(7)}); err != nil {
 		t.Fatal(err)
 	}
 	ep := s.Current()
@@ -161,13 +161,13 @@ func TestEpochZeroAndNoOpsNotCountedAsRecomputes(t *testing.T) {
 
 	// Crash a node, then replay the same crash: the second epoch is pure
 	// noise and must not recompute.
-	if _, err := s.Apply([]maintain.Event{{Kind: maintain.EventCrash, Node: 3}}); err != nil {
+	if _, err := s.Apply([]maintain.Event{maintain.NewCrash(3)}); err != nil {
 		t.Fatal(err)
 	}
 	ep, err := s.Apply([]maintain.Event{
-		{Kind: maintain.EventCrash, Node: 3},
-		{Kind: maintain.EventLeave, Node: 3},
-		{Kind: maintain.EventCrash, Node: 10_000},
+		maintain.NewCrash(3),
+		maintain.NewLeave(3),
+		maintain.NewCrash(10_000),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +227,7 @@ func TestHTTPAPI(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	getJSON := func(path string, out interface{}) int {
+	getJSON := func(path string, out any) int {
 		t.Helper()
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
@@ -282,17 +282,28 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("route: unexpected code %d (%+v)", code, rr)
 	}
 
-	// Malformed requests.
-	if code := getJSON("/v1/route?src=x&dst=0", &rr); code != http.StatusBadRequest {
-		t.Fatalf("bad route args: code=%d", code)
+	// Malformed requests answer with the uniform error envelope.
+	var ee ErrorResponse
+	if code := getJSON("/v1/route?src=x&dst=0", &ee); code != http.StatusBadRequest ||
+		ee.Code != http.StatusBadRequest || ee.Error == "" {
+		t.Fatalf("bad route args: code=%d %+v", code, ee)
 	}
-	resp, err = http.Post(ts.URL+"/v1/epoch", "application/json", strings.NewReader(`{"events":[{"kind":"explode","node":1}]}`))
+	resp, err = http.Post(ts.URL+"/v1/epoch", "application/json",
+		strings.NewReader(`{"events":[{"kind":"move","node":0},{"kind":"explode","node":1},{"kind":"crash","node":-4}]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ee = ErrorResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&ee); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown kind: code=%d", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest || ee.Code != http.StatusBadRequest {
+		t.Fatalf("invalid batch: code=%d %+v", resp.StatusCode, ee)
+	}
+	// The envelope names every invalid record, not just the first.
+	if len(ee.Events) != 2 || ee.Events[0].Index != 1 || ee.Events[1].Index != 2 {
+		t.Fatalf("invalid batch details: %+v", ee.Events)
 	}
 
 	var st Stats

@@ -1,0 +1,208 @@
+// Record and snapshot codecs. The log is a sequence of length-prefixed,
+// CRC-checksummed, versioned records:
+//
+//	| len uint32 | crc uint32 | body |
+//	body := | version u8 | kind u8 | seq u64 | payload |
+//
+// (all integers little-endian). len counts the body bytes; crc is
+// CRC-32C (Castagnoli) over the body. The payload of an epoch record is
+// the canonical JSON wire encoding of the batch (maintain.MarshalEvents)
+// — the same codec POST /v1/epoch speaks, so a WAL record and an HTTP
+// body are interchangeable artifacts.
+//
+// A snapshot file is one self-contained checkpoint of the maintained
+// state:
+//
+//	| magic "GSPWSNP1" | version u8 | seq u64 | radius u64 (float bits) |
+//	| n u32 | n × (x u64, y u64) (float bits) | n × alive u8 |
+//	| n × status u8 | crc u32 |
+//
+// crc covers everything before it. Positions are stored as raw IEEE-754
+// bits, so a restored state is bit-identical to the serialized one — the
+// property that makes replay exact rather than approximate.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/geom"
+)
+
+const (
+	// RecordVersion is the current record format version.
+	RecordVersion = 1
+	// SnapshotVersion is the current snapshot format version.
+	SnapshotVersion = 1
+
+	// KindEpoch is the record kind of one applied epoch batch.
+	KindEpoch = 1
+
+	recordHeader = 8  // len + crc
+	bodyHeader   = 10 // version + kind + seq
+	// maxBody bounds a record body; anything larger is corruption, not a
+	// batch (a million-event epoch is ~60 MB of JSON).
+	maxBody = 1 << 28
+
+	snapMagic = "GSPWSNP1"
+)
+
+// castagnoli is the CRC-32C table shared by records and snapshots.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec errors. errTorn and errCorrupt mark a damaged log tail — recovery
+// truncates at the last valid record instead of failing; anything else is
+// fatal.
+var (
+	// errTorn marks a record cut short by a crash mid-write.
+	errTorn = errors.New("wal: torn record")
+	// errCorrupt marks a record whose checksum or framing is wrong.
+	errCorrupt = errors.New("wal: corrupt record")
+	// ErrUnsupportedVersion marks a CRC-valid record or snapshot written
+	// by a newer format; truncating it would silently lose durable data,
+	// so it is fatal.
+	ErrUnsupportedVersion = errors.New("wal: unsupported format version")
+)
+
+// appendRecord appends the encoded record (version, kind, seq, payload)
+// to dst and returns the extended slice.
+func appendRecord(dst []byte, kind byte, seq uint64, payload []byte) []byte {
+	body := make([]byte, bodyHeader+len(payload))
+	body[0] = RecordVersion
+	body[1] = kind
+	binary.LittleEndian.PutUint64(body[2:], seq)
+	copy(body[bodyHeader:], payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, castagnoli))
+	return append(dst, body...)
+}
+
+// RecordInfo describes one decoded record, as surfaced by Scan and
+// tools/walcat.
+type RecordInfo struct {
+	// Offset is the record's byte offset in the segment.
+	Offset int64
+	// Version and Kind are the record header fields.
+	Version byte
+	Kind    byte
+	// Seq is the epoch sequence number the record carries.
+	Seq uint64
+	// Payload is the record body past the header (the encoded batch).
+	Payload []byte
+}
+
+// decodeRecord decodes the record at data[off:]. It returns the record
+// and the offset past it. A short or checksum-failing record returns
+// errTorn/errCorrupt with the offset unchanged — the truncation point.
+func decodeRecord(data []byte, off int64) (RecordInfo, int64, error) {
+	rest := data[off:]
+	if len(rest) < recordHeader {
+		return RecordInfo{}, off, errTorn
+	}
+	n := binary.LittleEndian.Uint32(rest)
+	crc := binary.LittleEndian.Uint32(rest[4:])
+	if n < bodyHeader || n > maxBody {
+		return RecordInfo{}, off, fmt.Errorf("%w: implausible body length %d at offset %d", errCorrupt, n, off)
+	}
+	if len(rest) < recordHeader+int(n) {
+		return RecordInfo{}, off, errTorn
+	}
+	body := rest[recordHeader : recordHeader+int(n)]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return RecordInfo{}, off, fmt.Errorf("%w: checksum mismatch at offset %d", errCorrupt, off)
+	}
+	if body[0] != RecordVersion {
+		return RecordInfo{}, off, fmt.Errorf("%w: record version %d at offset %d", ErrUnsupportedVersion, body[0], off)
+	}
+	return RecordInfo{
+		Offset:  off,
+		Version: body[0],
+		Kind:    body[1],
+		Seq:     binary.LittleEndian.Uint64(body[2:]),
+		Payload: body[bodyHeader:],
+	}, off + recordHeader + int64(n), nil
+}
+
+// snapshotState is the decoded content of a snapshot: everything needed
+// to reconstruct a maintain.State bit-identically.
+type snapshotState struct {
+	seq    uint64
+	radius float64
+	pts    []geom.Point
+	alive  []bool
+	status []cluster.Status
+}
+
+// encodeSnapshot serializes a checkpoint.
+func encodeSnapshot(st snapshotState) []byte {
+	n := len(st.pts)
+	buf := make([]byte, 0, len(snapMagic)+1+8+8+4+n*18+4)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, st.seq)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.radius))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, p := range st.pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	}
+	for _, a := range st.alive {
+		if a {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	for _, s := range st.status {
+		buf = append(buf, byte(s))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeSnapshot parses and validates a snapshot blob.
+func decodeSnapshot(data []byte) (snapshotState, error) {
+	var st snapshotState
+	head := len(snapMagic) + 1 + 8 + 8 + 4
+	if len(data) < head+4 {
+		return st, fmt.Errorf("%w: %d bytes is shorter than a header", errCorrupt, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return st, fmt.Errorf("%w: bad snapshot magic", errCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return st, fmt.Errorf("%w: snapshot checksum mismatch", errCorrupt)
+	}
+	if v := data[len(snapMagic)]; v != SnapshotVersion {
+		return st, fmt.Errorf("%w: snapshot version %d", ErrUnsupportedVersion, v)
+	}
+	off := len(snapMagic) + 1
+	st.seq = binary.LittleEndian.Uint64(data[off:])
+	st.radius = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+	n := int(binary.LittleEndian.Uint32(data[off+16:]))
+	off += 20
+	if want := off + n*18 + 4; len(data) != want {
+		return st, fmt.Errorf("%w: snapshot of %d nodes is %d bytes, want %d", errCorrupt, n, len(data), want)
+	}
+	st.pts = make([]geom.Point, n)
+	for i := range st.pts {
+		st.pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		st.pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		off += 16
+	}
+	st.alive = make([]bool, n)
+	for i := range st.alive {
+		st.alive[i] = data[off] != 0
+		off++
+	}
+	st.status = make([]cluster.Status, n)
+	for i := range st.status {
+		st.status[i] = cluster.Status(data[off])
+		off++
+	}
+	return st, nil
+}

@@ -1,0 +1,535 @@
+// Package wal is the durable topology log: an append-only write-ahead
+// log of epoch event batches plus periodic compacted snapshots of the
+// maintained state, with crash recovery that restores a state
+// bit-identical to the pre-crash server.
+//
+// A log directory holds exactly one generation at steady state:
+//
+//	snap-<seq>.snap   checkpoint of maintain.State at epoch <seq>
+//	wal-<seq>.log     epoch records with sequence numbers > <seq>
+//
+// Append writes one record per epoch and fsyncs every Config.SyncEvery
+// appends (1 by default: an epoch acknowledged is an epoch durable).
+// Every Config.SnapshotEvery epochs the log compacts: it checkpoints the
+// state, starts a fresh segment, and deletes the old generation, so the
+// directory stays bounded by the churn of one snapshot interval.
+//
+// Recover loads the newest valid snapshot and replays the segment's tail
+// through maintain.ApplyBatch. Because the whole stack is deterministic,
+// replay is exact: the recovered roles, positions, and derived backbone
+// equal the pre-crash ones bit for bit — a property most write-ahead
+// logs approximate with fuzzier invariants. A torn or corrupt tail
+// (crash mid-write) is truncated at the last valid record, never fatal;
+// a CRC-valid record with an unknown version or kind is fatal, because
+// truncating it would silently discard durable data.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"geospanner/internal/maintain"
+)
+
+// Log configuration defaults.
+const (
+	// DefaultSyncEvery fsyncs every append: an acknowledged epoch is a
+	// durable epoch.
+	DefaultSyncEvery = 1
+	// DefaultSnapshotEvery compacts the log every 64 epochs.
+	DefaultSnapshotEvery = 64
+)
+
+// ErrExists is returned by Create when the directory already holds a log.
+var ErrExists = errors.New("wal: directory already contains a log; recover it instead")
+
+// ErrNoLog is returned by Recover when the directory holds no usable
+// snapshot.
+var ErrNoLog = errors.New("wal: no snapshot found")
+
+// Config tunes the log's durability/throughput trade-offs. The zero
+// value means the defaults.
+type Config struct {
+	// SyncEvery fsyncs after every k-th append (default 1). Raising it
+	// batches fsyncs at the cost of the tail of unsynced epochs on an OS
+	// crash; a process crash alone loses nothing either way.
+	SyncEvery int
+	// SnapshotEvery compacts the log every k epochs (default 64; < 0
+	// disables compaction).
+	SnapshotEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = DefaultSyncEvery
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
+	}
+	return c
+}
+
+// Log is an open write-ahead log. Append/Compact/Close are single-writer
+// (the topology service serializes them under its own lock); Stats may be
+// called from any goroutine.
+type Log struct {
+	dir string
+	cfg Config
+
+	mu          sync.Mutex
+	f           *os.File
+	base        uint64 // seq of the snapshot this segment follows
+	last        uint64 // last appended (or replayed) seq
+	segBytes    int64
+	segRecords  int64
+	pendingSync int
+	lastSync    time.Time
+}
+
+// Stats is a point-in-time summary of the log, surfaced by the service's
+// /v1/stats.
+type Stats struct {
+	// SegmentBytes and SegmentRecords size the current segment.
+	SegmentBytes   int64
+	SegmentRecords int64
+	// LastSeq is the last durable epoch sequence number.
+	LastSeq uint64
+	// SnapshotSeq is the epoch of the newest compacted snapshot.
+	SnapshotSeq uint64
+	// SnapshotAge counts epochs appended since the snapshot.
+	SnapshotAge int64
+	// LastSync is the wall time of the last fsync.
+	LastSync time.Time
+}
+
+func segName(base uint64) string { return fmt.Sprintf("wal-%016x.log", base) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+func parseGen(name string) uint64 { // name already matched a glob below
+	hex := strings.TrimSuffix(strings.TrimSuffix(
+		strings.TrimPrefix(strings.TrimPrefix(name, "snap-"), "wal-"), ".snap"), ".log")
+	v, _ := strconv.ParseUint(hex, 16, 64)
+	return v
+}
+
+// Exists reports whether dir holds a log (any snapshot or segment file).
+func Exists(dir string) bool {
+	for _, pat := range []string{"snap-*.snap", "wal-*.log"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, pat)); len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Create initializes a fresh log in dir: a base snapshot of st at seq and
+// an empty segment. It fails with ErrExists when dir already holds one.
+func Create(dir string, st *maintain.State, seq uint64, cfg Config) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("%w (%s)", ErrExists, dir)
+	}
+	l := &Log{dir: dir, cfg: cfg, base: seq, last: seq, lastSync: time.Now()}
+	if err := l.writeSnapshotFile(st, seq); err != nil {
+		return nil, err
+	}
+	if err := l.openSegment(seq); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// RecoverResult reports what Recover found and did.
+type RecoverResult struct {
+	// State is the reconstructed maintained state, bit-identical to the
+	// pre-crash server's.
+	State *maintain.State
+	// Seq is the last recovered epoch sequence number.
+	Seq uint64
+	// SnapshotSeq is the checkpoint the replay started from.
+	SnapshotSeq uint64
+	// Replayed counts tail records applied on top of the snapshot.
+	Replayed int
+	// TruncatedBytes counts torn/corrupt tail bytes dropped from the
+	// segment (0 after a clean shutdown).
+	TruncatedBytes int64
+}
+
+// Recover loads the newest valid snapshot in dir, replays the segment
+// tail through ApplyBatch with the given fallback fraction (use the same
+// fraction the crashed server ran with, or replay may diverge at fallback
+// boundaries), truncates any torn or corrupt tail, and returns the log
+// open for appending at the recovered sequence.
+func Recover(dir string, fallbackFrac float64, cfg Config) (*Log, *RecoverResult, error) {
+	cfg = cfg.withDefaults()
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	sort.Slice(snaps, func(i, j int) bool { return parseGen(filepath.Base(snaps[i])) > parseGen(filepath.Base(snaps[j])) })
+	var (
+		snap    snapshotState
+		snapErr error = ErrNoLog
+		found   bool
+	)
+	for _, path := range snaps {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			snapErr = err
+			continue
+		}
+		if snap, err = decodeSnapshot(data); err != nil {
+			if errors.Is(err, ErrUnsupportedVersion) {
+				return nil, nil, fmt.Errorf("wal: %s: %w", filepath.Base(path), err)
+			}
+			snapErr = err // damaged checkpoint: fall back to an older one
+			continue
+		}
+		found = true
+		break
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, snapErr)
+	}
+	st, err := maintain.FromRoles(snap.pts, snap.radius, snap.alive, snap.status)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: snapshot %d: %w", snap.seq, err)
+	}
+
+	l := &Log{dir: dir, cfg: cfg, base: snap.seq, last: snap.seq, lastSync: time.Now()}
+	res := &RecoverResult{State: st, Seq: snap.seq, SnapshotSeq: snap.seq}
+	segPath := filepath.Join(dir, segName(snap.seq))
+	data, err := os.ReadFile(segPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	valid := int64(0)
+	for off := int64(0); off < int64(len(data)); {
+		rec, next, err := decodeRecord(data, off)
+		if errors.Is(err, errTorn) || errors.Is(err, errCorrupt) {
+			res.TruncatedBytes = int64(len(data)) - off
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: recover %s: %w", filepath.Base(segPath), err)
+		}
+		if rec.Kind != KindEpoch {
+			return nil, nil, fmt.Errorf("wal: recover %s: %w: record kind %d at offset %d",
+				filepath.Base(segPath), ErrUnsupportedVersion, rec.Kind, rec.Offset)
+		}
+		if rec.Seq != l.last+1 {
+			return nil, nil, fmt.Errorf("wal: recover %s: sequence gap: record %d after %d", filepath.Base(segPath), rec.Seq, l.last)
+		}
+		events, err := maintain.UnmarshalEvents(rec.Payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: recover %s: record %d: %w", filepath.Base(segPath), rec.Seq, err)
+		}
+		st.ApplyBatch(events, fallbackFrac)
+		l.last = rec.Seq
+		l.segRecords++
+		res.Replayed++
+		res.Seq = rec.Seq
+		valid, off = next, next
+	}
+	if err := l.openSegment(snap.seq); err != nil {
+		return nil, nil, err
+	}
+	if res.TruncatedBytes > 0 || valid < l.segBytes {
+		if err := l.f.Truncate(valid); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if _, err := l.f.Seek(valid, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		l.segBytes = valid
+	}
+	l.removeStaleGenerations()
+	return l, res, nil
+}
+
+// openSegment opens (creating if needed) the segment for base, positioned
+// at its end.
+func (l *Log) openSegment(base uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(base)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: segment: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.base, l.segBytes = f, base, size
+	return nil
+}
+
+// Append logs one epoch batch. seq must be exactly one past the last
+// appended sequence — the log enforces the gap-free numbering recovery
+// relies on. The record is durable when Append returns, except under
+// SyncEvery batching, where it is durable within SyncEvery-1 appends.
+func (l *Log) Append(seq uint64, events []maintain.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: append on closed log")
+	}
+	if seq != l.last+1 {
+		return fmt.Errorf("wal: append seq %d, want %d", seq, l.last+1)
+	}
+	payload, err := maintain.MarshalEvents(events)
+	if err != nil {
+		return fmt.Errorf("wal: encoding epoch %d: %w", seq, err)
+	}
+	rec := appendRecord(nil, KindEpoch, seq, payload)
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("wal: appending epoch %d: %w", seq, err)
+	}
+	l.last = seq
+	l.segBytes += int64(len(rec))
+	l.segRecords++
+	l.pendingSync++
+	if l.pendingSync >= l.cfg.SyncEvery {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// MaybeCompact checkpoints the state and rotates the segment when the
+// snapshot interval has elapsed. seq must be the state's current epoch
+// (the last appended one). It reports whether a compaction ran.
+func (l *Log) MaybeCompact(st *maintain.State, seq uint64) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.SnapshotEvery < 0 || seq < l.base+uint64(l.cfg.SnapshotEvery) {
+		return false, nil
+	}
+	return true, l.compactLocked(st, seq)
+}
+
+// compactLocked writes snap-<seq>, opens wal-<seq>, and deletes the old
+// generation. Caller holds mu and guarantees seq == l.last.
+func (l *Log) compactLocked(st *maintain.State, seq uint64) error {
+	if seq != l.last {
+		return fmt.Errorf("wal: compact at seq %d, log is at %d", seq, l.last)
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.writeSnapshotFile(st, seq); err != nil {
+		return err
+	}
+	old := l.f
+	if err := l.openSegment(seq); err != nil {
+		l.f = old
+		return err
+	}
+	old.Close()
+	l.segRecords = 0
+	l.removeStaleGenerations()
+	return nil
+}
+
+// writeSnapshotFile durably writes snap-<seq> (temp file, fsync, rename,
+// directory fsync).
+func (l *Log) writeSnapshotFile(st *maintain.State, seq uint64) error {
+	alive, status := st.Roles()
+	data := encodeSnapshot(snapshotState{
+		seq: seq, radius: st.Radius(), pts: st.Positions(), alive: alive, status: status,
+	})
+	tmp := filepath.Join(l.dir, snapName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(seq))); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	return nil
+}
+
+// removeStaleGenerations deletes every snapshot and segment of a
+// generation other than the current base (best effort: a leftover file is
+// wasted space, not corruption — recovery always prefers the newest
+// valid snapshot).
+func (l *Log) removeStaleGenerations() {
+	for _, pat := range []string{"snap-*.snap", "wal-*.log", "snap-*.snap.tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(l.dir, pat))
+		for _, m := range matches {
+			if strings.HasSuffix(m, ".tmp") || parseGen(filepath.Base(m)) != l.base {
+				os.Remove(m)
+			}
+		}
+	}
+	syncDir(l.dir)
+}
+
+// syncDir best-effort fsyncs a directory so renames and unlinks are
+// durable on filesystems that need it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Sync forces any batched appends to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.pendingSync = 0
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Close syncs and closes the log. The log cannot be appended to after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats summarizes the log. Safe from any goroutine.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		SegmentBytes:   l.segBytes,
+		SegmentRecords: l.segRecords,
+		LastSeq:        l.last,
+		SnapshotSeq:    l.base,
+		SnapshotAge:    int64(l.last - l.base),
+		LastSync:       l.lastSync,
+	}
+}
+
+// WriteSnapshot serializes a checkpoint of st at seq to w — the backup
+// half of the backup/restore round trip.
+func WriteSnapshot(w io.Writer, st *maintain.State, seq uint64) error {
+	alive, status := st.Roles()
+	data := encodeSnapshot(snapshotState{
+		seq: seq, radius: st.Radius(), pts: st.Positions(), alive: alive, status: status,
+	})
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadSnapshot parses a WriteSnapshot stream back into a maintained state
+// and its epoch. The restored state is bit-identical to the serialized
+// one (positions are raw IEEE-754 bits) and is validated against the
+// clustering invariants before being returned.
+func ReadSnapshot(r io.Reader) (*maintain.State, uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: reading snapshot: %w", err)
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := maintain.FromRoles(snap.pts, snap.radius, snap.alive, snap.status)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: snapshot %d: %w", snap.seq, err)
+	}
+	return st, snap.seq, nil
+}
+
+// ScanResult summarizes one segment scan (tools/walcat's view of a log).
+type ScanResult struct {
+	// Records are the valid records in order.
+	Records []RecordInfo
+	// ValidBytes is the offset past the last valid record.
+	ValidBytes int64
+	// TornBytes counts trailing bytes that do not decode (torn or
+	// corrupt tail).
+	TornBytes int64
+	// TailErr describes why scanning stopped early, if it did.
+	TailErr error
+}
+
+// ScanSegment decodes every record of a segment file without applying
+// anything. Unlike Recover it never modifies the file.
+func ScanSegment(path string) (*ScanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{}
+	for off := int64(0); off < int64(len(data)); {
+		rec, next, err := decodeRecord(data, off)
+		if err != nil {
+			res.TornBytes = int64(len(data)) - off
+			res.TailErr = err
+			break
+		}
+		res.Records = append(res.Records, rec)
+		res.ValidBytes, off = next, next
+	}
+	return res, nil
+}
+
+// SnapshotInfo is the header summary of a snapshot file.
+type SnapshotInfo struct {
+	Seq    uint64
+	Nodes  int
+	Alive  int
+	Radius float64
+}
+
+// ReadSnapshotInfo validates a snapshot file and summarizes it.
+func ReadSnapshotInfo(path string) (SnapshotInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	info := SnapshotInfo{Seq: snap.seq, Nodes: len(snap.pts), Radius: snap.radius}
+	for _, a := range snap.alive {
+		if a {
+			info.Alive++
+		}
+	}
+	return info, nil
+}

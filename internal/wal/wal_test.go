@@ -1,0 +1,354 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/maintain"
+	"geospanner/internal/serve"
+	"geospanner/internal/udg"
+	"geospanner/internal/wal"
+)
+
+const (
+	matrixEpochs = 8
+	matrixBatch  = 12
+	matrixFrac   = maintain.DefaultFallbackFraction
+)
+
+// stateEqual asserts two maintained states are bit-identical: positions
+// (exact float equality), alive flags, roles, and the derived backbone
+// structures compared with graph.Equal.
+func stateEqual(t *testing.T, label string, got, want *maintain.State) {
+	t.Helper()
+	gp, wp := got.Positions(), want.Positions()
+	if len(gp) != len(wp) {
+		t.Fatalf("%s: %d nodes, want %d", label, len(gp), len(wp))
+	}
+	for v := range gp {
+		if gp[v] != wp[v] {
+			t.Fatalf("%s: node %d at %v, want %v (not bit-identical)", label, v, gp[v], wp[v])
+		}
+	}
+	ga, gs := got.Roles()
+	wa, ws := want.Roles()
+	for v := range ga {
+		if ga[v] != wa[v] {
+			t.Fatalf("%s: node %d alive=%v, want %v", label, v, ga[v], wa[v])
+		}
+		if gs[v] != ws[v] {
+			t.Fatalf("%s: node %d role=%v, want %v", label, v, gs[v], ws[v])
+		}
+	}
+	if !got.AliveGraph().Equal(want.AliveGraph()) {
+		t.Fatalf("%s: alive UDG differs", label)
+	}
+	gc, gl, err := got.Structures()
+	if err != nil {
+		t.Fatalf("%s: recovered structures: %v", label, err)
+	}
+	wc, wl, err := want.Structures()
+	if err != nil {
+		t.Fatalf("%s: reference structures: %v", label, err)
+	}
+	if !gl.Equal(wl) {
+		t.Fatalf("%s: planarized backbone differs", label)
+	}
+	for v := range gc.InBackbone {
+		if gc.InBackbone[v] != wc.InBackbone[v] {
+			t.Fatalf("%s: node %d backbone membership differs", label, v)
+		}
+	}
+}
+
+// copyDir clones a log directory into a fresh temp dir so each matrix
+// cell mutates its own copy.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// matrixLog drives a seeded schedule through a fresh log and returns the
+// directory, the per-epoch batches, and the instance.
+func matrixLog(t *testing.T, cfg wal.Config) (string, [][]maintain.Event, *udg.Instance) {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(11, 50, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	log, err := wal.Create(dir, st, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := serve.NewScheduler(5, inst.Points, 200, inst.Radius)
+	var batches [][]maintain.Event
+	for e := uint64(1); e <= matrixEpochs; e++ {
+		b := sched.Batch(matrixBatch)
+		batches = append(batches, b)
+		if err := log.Append(e, b); err != nil {
+			t.Fatalf("append %d: %v", e, err)
+		}
+		st.ApplyBatch(b, matrixFrac)
+		if _, err := log.MaybeCompact(st, e); err != nil {
+			t.Fatalf("compact %d: %v", e, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, batches, inst
+}
+
+// reference rebuilds the ground-truth state after k epochs by replaying
+// the first k batches on a server that never crashed (never touched a
+// log).
+func reference(inst *udg.Instance, batches [][]maintain.Event, k int) *maintain.State {
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	for i := 0; i < k; i++ {
+		st.ApplyBatch(batches[i], matrixFrac)
+	}
+	return st
+}
+
+// TestCrashRecoveryMatrix is the durability gate: for a log driven
+// through a churn schedule, every truncation at a record boundary, every
+// truncation mid-record, and every mid-record corruption must recover to
+// a state bit-identical to a reference server that stopped at the same
+// epoch — torn tails are truncated, never fatal.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  wal.Config
+	}{
+		{"single-generation", wal.Config{SnapshotEvery: -1}},
+		{"compacting", wal.Config{SnapshotEvery: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, batches, inst := matrixLog(t, tc.cfg)
+
+			segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+			if len(segs) != 1 {
+				t.Fatalf("expected one live segment, found %v", segs)
+			}
+			scan, err := wal.ScanSegment(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scan.TornBytes != 0 {
+				t.Fatalf("clean shutdown left a torn tail: %+v", scan)
+			}
+			base := matrixEpochs - len(scan.Records) // epochs already compacted away
+
+			check := func(label string, mutate func(seg string), wantEpoch int) {
+				t.Helper()
+				cp := copyDir(t, dir)
+				seg := filepath.Join(cp, filepath.Base(segs[0]))
+				mutate(seg)
+				log, res, err := wal.Recover(cp, matrixFrac, tc.cfg)
+				if err != nil {
+					t.Fatalf("%s: recover: %v", label, err)
+				}
+				defer log.Close()
+				if res.Seq != uint64(wantEpoch) {
+					t.Fatalf("%s: recovered to epoch %d, want %d", label, res.Seq, wantEpoch)
+				}
+				stateEqual(t, label, res.State, reference(inst, batches, wantEpoch))
+				// The recovered log must accept the next epoch: recovery is
+				// a resumption point, not a read-only autopsy.
+				if err := log.Append(res.Seq+1, []maintain.Event{maintain.NewCrash(0)}); err != nil {
+					t.Fatalf("%s: append after recovery: %v", label, err)
+				}
+			}
+
+			truncate := func(n int64) func(string) {
+				return func(seg string) {
+					if err := os.Truncate(seg, n); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			flipByte := func(at int64) func(string) {
+				return func(seg string) {
+					data, err := os.ReadFile(seg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					data[at] ^= 0xff
+					if err := os.WriteFile(seg, data, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			// Undamaged log recovers to the final epoch.
+			check("clean", func(string) {}, matrixEpochs)
+			// Every record boundary, including the empty segment.
+			for i, rec := range scan.Records {
+				check(fmt.Sprintf("boundary before record %d", i), truncate(rec.Offset), base+i)
+			}
+			// Mid-record offsets: one byte in, and mid-payload.
+			for i, rec := range scan.Records {
+				end := scan.ValidBytes
+				if i+1 < len(scan.Records) {
+					end = scan.Records[i+1].Offset
+				}
+				check(fmt.Sprintf("torn header of record %d", i), truncate(rec.Offset+1), base+i)
+				check(fmt.Sprintf("torn payload of record %d", i), truncate(rec.Offset+(end-rec.Offset)/2), base+i)
+				// Corruption (bit flip mid-record) truncates the tail from
+				// that record on.
+				check(fmt.Sprintf("corrupt record %d", i), flipByte(rec.Offset+(end-rec.Offset)/2), base+i)
+			}
+		})
+	}
+}
+
+// TestRecoveryIsIdempotent: recovering twice (the second time from the
+// already-truncated log) yields the same state.
+func TestRecoveryIsIdempotent(t *testing.T) {
+	dir, batches, inst := matrixLog(t, wal.Config{SnapshotEvery: -1})
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	// Tear the tail mid-final-record.
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	log1, res1, err := wal.Recover(dir, matrixFrac, wal.Config{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log1.Close()
+	if res1.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	log2, res2, err := wal.Recover(dir, matrixFrac, wal.Config{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if res2.TruncatedBytes != 0 || res2.Seq != res1.Seq {
+		t.Fatalf("second recovery differs: %+v vs %+v", res2, res1)
+	}
+	stateEqual(t, "idempotent", res2.State, reference(inst, batches, int(res1.Seq)))
+}
+
+// TestSnapshotRoundTrip is the backup/restore contract at the codec
+// level: WriteSnapshot then ReadSnapshot restores a bit-identical state.
+func TestSnapshotRoundTrip(t *testing.T) {
+	_, batches, inst := matrixLog(t, wal.Config{SnapshotEvery: -1})
+	st := reference(inst, batches, matrixEpochs)
+	var buf bytes.Buffer
+	if err := wal.WriteSnapshot(&buf, st, matrixEpochs); err != nil {
+		t.Fatal(err)
+	}
+	got, seq, err := wal.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != matrixEpochs {
+		t.Fatalf("restored seq %d, want %d", seq, matrixEpochs)
+	}
+	stateEqual(t, "round trip", got, st)
+
+	// A flipped byte must be caught by the checksum, not produce a state.
+	var buf2 bytes.Buffer
+	if err := wal.WriteSnapshot(&buf2, st, matrixEpochs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf2.Bytes()
+	data[len(data)/2] ^= 0x01
+	if _, _, err := wal.ReadSnapshot(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// TestCreateRefusesExistingLog pins the Create/Recover split: starting
+// fresh over durable data is an error, never silent data loss.
+func TestCreateRefusesExistingLog(t *testing.T) {
+	dir, _, inst := matrixLog(t, wal.Config{SnapshotEvery: -1})
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	if _, err := wal.Create(dir, st, 0, wal.Config{}); !errors.Is(err, wal.ErrExists) {
+		t.Fatalf("Create over existing log: %v, want ErrExists", err)
+	}
+	if !wal.Exists(dir) {
+		t.Fatal("Exists is false on a populated log dir")
+	}
+	if wal.Exists(t.TempDir()) {
+		t.Fatal("Exists is true on an empty dir")
+	}
+}
+
+// TestRecoverEmptyDirFails: no snapshot, no recovery.
+func TestRecoverEmptyDirFails(t *testing.T) {
+	if _, _, err := wal.Recover(t.TempDir(), matrixFrac, wal.Config{}); !errors.Is(err, wal.ErrNoLog) {
+		t.Fatalf("recover of empty dir: %v, want ErrNoLog", err)
+	}
+}
+
+// TestAppendEnforcesSequence: the gap-free numbering recovery relies on
+// is checked at append time.
+func TestAppendEnforcesSequence(t *testing.T) {
+	inst, err := udg.ConnectedInstance(12, 30, 200, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	log, err := wal.Create(t.TempDir(), st, 0, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := log.Append(2, []maintain.Event{maintain.NewCrash(1)}); err == nil {
+		t.Fatal("sequence gap accepted")
+	}
+	if err := log.Append(1, []maintain.Event{maintain.NewCrash(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st.ApplyBatch([]maintain.Event{maintain.NewCrash(1)}, 0)
+	stats := log.Stats()
+	if stats.LastSeq != 1 || stats.SegmentRecords != 1 || stats.SegmentBytes == 0 {
+		t.Fatalf("stats after one append: %+v", stats)
+	}
+}
+
+// TestCompactionBoundsTheDirectory: after many epochs with a short
+// snapshot interval, only the newest generation remains on disk.
+func TestCompactionBoundsTheDirectory(t *testing.T) {
+	dir, _, _ := matrixLog(t, wal.Config{SnapshotEvery: 2})
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(snaps) != 1 || len(segs) != 1 {
+		t.Fatalf("stale generations left behind: snaps=%v segs=%v", snaps, segs)
+	}
+	info, err := wal.ReadSnapshotInfo(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != matrixEpochs || info.Nodes != 50 {
+		t.Fatalf("final snapshot header %+v", info)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geospanner/internal/maintain"
+	"geospanner/internal/udg"
+	"geospanner/internal/wal"
+)
+
+func buildLog(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	inst, err := udg.ConnectedInstance(9, 30, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := maintain.New(inst.Points, inst.Radius)
+	log, err := wal.Create(dir, st, 0, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		events := []maintain.Event{maintain.NewCrash(int(seq)), maintain.NewJoin(int(seq))}
+		st.ApplyBatch(events, maintain.DefaultFallbackFraction)
+		if err := log.Append(seq, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWalcatCleanLog(t *testing.T) {
+	dir := buildLog(t)
+	var out strings.Builder
+	if err := run([]string{"-check", "-records", dir}, &out); err != nil {
+		t.Fatalf("clean log failed -check: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"snapshot ", "epochs 1..3", "epoch 3 @", "walcat: ok"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWalcatFlagsTornTail(t *testing.T) {
+	dir := buildLog(t)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatalf("without -check a torn tail is reported, not fatal: %v", err)
+	}
+	if !strings.Contains(out.String(), "TAIL") {
+		t.Fatalf("torn tail not reported:\n%s", out.String())
+	}
+	if err := run([]string{"-check", dir}, &out); err == nil {
+		t.Fatal("-check passed a torn tail")
+	}
+}
+
+func TestWalcatRejectsNonLogDir(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{t.TempDir()}, &out); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}
