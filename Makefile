@@ -9,7 +9,7 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet lint build test race race-shard fuzz bench bench-smoke trace-smoke chaos-smoke serve-smoke wal-smoke clean
+.PHONY: check fmt vet lint build test race race-shard fuzz bench bench-smoke trace-smoke chaos-smoke serve-smoke wal-smoke wal-soak wal-soak-long clean
 
 check: fmt lint build test race
 
@@ -56,6 +56,7 @@ race-shard:
 fuzz:
 	$(GO) test ./internal/graph/ -fuzz=FuzzReadGraph -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal/ -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal/ -fuzz=FuzzWALSnapshot -fuzztime=$(FUZZTIME)
 
 # bench runs the full benchmark suite once and records it as
 # BENCH_<date>.json (name, ns/op, B/op, allocs/op per benchmark).
@@ -121,6 +122,23 @@ wal-smoke:
 	$(GO) run ./cmd/spannerd -recover-check -n 120 -epochs 4 -batch 15 -seed 7 -data "$$tmp/wal" && \
 	$(GO) run ./tools/walcat -check "$$tmp/wal" && \
 	rm -rf "$$tmp"
+
+# wal-soak is the kill/recover churn soak, CI-bounded: the durable
+# service runs on an in-memory filesystem with an explicit durability
+# model, "loses power" every few epochs, and is recovered from the
+# directory alone; every recovered epoch must match a lockstep
+# non-durable reference bit for bit. Runs twice — clean storage, and
+# storage with seeded torn-write/failed-fsync injection that must be
+# absorbed by retries or survived through the degraded-mode round trip —
+# with segment rotation and bounded retention active throughout.
+# SOAKCYCLES overrides the cycle count; wal-soak-long is the overnight
+# setting.
+SOAKCYCLES ?= 20
+wal-soak:
+	$(GO) run ./cmd/experiments -exp soak -cycles $(SOAKCYCLES)
+
+wal-soak-long:
+	$(MAKE) wal-soak SOAKCYCLES=500
 
 clean:
 	$(GO) clean ./...

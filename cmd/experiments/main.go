@@ -37,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, scale, churn, all")
+		exp      = fs.String("exp", "table1", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, ablation, routing, power, ldelk, robust, heads, loss, trace, chaos, scale, churn, soak, all")
 		trials   = fs.Int("trials", 10, "random vertex sets per configuration")
 		n        = fs.Int("n", 0, "node count override (0 = paper default for the experiment)")
 		radius   = fs.Float64("radius", experiments.DefaultRadius, "transmission radius for fixed-radius experiments")
@@ -50,6 +50,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "worker-pool bound for the sharded kernel (output is identical for any value; 0 = GOMAXPROCS; no effect without -shards)")
 		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
 		dataDir  = fs.String("data", "", "write-ahead-log root for -exp churn: run the service durably (per-n subdirectories) and measure crash recovery")
+		cycles   = fs.Int("cycles", 20, "kill/recover cycles of -exp soak")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -89,7 +90,7 @@ func run(args []string) error {
 		names = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "routing", "power", "ldelk", "robust", "heads", "loss", "trace", "chaos"}
 	}
 	for _, name := range names {
-		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV, *traceOut); err != nil {
+		if err := runOne(name, *n, *radius, cfg, *outDir, *asCSV, *traceOut, *cycles); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
@@ -113,7 +114,7 @@ func writeTrace(path string, events []obs.Event) error {
 	return nil
 }
 
-func runOne(name string, n int, radius float64, cfg experiments.Config, outDir string, asCSV bool, traceOut string) error {
+func runOne(name string, n int, radius float64, cfg experiments.Config, outDir string, asCSV bool, traceOut string, cycles int) error {
 	pick := func(def int) int {
 		if n > 0 {
 			return n
@@ -247,6 +248,10 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 		tb, err := experiments.Churn(ns, cfg)
 		return emit(fmt.Sprintf("Churn campaign: live topology service under synthetic churn (region=%g, seed=%d)",
 			cfg.Region, cfg.Seed), tb, err)
+	case "soak":
+		tb, err := experiments.Soak(cycles, cfg)
+		return emit(fmt.Sprintf("Storage soak: kill/recover churn cycles with rotation, retention, and fault injection (cycles=%d, seed=%d)",
+			cycles, cfg.Seed), tb, err)
 	case "trace":
 		tb, events, err := experiments.Trace(pick(experiments.DefaultTable1N), radius, cfg)
 		if err != nil {

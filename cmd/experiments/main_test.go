@@ -21,11 +21,11 @@ func TestRunOneNumericExperiments(t *testing.T) {
 			// Small n keeps each experiment fast; fig8-10 sweep their own
 			// densities, so n is ignored there by design.
 			n := 30
-			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), false, ""); err != nil {
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), false, "", 2); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			// CSV mode too.
-			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), true, ""); err != nil {
+			if err := runOne(name, n, 60, quickCfg(), t.TempDir(), true, "", 2); err != nil {
 				t.Fatalf("%s csv: %v", name, err)
 			}
 		})
@@ -34,13 +34,13 @@ func TestRunOneNumericExperiments(t *testing.T) {
 
 func TestRunOneFigures(t *testing.T) {
 	dir := t.TempDir()
-	if err := runOne("fig6", 30, 60, quickCfg(), dir, false, ""); err != nil {
+	if err := runOne("fig6", 30, 60, quickCfg(), dir, false, "", 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig6_udg.svg")); err != nil {
 		t.Fatal(err)
 	}
-	if err := runOne("fig7", 30, 60, quickCfg(), dir, false, ""); err != nil {
+	if err := runOne("fig7", 30, 60, quickCfg(), dir, false, "", 2); err != nil {
 		t.Fatal(err)
 	}
 	matches, err := filepath.Glob(filepath.Join(dir, "fig7_*.svg"))
@@ -55,7 +55,7 @@ func TestRunOneFigures(t *testing.T) {
 func TestRunOneTrace(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "trace.jsonl")
-	if err := runOne("trace", 30, 60, quickCfg(), dir, false, out); err != nil {
+	if err := runOne("trace", 30, 60, quickCfg(), dir, false, out, 2); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -78,7 +78,7 @@ func TestRunOneTrace(t *testing.T) {
 }
 
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("nope", 30, 60, quickCfg(), t.TempDir(), false, ""); err == nil {
+	if err := runOne("nope", 30, 60, quickCfg(), t.TempDir(), false, "", 2); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

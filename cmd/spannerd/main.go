@@ -63,6 +63,8 @@ func run(args []string, out io.Writer) error {
 		radius     = fs.Float64("radius", 0, "transmission radius (0 = keep average degree near 20)")
 		seed       = fs.Int64("seed", 1, "instance and churn-schedule seed")
 		data       = fs.String("data", "", "write-ahead log directory (empty = not durable)")
+		walSegMB   = fs.Int64("wal-segment-bytes", 0, "rotate the active WAL segment at this many bytes (0 = default 4 MiB, <0 disables size rotation)")
+		walSnapEvr = fs.Int("wal-snapshot-every", 0, "checkpoint and prune the WAL every k epochs (0 = default 64, <0 disables compaction)")
 		smoke      = fs.Bool("smoke", false, "drive a short churn schedule through the HTTP API and exit")
 		epochs     = fs.Int("epochs", 8, "epochs of the smoke schedule (and the expected recovered epoch of -recover-check; 0 skips that assertion)")
 		batch      = fs.Int("batch", 15, "events per epoch of the smoke schedule")
@@ -79,6 +81,8 @@ func run(args []string, out io.Writer) error {
 		r = *region * math.Sqrt(20.0/(math.Pi*float64(*n)))
 	}
 
+	walCfg := geospanner.WALConfig{SegmentBytes: *walSegMB, SnapshotEvery: *walSnapEvr}
+
 	if *recCheck {
 		return runRecoverCheck(out, *data, *seed, *n, *region, r, *epochs, *batch)
 	}
@@ -93,7 +97,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("refusing -smoke over the existing log in %s (the smoke schedule assumes a fresh instance)", *data)
 		}
 		var info geospanner.RecoverInfo
-		s, info, err = geospanner.RecoverServer(*data)
+		s, info, err = geospanner.RecoverServer(*data, geospanner.WithWALTuning(*data, walCfg))
 		if err != nil {
 			return err
 		}
@@ -106,7 +110,7 @@ func run(args []string, out io.Writer) error {
 		}
 		var opts []geospanner.ServerOption
 		if *data != "" {
-			opts = append(opts, geospanner.WithWAL(*data))
+			opts = append(opts, geospanner.WithWALTuning(*data, walCfg))
 		}
 		s, err = geospanner.NewServer(inst.Points, r, opts...)
 		if err != nil {

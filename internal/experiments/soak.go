@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"geospanner/internal/maintain"
+	"geospanner/internal/serve"
+	"geospanner/internal/stats"
+	"geospanner/internal/udg"
+	"geospanner/internal/wal"
+)
+
+// Soak parameters: epochs applied between kills, and the aggressive
+// rotation/checkpoint cadence that makes every cycle exercise segment
+// rotation, compaction, and bounded retention (the production defaults
+// would need megabytes of churn per cycle to rotate even once).
+const (
+	soakEpochs        = 5
+	soakSegmentEpochs = 3
+	soakSnapshotEvery = 5
+	soakN             = 120
+)
+
+// soakFaults is the injected storage-fault schedule of the faulty soak
+// mode: a 5% torn-write rate and a 5% fsync-failure rate, drawn from a
+// seeded stream. The service's retry budget absorbs most of them; the
+// remainder must flip it into degraded mode and back out through Resync.
+func soakFaults(seed int64) wal.FaultConfig {
+	return wal.FaultConfig{Seed: seed, TornWriteProb: 0.05, SyncFailProb: 0.05}
+}
+
+// Soak is the kill/recover churn soak: a durable topology service runs on
+// an in-memory filesystem with an explicit durability model, a lockstep
+// non-durable reference applies exactly the acknowledged batches, and
+// every cycle the machine "loses power" (the filesystem reverts to its
+// durable view), the service is recovered from the directory alone, and
+// the recovered epoch must match the reference fingerprint bit for bit.
+// Rotation and bounded retention stay active throughout, so the log's
+// on-disk footprint must stay bounded across all cycles. One run per
+// mode: clean storage, and storage with injected faults (torn writes,
+// failing fsyncs) that must be absorbed by retries or survived through
+// the degraded-mode round trip.
+//
+// The row reports cycles survived, epochs acknowledged, the recovery-time
+// distribution (p50/max ms), the peak and final retained log bytes, and
+// the degraded entries/exits and storage errors the run observed.
+func Soak(cycles int, cfg Config) (*stats.Table, error) {
+	cfg = cfg.withDefaults()
+	tb := stats.NewTable("mode", "cycles", "epochs", "events", "degraded_in", "degraded_out",
+		"wal_errors", "recover_ms_p50", "recover_ms_max", "retained_kb_peak", "retained_kb_final", "segments_final")
+	for _, faulty := range []bool{false, true} {
+		if err := soakRun(tb, cycles, faulty, cfg); err != nil {
+			mode := "clean"
+			if faulty {
+				mode = "faulty"
+			}
+			return nil, fmt.Errorf("soak (%s): %w", mode, err)
+		}
+	}
+	return tb, nil
+}
+
+func soakRun(tb *stats.Table, cycles int, faulty bool, cfg Config) error {
+	radius := scaleRadius(soakN, cfg.Region)
+	inst, err := udg.ConnectedInstance(cfg.Seed, soakN, cfg.Region, radius, cfg.MaxTries)
+	if err != nil {
+		return err
+	}
+	mfs := wal.NewMemFS()
+	if faulty {
+		mfs.SetFaults(soakFaults(cfg.Seed))
+	}
+	walCfg := wal.Config{SnapshotEvery: soakSnapshotEvery, SegmentEpochs: soakSegmentEpochs, FS: mfs}
+	const dir = "/soak"
+	srv, err := serve.New(inst.Points, radius,
+		serve.WithWALConfig(dir, walCfg), serve.WithWALRetry(2, time.Millisecond))
+	if err != nil {
+		return err
+	}
+	ref, err := serve.New(inst.Points, radius)
+	if err != nil {
+		return err
+	}
+	sched := serve.NewScheduler(cfg.Seed+1, inst.Points, cfg.Region, radius)
+	batch := 20
+
+	var (
+		epochs, events                     int
+		degradedIn, degradedOut, walErrors int64
+		recoverMS                          stats.Accumulator
+		retainedPeak, retainedFinal        int64
+		segmentsFinal                      int
+	)
+	// applyOne lands one batch: a storage failure flips the server
+	// read-only, in which case Resync probes the (still faulty) disk until
+	// a probe round-trips and the same batch is retried — nothing reaches
+	// the reference until the durable server acknowledged it. A
+	// deterministic domain failure (maintenance rejecting a degenerate
+	// geometry) logs and applies the batch without publishing an epoch; the
+	// reference must fail identically to stay in lockstep. Returns whether
+	// the epoch was published.
+	applyOne := func(ev []maintain.Event) (bool, error) {
+		for attempt := 0; ; attempt++ {
+			if attempt > 10_000 {
+				return false, errors.New("storage never healed")
+			}
+			ep, err := srv.Apply(ev)
+			if err == nil {
+				refEp, rerr := ref.Apply(ev)
+				if rerr != nil {
+					return false, fmt.Errorf("reference apply: %w", rerr)
+				}
+				if ep.Fingerprint() != refEp.Fingerprint() {
+					return false, fmt.Errorf("epoch %d: live fingerprints diverged", ep.Seq)
+				}
+				epochs++
+				events += len(ev)
+				return true, nil
+			}
+			if errors.Is(err, serve.ErrDegraded) {
+				_ = srv.Resync()
+				continue
+			}
+			if _, rerr := ref.Apply(ev); rerr == nil {
+				return false, fmt.Errorf("domain failure did not reproduce on the reference: %v", err)
+			}
+			epochs++
+			events += len(ev)
+			return false, nil
+		}
+	}
+
+	for cycle := 1; cycle <= cycles; cycle++ {
+		published := false
+		for e := 0; e < soakEpochs; e++ {
+			ok, err := applyOne(sched.Batch(batch))
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			published = ok
+		}
+		// Recovery republishes the final state, so the cycle must end on an
+		// epoch that published (the next batch moves the degenerate node).
+		for extra := 0; !published; extra++ {
+			if extra > 50 {
+				return fmt.Errorf("cycle %d: no publishable epoch in %d extra batches", cycle, extra)
+			}
+			ok, err := applyOne(sched.Batch(batch))
+			if err != nil {
+				return fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			published = ok
+		}
+		st := srv.Stats()
+		degradedIn += st.WALDegradedEntries
+		degradedOut += st.WALDegradedExits
+		walErrors += st.WALErrors
+		if st.WALRetainedBytes > retainedPeak {
+			retainedPeak = st.WALRetainedBytes
+		}
+
+		// Power loss: the filesystem reverts to its durable view and the
+		// server is abandoned exactly as a dead process leaves it.
+		mfs.Crash()
+		want := ref.Current()
+		start := time.Now()
+		rec, info, err := serve.Recover(dir, serve.WithWALConfig(dir, walCfg), serve.WithWALRetry(2, time.Millisecond))
+		if err != nil {
+			return fmt.Errorf("cycle %d: recover: %w", cycle, err)
+		}
+		recoverMS.Add(float64(time.Since(start).Microseconds()) / 1000)
+		if info.Seq != want.Seq || rec.Current().Fingerprint() != want.Fingerprint() {
+			return fmt.Errorf("cycle %d: recovered epoch %d does not match the reference (epoch %d)",
+				cycle, info.Seq, want.Seq)
+		}
+		srv = rec
+
+		final := srv.Stats()
+		retainedFinal = final.WALRetainedBytes
+		segmentsFinal = final.WALSegments
+		if final.WALRetainedBytes > retainedPeak {
+			retainedPeak = final.WALRetainedBytes
+		}
+	}
+
+	mode := "clean"
+	if faulty {
+		mode = "faulty"
+	}
+	if faulty && (degradedIn != degradedOut) {
+		return fmt.Errorf("degraded episodes did not all exit: %d in, %d out", degradedIn, degradedOut)
+	}
+	ms := recoverMS.Values()
+	tb.AddRow(mode, cycles, epochs, events, degradedIn, degradedOut, walErrors,
+		fmt.Sprintf("%.2f", stats.Percentile(ms, 50)), fmt.Sprintf("%.2f", stats.Percentile(ms, 100)),
+		fmt.Sprintf("%.1f", float64(retainedPeak)/1024), fmt.Sprintf("%.1f", float64(retainedFinal)/1024),
+		segmentsFinal)
+	return nil
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoakSmoke runs a short kill/recover soak in both modes; any lost
+// acknowledged epoch, fingerprint divergence, stuck degraded episode,
+// or recovery failure is fatal inside Soak itself, so the test only has
+// to check the rollup shape.
+func TestSoakSmoke(t *testing.T) {
+	tb, err := Soak(3, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + clean + faulty
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "clean,3,") || !strings.HasPrefix(lines[2], "faulty,3,") {
+		t.Fatalf("unexpected soak rows:\n%s", out)
+	}
+}

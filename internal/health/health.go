@@ -105,13 +105,21 @@ type Report struct {
 	// (deadline or caller cancellation); CancelReason carries the cause.
 	Canceled     bool
 	CancelReason string
+	// Degraded reports that a live topology service (ModeLive) has lost
+	// its durable write path and is serving read-only: reads still answer
+	// from the last published epoch, but new epochs are rejected until
+	// the storage heals and the service resyncs. DegradedReason carries
+	// the storage error that flipped the flag.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Healthy reports whether the build in fact fully succeeded: no dead or
 // uncovered nodes, every component complete, nothing stuck or given up,
-// and no cancellation. A partial build of an undamaged network is healthy.
+// no cancellation, and — for a live service — a working durable write
+// path. A partial build of an undamaged network is healthy.
 func (r *Report) Healthy() bool {
-	if r.Canceled || len(r.DeadNodes) > 0 || len(r.UncoveredNodes) > 0 ||
+	if r.Canceled || r.Degraded || len(r.DeadNodes) > 0 || len(r.UncoveredNodes) > 0 ||
 		len(r.Stuck) > 0 || len(r.GiveUps) > 0 {
 		return false
 	}
@@ -184,6 +192,9 @@ func (r *Report) String() string {
 		r.Mode, r.CompleteComponents(), len(r.Components), len(r.DeadNodes), len(r.UncoveredNodes))
 	if r.Canceled {
 		fmt.Fprintf(&b, ", canceled (%s)", r.CancelReason)
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, ", DEGRADED read-only (%s)", firstLine(r.DegradedReason))
 	}
 	for i, c := range r.Components {
 		fmt.Fprintf(&b, "\n  component %d [%d nodes]: ", i, len(c.Nodes))

@@ -165,6 +165,10 @@ type StageMetrics struct {
 	EpochRecomputes  int
 	EpochFallbacks   int
 	Snapshots        int
+	// DegradedEntries / DegradedExits count the service's crossings into
+	// and out of read-only degraded mode (KindDegraded events).
+	DegradedEntries int
+	DegradedExits   int
 }
 
 // RecomputeRatio returns the fraction of epochs that rebuilt the backbone
@@ -263,6 +267,12 @@ func (m *Metrics) Emit(e Event) {
 		}
 	case KindSnapshot:
 		s.Snapshots++
+	case KindDegraded:
+		if e.Note == "exit" {
+			s.DegradedExits++
+		} else {
+			s.DegradedEntries++
+		}
 	}
 }
 
@@ -327,6 +337,9 @@ func (m *Metrics) String() string {
 			fmt.Fprintf(&b, "  epochs=%d snapshots=%d recompute_ratio=%.2f fallbacks=%d rejected=%d role_changes=%d applied %s\n",
 				s.Epochs, s.Snapshots, s.RecomputeRatio(), s.EpochFallbacks,
 				s.EpochRejected, s.EpochRoleChanges, s.EpochEvents.String())
+		}
+		if s.DegradedEntries > 0 || s.DegradedExits > 0 {
+			fmt.Fprintf(&b, "  degraded entries=%d exits=%d\n", s.DegradedEntries, s.DegradedExits)
 		}
 		types := make([]string, 0, len(s.ByType))
 		for t := range s.ByType {

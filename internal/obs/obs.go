@@ -102,6 +102,12 @@ const (
 	// Round is the epoch, N the alive node count, Sent the live UDG edge
 	// count, and Delivered the planar backbone edge count.
 	KindSnapshot Kind = "snapshot"
+	// KindDegraded marks a durable topology service crossing its
+	// degraded-mode boundary: Note is "enter" when persistent storage
+	// failure flips the service read-only and "exit" when a resync
+	// restores the durable write path; Round is the epoch sequence at the
+	// crossing.
+	KindDegraded Kind = "degraded"
 )
 
 // knownKinds is the schema: the set of kinds a valid trace may contain.
@@ -111,7 +117,7 @@ var knownKinds = map[Kind]bool{
 	KindRetransmit: true, KindGiveUp: true, KindQuiesceWait: true,
 	KindStuck: true, KindPartition: true, KindComponent: true,
 	KindShard: true, KindRepartition: true,
-	KindEpoch: true, KindSnapshot: true,
+	KindEpoch: true, KindSnapshot: true, KindDegraded: true,
 }
 
 // KnownKind reports whether k is part of the trace schema.

@@ -36,7 +36,11 @@ type HealthResponse struct {
 	Uncovered          int    `json:"uncovered"`
 	Components         int    `json:"components"`
 	CompleteComponents int    `json:"complete_components"`
-	Summary            string `json:"summary"`
+	// Degraded is true while the service is read-only after persistent
+	// storage failure; DegradedReason carries the error that flipped it.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Summary        string `json:"summary"`
 }
 
 // RouteResponse is the wire form of a route query answer. Failures use the
@@ -124,6 +128,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Uncovered:          len(report.UncoveredNodes),
 		Components:         len(report.Components),
 		CompleteComponents: report.CompleteComponents(),
+		Degraded:           report.Degraded,
+		DegradedReason:     report.DegradedReason,
 		Summary:            report.String(),
 	})
 }
@@ -174,7 +180,11 @@ func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	}
 	ep, err := s.Apply(events)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrDegraded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EpochResponse{

@@ -49,6 +49,20 @@ const Stage = "serve"
 // pinned epoch.
 var ErrNodeDown = errors.New("serve: node is down")
 
+// ErrDegraded is returned by Apply while the server is in read-only
+// degraded mode: persistent storage failure exhausted the append retry
+// budget, so new epochs are rejected (readers keep serving the last
+// published epoch) until Resync confirms the disk is healthy again.
+var ErrDegraded = errors.New("serve: degraded: write-ahead log unavailable, server is read-only")
+
+// Write-path retry defaults: a failed WAL append is retried twice, each
+// attempt preceded by a forced compaction (retention frees covered
+// segments — the ENOSPC recovery) and an exponentially growing backoff.
+const (
+	DefaultWALRetries      = 2
+	DefaultWALRetryBackoff = 2 * time.Millisecond
+)
+
 // Option configures a Server.
 type Option func(*Server)
 
@@ -58,8 +72,26 @@ func WithTracer(t obs.Tracer) Option { return func(s *Server) { s.tracer = t } }
 
 // WithFallbackFraction overrides the role-churn fraction above which an
 // epoch re-clusters from scratch (maintain.DefaultFallbackFraction by
-// default; <= 0 disables the fallback).
-func WithFallbackFraction(f float64) Option { return func(s *Server) { s.fallbackFrac = f } }
+// default; <= 0 disables the fallback). A durable server records the
+// fraction in every snapshot header, so Recover needs no explicit option:
+// pass one only to deliberately override what the log recorded.
+func WithFallbackFraction(f float64) Option {
+	return func(s *Server) { s.fallbackFrac, s.fallbackSet = f, true }
+}
+
+// WithWALRetry tunes the append retry budget: a failed append is retried
+// up to `retries` more times (after a forced compaction and backoff);
+// exhausting the budget flips the server into read-only degraded mode.
+// retries < 0 disables retrying (first failure degrades); backoff <= 0
+// keeps the default.
+func WithWALRetry(retries int, backoff time.Duration) Option {
+	return func(s *Server) {
+		s.retries = retries
+		if backoff > 0 {
+			s.retryBackoff = backoff
+		}
+	}
+}
 
 // WithWAL makes the server durable: every Apply appends the epoch's event
 // batch to a write-ahead log in dir — before the new snapshot is
@@ -82,18 +114,28 @@ type Server struct {
 	st           *maintain.State
 	seq          uint64
 	fallbackFrac float64
+	fallbackSet  bool // WithFallbackFraction given explicitly
 	tracer       obs.Tracer
 
-	walDir string
-	walCfg wal.Config
-	wal    *wal.Log
+	walDir       string
+	walCfg       wal.Config
+	wal          *wal.Log
+	retries      int
+	retryBackoff time.Duration
 
 	cur atomic.Pointer[Epoch]
+
+	// Degraded mode: set under mu, read lock-free by readers (Health,
+	// Stats, the HTTP handlers).
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string
 
 	// Cumulative counters. The writer-side ones are only written under mu
 	// but are atomics so Stats can read them from any goroutine.
 	epochs, events, applied, rejected  atomic.Int64
 	roleChanges, recomputes, fallbacks atomic.Int64
+	walErrors                          atomic.Int64
+	degradedEntries, degradedExits     atomic.Int64
 	routeQueries, routeFailures        atomic.Int64
 	topologyQueries, healthQueries     atomic.Int64
 }
@@ -107,6 +149,8 @@ func New(pts []geom.Point, radius float64, opts ...Option) (*Server, error) {
 	s := &Server{
 		st:           maintain.New(own, radius),
 		fallbackFrac: maintain.DefaultFallbackFraction,
+		retries:      DefaultWALRetries,
+		retryBackoff: DefaultWALRetryBackoff,
 	}
 	for _, o := range opts {
 		o(s)
@@ -117,7 +161,7 @@ func New(pts []geom.Point, radius float64, opts ...Option) (*Server, error) {
 	}
 	s.cur.Store(s.buildEpoch(0, conn, pldel, EpochStats{}))
 	if s.walDir != "" {
-		if s.wal, err = wal.Create(s.walDir, s.st, 0, s.walCfg); err != nil {
+		if s.wal, err = wal.Create(s.walDir, s.st, 0, s.fallbackFrac, s.walCfg); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 	}
@@ -132,6 +176,11 @@ type RecoverInfo struct {
 	SnapshotSeq uint64
 	// Replayed counts log records applied on top of the snapshot.
 	Replayed int
+	// Segments counts the log segments the replay scanned.
+	Segments int
+	// FallbackFrac is the fallback fraction replay ran with — recorded in
+	// the snapshot header unless WithFallbackFraction overrode it.
+	FallbackFrac float64
 	// TruncatedBytes counts torn or corrupt tail bytes dropped from the
 	// log (0 after a clean shutdown).
 	TruncatedBytes int64
@@ -142,16 +191,25 @@ type RecoverInfo struct {
 // deterministic maintenance path Apply uses, truncates any torn tail, and
 // publishes the recovered epoch. Because the stack is deterministic, the
 // recovered topology — roles, positions, backbone — is bit-identical to
-// the crashed server's last durable epoch (pass the same
-// WithFallbackFraction the crashed server ran with; the fraction is part
-// of the replay semantics, not the log). The returned server keeps
-// logging to dir.
+// the crashed server's last durable epoch. The fallback fraction replay
+// needs is read from the snapshot header (the log is self-describing);
+// WithFallbackFraction overrides it, which only makes sense when
+// deliberately diverging from what the crashed server ran with. The
+// returned server keeps logging to dir.
 func Recover(dir string, opts ...Option) (*Server, RecoverInfo, error) {
-	s := &Server{fallbackFrac: maintain.DefaultFallbackFraction}
+	s := &Server{
+		fallbackFrac: maintain.DefaultFallbackFraction,
+		retries:      DefaultWALRetries,
+		retryBackoff: DefaultWALRetryBackoff,
+	}
 	for _, o := range opts {
 		o(s)
 	}
-	log, res, err := wal.Recover(dir, s.fallbackFrac, s.walCfg)
+	frac := math.NaN() // read it from the snapshot header
+	if s.fallbackSet {
+		frac = s.fallbackFrac
+	}
+	log, res, err := wal.Recover(dir, frac, s.walCfg)
 	if err != nil {
 		return nil, RecoverInfo{}, fmt.Errorf("serve: recover: %w", err)
 	}
@@ -159,8 +217,11 @@ func Recover(dir string, opts ...Option) (*Server, RecoverInfo, error) {
 		Seq:            res.Seq,
 		SnapshotSeq:    res.SnapshotSeq,
 		Replayed:       res.Replayed,
+		Segments:       res.Segments,
+		FallbackFrac:   res.FallbackFrac,
 		TruncatedBytes: res.TruncatedBytes,
 	}
+	s.fallbackFrac = res.FallbackFrac
 	s.st, s.seq, s.wal, s.walDir = res.State, res.Seq, log, dir
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
@@ -178,21 +239,29 @@ func Recover(dir string, opts ...Option) (*Server, RecoverInfo, error) {
 func (s *Server) Snapshot(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return wal.WriteSnapshot(w, s.st, s.seq)
+	return wal.WriteSnapshot(w, s.st, s.seq, s.fallbackFrac)
 }
 
 // Restore builds a server from a Snapshot stream, resuming at the backed-up
-// epoch with a topology bit-identical to the one serialized. Combine with
-// WithWAL to start a fresh durable log at the restored sequence (the
-// directory must not already hold a log).
+// epoch with a topology bit-identical to the one serialized and the
+// fallback fraction recorded in the backup header (WithFallbackFraction
+// overrides it). Combine with WithWAL to start a fresh durable log at the
+// restored sequence (the directory must not already hold a log).
 func Restore(r io.Reader, opts ...Option) (*Server, error) {
-	st, seq, err := wal.ReadSnapshot(r)
+	st, seq, frac, err := wal.ReadSnapshot(r)
 	if err != nil {
 		return nil, fmt.Errorf("serve: restore: %w", err)
 	}
-	s := &Server{st: st, seq: seq, fallbackFrac: maintain.DefaultFallbackFraction}
+	s := &Server{st: st, seq: seq,
+		fallbackFrac: maintain.DefaultFallbackFraction,
+		retries:      DefaultWALRetries,
+		retryBackoff: DefaultWALRetryBackoff,
+	}
 	for _, o := range opts {
 		o(s)
+	}
+	if !s.fallbackSet {
+		s.fallbackFrac = frac
 	}
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
@@ -200,7 +269,7 @@ func Restore(r io.Reader, opts ...Option) (*Server, error) {
 	}
 	s.cur.Store(s.buildEpoch(seq, conn, pldel, EpochStats{}))
 	if s.walDir != "" {
-		if s.wal, err = wal.Create(s.walDir, s.st, seq, s.walCfg); err != nil {
+		if s.wal, err = wal.Create(s.walDir, s.st, seq, s.fallbackFrac, s.walCfg); err != nil {
 			return nil, fmt.Errorf("serve: restore: %w", err)
 		}
 	}
@@ -232,17 +301,28 @@ func (s *Server) Current() *Epoch { return s.cur.Load() }
 // Apply calls serialize; readers keep serving the previous epoch until the
 // new pointer is stored. On a durable server the batch is appended to the
 // write-ahead log — and fsync'd, at the configured cadence — before any
-// state changes, so every epoch a reader can observe is recoverable. On
-// error (append failure, planarization failure) the previous epoch stays
-// current; after a planarization failure the maintained roles retain the
+// state changes, so every epoch a reader can observe is recoverable.
+//
+// The storage error policy: a failed append never swaps the snapshot —
+// the epoch is rejected and the previous epoch stays current. Transient
+// failures are retried (forced compaction to free space, bounded
+// exponential backoff); exhausting the budget flips the server into
+// read-only degraded mode (ErrDegraded, surfaced through Health, /healthz
+// and /v1/stats) until Resync confirms the disk is writable again. A
+// checkpoint failure after the epoch is published costs recovery time,
+// not correctness, so it is counted (wal_errors) but does not fail the
+// epoch. After a planarization failure the maintained roles retain the
 // applied events and the log retains the record, keeping log and state
 // aligned for recovery.
 func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
+	if s.degraded.Load() {
+		return nil, fmt.Errorf("%w (%s)", ErrDegraded, s.degradedReasonStr())
+	}
 	if s.wal != nil {
-		if err := s.wal.Append(s.seq+1, events); err != nil {
+		if err := s.appendWithRetryLocked(s.seq+1, events); err != nil {
 			return nil, fmt.Errorf("serve: epoch %d: %w", s.seq+1, err)
 		}
 	}
@@ -262,7 +342,9 @@ func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 	s.cur.Store(ep)
 	if s.wal != nil {
 		if _, err := s.wal.MaybeCompact(s.st, s.seq); err != nil {
-			return nil, fmt.Errorf("serve: epoch %d: %w", s.seq, err)
+			// The epoch is durable and published; a failed checkpoint
+			// lengthens replay but loses nothing. The next epoch retries.
+			s.walErrors.Add(1)
 		}
 	}
 
@@ -291,6 +373,96 @@ func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 		})
 	}
 	return ep, nil
+}
+
+// appendWithRetryLocked is the write-path error policy: append, and on
+// failure force a compaction (retention frees every covered segment — the
+// ENOSPC escape hatch), heal the log tail, back off, and retry, up to the
+// configured budget. Exhausting the budget enters degraded mode. Caller
+// holds mu; a nil return means the record is durable.
+func (s *Server) appendWithRetryLocked(seq uint64, events []maintain.Event) error {
+	retries := s.retries
+	if retries < 0 {
+		retries = 0 // first failure degrades
+	}
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			if cerr := s.wal.ForceCompact(s.st, s.seq); cerr != nil {
+				s.walErrors.Add(1)
+			}
+			if herr := s.wal.Heal(); herr != nil {
+				s.walErrors.Add(1)
+			}
+			time.Sleep(s.retryBackoff << (attempt - 1))
+		}
+		if err = s.wal.Append(seq, events); err == nil {
+			return nil
+		}
+		s.walErrors.Add(1)
+	}
+	s.enterDegradedLocked(err.Error())
+	return fmt.Errorf("%w: %v", ErrDegraded, err)
+}
+
+// enterDegradedLocked flips the server read-only. Caller holds mu.
+func (s *Server) enterDegradedLocked(reason string) {
+	if s.degraded.Load() {
+		return
+	}
+	s.degradedReason.Store(reason)
+	s.degraded.Store(true)
+	s.degradedEntries.Add(1)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Kind: obs.KindDegraded, Stage: Stage, Round: int(s.seq),
+			From: obs.NoNode, To: obs.NoNode, Note: "enter",
+		})
+	}
+}
+
+func (s *Server) degradedReasonStr() string {
+	if r, ok := s.degradedReason.Load().(string); ok {
+		return r
+	}
+	return ""
+}
+
+// Degraded reports whether the server is in read-only degraded mode, with
+// the storage error that caused it.
+func (s *Server) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	return true, s.degradedReasonStr()
+}
+
+// Resync probes the durable write path after a storage failure: it heals
+// the log (drops any suspect tail bytes, fsyncs the segment and the
+// directory) and, if the disk confirms every step, returns the server to
+// writable. A no-op on a healthy or non-durable server. The caller
+// decides when to probe — on an operator signal, a timer, or a disk-space
+// alarm clearing.
+func (s *Server) Resync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil || !s.degraded.Load() {
+		return nil
+	}
+	if err := s.wal.Heal(); err != nil {
+		s.walErrors.Add(1)
+		return fmt.Errorf("serve: resync: %w", err)
+	}
+	s.degraded.Store(false)
+	s.degradedReason.Store("")
+	s.degradedExits.Add(1)
+	if s.tracer != nil {
+		s.tracer.Emit(obs.Event{
+			Kind: obs.KindDegraded, Stage: Stage, Round: int(s.seq),
+			From: obs.NoNode, To: obs.NoNode, Note: "exit",
+		})
+	}
+	return nil
 }
 
 // State exposes the maintained state for in-process drivers (tests, the
@@ -551,10 +723,18 @@ func (s *Server) Topology() Topology {
 }
 
 // Health pins the current epoch and returns its live report with the
-// epoch it describes.
+// epoch it describes. While the server is degraded, the report carries
+// the Degraded flag and the storage error (on a copy — the epoch's own
+// report stays immutable).
 func (s *Server) Health() (*health.Report, uint64) {
 	s.healthQueries.Add(1)
 	ep := s.Current()
+	if s.degraded.Load() {
+		r := *ep.Report
+		r.Degraded = true
+		r.DegradedReason = s.degradedReasonStr()
+		return &r, ep.Seq
+	}
 	return ep.Report, ep.Seq
 }
 
@@ -585,6 +765,22 @@ type Stats struct {
 	WALCheckpointAge int64 `json:"wal_checkpoint_age,omitempty"`
 	// WALSyncAgeMS is the wall time since the last fsync.
 	WALSyncAgeMS int64 `json:"wal_sync_age_ms,omitempty"`
+	// WALSegments counts log segments on disk; WALRetainedBytes is the
+	// log's whole footprint (snapshots + retained segments) — bounded
+	// retention keeps it from growing monotonically.
+	WALSegments      int   `json:"wal_segments,omitempty"`
+	WALRetainedBytes int64 `json:"wal_retained_bytes,omitempty"`
+	// WALDegraded is true while the server is read-only after persistent
+	// storage failure (the ops signal: reads still answer, writes are
+	// rejected until a resync). WALErrors counts every storage error the
+	// write path observed, transient or not.
+	WALDegraded       bool   `json:"wal_degraded"`
+	WALDegradedReason string `json:"wal_degraded_reason,omitempty"`
+	WALErrors         int64  `json:"wal_errors,omitempty"`
+	// WALDegradedEntries / WALDegradedExits count the crossings into and
+	// out of degraded mode over the server's lifetime.
+	WALDegradedEntries int64 `json:"wal_degraded_entries,omitempty"`
+	WALDegradedExits   int64 `json:"wal_degraded_exits,omitempty"`
 }
 
 // Stats reports the cumulative per-epoch and query counters plus the age
@@ -618,6 +814,12 @@ func (s *Server) Stats() Stats {
 		st.WALCheckpointSeq = ws.SnapshotSeq
 		st.WALCheckpointAge = ws.SnapshotAge
 		st.WALSyncAgeMS = time.Since(ws.LastSync).Milliseconds()
+		st.WALSegments = ws.Segments
+		st.WALRetainedBytes = ws.RetainedBytes
+		st.WALDegraded, st.WALDegradedReason = s.Degraded()
+		st.WALErrors = s.walErrors.Load()
+		st.WALDegradedEntries = s.degradedEntries.Load()
+		st.WALDegradedExits = s.degradedExits.Load()
 	}
 	return st
 }

@@ -1,0 +1,328 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"geospanner/internal/geom"
+	"geospanner/internal/maintain"
+	"geospanner/internal/serve"
+	"geospanner/internal/udg"
+	"geospanner/internal/wal"
+)
+
+// The fault matrix drives the log through a MemFS with injected storage
+// failures and checks the durability contract from ISSUE acceptance:
+// across torn writes, failing and lying fsyncs, ENOSPC, and a crash at
+// every single mutating filesystem operation, no acknowledged epoch is
+// ever lost and recovery is bit-identical to a reference server that
+// applied the same acknowledged batches.
+
+// faultFixture builds a deterministic instance and pre-generated epoch
+// batches (the scheduler is seeded, so every run sees the same schedule).
+func faultFixture(t *testing.T, epochs, batch int) (*udg.Instance, [][]maintain.Event) {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(9, 30, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := serve.NewScheduler(5, inst.Points, 200, inst.Radius)
+	batches := make([][]maintain.Event, epochs)
+	for i := range batches {
+		batches[i] = sched.Batch(batch)
+	}
+	return inst, batches
+}
+
+// driveMem replays batches onto a fresh MemFS-backed log. It returns the
+// highest acknowledged epoch and the error that stopped the run (nil when
+// every batch was acknowledged). retries > 0 retries a failed append —
+// the log must heal its own tail between attempts.
+func driveMem(mfs *wal.MemFS, inst *udg.Instance, batches [][]maintain.Event, cfg wal.Config, retries int) (uint64, error) {
+	cfg.FS = mfs
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	log, err := wal.Create("/log", st, 0, matrixFrac, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer log.Close()
+	var acked uint64
+	for e := uint64(1); e <= uint64(len(batches)); e++ {
+		var aerr error
+		for a := 0; a <= retries; a++ {
+			if aerr = log.Append(e, batches[e-1]); aerr == nil {
+				break
+			}
+		}
+		if aerr != nil {
+			return acked, aerr
+		}
+		acked = e
+		st.ApplyBatch(batches[e-1], matrixFrac)
+		if _, cerr := log.MaybeCompact(st, e); cerr != nil {
+			if retries == 0 {
+				return acked, cerr
+			}
+			// Under retried fault schedules, mirror the service's policy: a
+			// failed checkpoint after an acknowledged epoch costs recovery
+			// time, not correctness; the next epoch retries it.
+		}
+	}
+	return acked, nil
+}
+
+// recoverMem recovers the MemFS-backed directory and asserts the state is
+// bit-identical to a reference that stopped at the recovered epoch.
+func recoverMem(t *testing.T, label string, mfs *wal.MemFS, inst *udg.Instance, batches [][]maintain.Event, cfg wal.Config) *wal.RecoverResult {
+	t.Helper()
+	cfg.FS = mfs
+	log, res, err := wal.Recover("/log", math.NaN(), cfg)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", label, err)
+	}
+	defer log.Close()
+	if res.FallbackFrac != matrixFrac {
+		t.Fatalf("%s: recovered fallback fraction %v, want %v", label, res.FallbackFrac, matrixFrac)
+	}
+	stateEqual(t, label, res.State, reference(inst, batches, int(res.Seq)))
+	return res
+}
+
+// TestKillPointMatrix is the exhaustive crash sweep: the same workload is
+// killed at mutating filesystem operation k, for every k the clean run
+// performs — mid snapshot write, between tmp-write and rename, between
+// rename and directory sync, mid record write, mid rotation, mid
+// retention — and every kill point must recover every acknowledged epoch.
+func TestKillPointMatrix(t *testing.T) {
+	inst, batches := faultFixture(t, 8, 12)
+	cfg := wal.Config{SnapshotEvery: 3, SegmentEpochs: 2}
+
+	clean := wal.NewMemFS()
+	if acked, err := driveMem(clean, inst, batches, cfg, 0); err != nil || acked != 8 {
+		t.Fatalf("clean run: acked=%d err=%v", acked, err)
+	}
+	total := clean.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously few mutating operations: %d", total)
+	}
+
+	for op := int64(1); op <= total; op++ {
+		mfs := wal.NewMemFS()
+		mfs.SetFaults(wal.FaultConfig{CrashAtOp: op})
+		acked, runErr := driveMem(mfs, inst, batches, cfg, 0)
+		mfs.Crash()
+
+		label := fmt.Sprintf("kill at op %d/%d (acked %d)", op, total, acked)
+		killCfg := cfg
+		killCfg.FS = mfs
+		log, res, err := wal.Recover("/log", math.NaN(), killCfg)
+		if err != nil {
+			// Only a machine that never acknowledged anything and never
+			// made its base snapshot durable may fail to recover.
+			if acked == 0 {
+				continue
+			}
+			t.Fatalf("%s: recover: %v", label, err)
+		}
+		if res.Seq < acked {
+			t.Fatalf("%s: recovered only to epoch %d: acknowledged epoch lost", label, res.Seq)
+		}
+		stateEqual(t, label, res.State, reference(inst, batches, int(res.Seq)))
+		// Recovery is a resumption point even after an injected crash.
+		if err := log.Append(res.Seq+1, []maintain.Event{maintain.NewCrash(0)}); err != nil {
+			t.Fatalf("%s: append after recovery: %v", label, err)
+		}
+		log.Close()
+		if runErr == nil && acked != 8 {
+			t.Fatalf("%s: run stopped without an error before epoch 8", label)
+		}
+	}
+}
+
+// TestTornWritesRetryToFullRecovery: with a 30% torn-write rate, retried
+// appends must heal the suspect tail and eventually acknowledge every
+// epoch, and a crash afterwards must recover all of them.
+func TestTornWritesRetryToFullRecovery(t *testing.T) {
+	inst, batches := faultFixture(t, 8, 12)
+	cfg := wal.Config{SnapshotEvery: 3, SegmentEpochs: 2}
+	mfs := wal.NewMemFS()
+	mfs.SetFaults(wal.FaultConfig{Seed: 3, TornWriteProb: 0.3})
+	acked, err := driveMem(mfs, inst, batches, cfg, 100)
+	if err != nil || acked != 8 {
+		t.Fatalf("torn-write run: acked=%d err=%v", acked, err)
+	}
+	mfs.Crash()
+	if res := recoverMem(t, "torn writes", mfs, inst, batches, cfg); res.Seq != 8 {
+		t.Fatalf("recovered to %d, want 8", res.Seq)
+	}
+}
+
+// TestFsyncFailuresRetryToFullRecovery: a failed fsync rolls the record
+// back (never acknowledged), and the retry path re-appends it.
+func TestFsyncFailuresRetryToFullRecovery(t *testing.T) {
+	inst, batches := faultFixture(t, 8, 12)
+	cfg := wal.Config{SnapshotEvery: 3, SegmentEpochs: 2}
+	mfs := wal.NewMemFS()
+	mfs.SetFaults(wal.FaultConfig{Seed: 5, SyncFailProb: 0.4})
+	acked, err := driveMem(mfs, inst, batches, cfg, 100)
+	if err != nil || acked != 8 {
+		t.Fatalf("fsync-failure run: acked=%d err=%v", acked, err)
+	}
+	mfs.Crash()
+	if res := recoverMem(t, "fsync failures", mfs, inst, batches, cfg); res.Seq != 8 {
+		t.Fatalf("recovered to %d, want 8", res.Seq)
+	}
+}
+
+// TestLyingFsyncRecoversACleanPrefix: a disk that reports success without
+// persisting breaks the acknowledged-data guarantee — nothing can survive
+// that — but recovery must still land on a valid, gap-free prefix of the
+// acknowledged epochs, never on garbage and never with an error.
+func TestLyingFsyncRecoversACleanPrefix(t *testing.T) {
+	inst, batches := faultFixture(t, 8, 12)
+	// No rotation or compaction: a lying fsync during retention could
+	// legitimately lose the only durable snapshot, which is the one data
+	// loss this drill does not claim to survive.
+	cfg := wal.Config{SnapshotEvery: -1, SegmentBytes: -1}
+	mfs := wal.NewMemFS()
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	createCfg := cfg
+	createCfg.FS = mfs
+	log, err := wal.Create("/log", st, 0, matrixFrac, createCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfs.SetFaults(wal.FaultConfig{Seed: 7, SyncLieProb: 0.5})
+	for e := uint64(1); e <= 8; e++ {
+		if err := log.Append(e, batches[e-1]); err != nil {
+			t.Fatalf("append %d under lying fsync: %v", e, err)
+		}
+		st.ApplyBatch(batches[e-1], matrixFrac)
+	}
+	mfs.Crash()
+	res := recoverMem(t, "lying fsync", mfs, inst, batches, cfg)
+	if res.Seq > 8 {
+		t.Fatalf("recovered past the acknowledged epochs: %d", res.Seq)
+	}
+}
+
+// TestRetentionNeverLosesRecovery is the retention property test: at
+// every epoch of a rotating, compacting workload, a clone of the durable
+// disk state must recover bit-identically — bounded retention may only
+// ever delete segments whose records a durable snapshot already covers.
+func TestRetentionNeverLosesRecovery(t *testing.T) {
+	inst, batches := faultFixture(t, 10, 12)
+	cfg := wal.Config{SnapshotEvery: 3, SegmentEpochs: 2, FS: wal.NewMemFS()}
+	mfs := cfg.FS.(*wal.MemFS)
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	log, err := wal.Create("/log", st, 0, matrixFrac, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+
+	rotated := false
+	for e := uint64(1); e <= 10; e++ {
+		if err := log.Append(e, batches[e-1]); err != nil {
+			t.Fatalf("append %d: %v", e, err)
+		}
+		// Rotation happens on append; a compaction right after may collapse
+		// the chain again, so observe the segment count here.
+		if log.Stats().Segments > 1 {
+			rotated = true
+		}
+		st.ApplyBatch(batches[e-1], matrixFrac)
+		if _, err := log.MaybeCompact(st, e); err != nil {
+			t.Fatalf("compact %d: %v", e, err)
+		}
+		if stats := log.Stats(); stats.RetainedBytes <= 0 {
+			t.Fatalf("epoch %d: retained bytes %d", e, stats.RetainedBytes)
+		}
+
+		clone := mfs.Clone()
+		clone.Crash() // durable view only, as a reboot would see it
+		res := recoverMem(t, fmt.Sprintf("clone at epoch %d", e), clone, inst, batches, cfg)
+		if res.Seq != e {
+			t.Fatalf("clone at epoch %d recovered to %d", e, res.Seq)
+		}
+	}
+	if !rotated {
+		t.Fatal("the workload never rotated a segment; the property was not exercised")
+	}
+	// The directory stays bounded: with SnapshotEvery=3 and SegmentEpochs=2
+	// at most one snapshot interval of segments survives retention.
+	if stats := log.Stats(); stats.Segments > 4 {
+		t.Fatalf("retention let the chain grow to %d segments", stats.Segments)
+	}
+}
+
+// TestENOSPCForceCompactFreesSpace: on a full disk, a forced compaction
+// plus retention genuinely frees space (covered segments and superseded
+// snapshots are deleted), and the failed append succeeds on retry.
+func TestENOSPCForceCompactFreesSpace(t *testing.T) {
+	inst, batches := faultFixture(t, 6, 30)
+	cfg := wal.Config{SnapshotEvery: -1, SegmentEpochs: 2, FS: wal.NewMemFS()}
+	mfs := cfg.FS.(*wal.MemFS)
+	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
+	log, err := wal.Create("/log", st, 0, matrixFrac, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for e := uint64(1); e <= 3; e++ {
+		if err := log.Append(e, batches[e-1]); err != nil {
+			t.Fatalf("append %d: %v", e, err)
+		}
+		st.ApplyBatch(batches[e-1], matrixFrac)
+	}
+
+	// Cap the disk with less headroom than one record but more than one
+	// snapshot: the next append must hit ENOSPC, and compaction must fit.
+	mfs.SetCapacity(mfs.TotalBytes() + 700)
+	err = log.Append(4, batches[3])
+	if !errors.Is(err, wal.ErrNoSpace) {
+		t.Fatalf("append on a full disk: %v, want ErrNoSpace", err)
+	}
+	before := log.Stats().RetainedBytes
+
+	if err := log.ForceCompact(st, 3); err != nil {
+		t.Fatalf("forced compaction on a full disk: %v", err)
+	}
+	if err := log.Heal(); err != nil {
+		t.Fatalf("heal after ENOSPC: %v", err)
+	}
+	if after := log.Stats().RetainedBytes; after >= before {
+		t.Fatalf("compaction freed nothing: %d -> %d bytes", before, after)
+	}
+	for e := uint64(4); e <= 6; e++ {
+		if err := log.Append(e, batches[e-1]); err != nil {
+			t.Fatalf("append %d after compaction: %v", e, err)
+		}
+		st.ApplyBatch(batches[e-1], matrixFrac)
+	}
+
+	mfs.Crash()
+	if res := recoverMem(t, "after ENOSPC", mfs, inst, batches, cfg); res.Seq != 6 {
+		t.Fatalf("recovered to %d, want 6", res.Seq)
+	}
+}
+
+// TestRotationBuildsARecoverableChain: rotation on its own (no snapshots
+// past the base one) leaves a multi-segment chain whose replay crosses
+// every boundary gap-free.
+func TestRotationBuildsARecoverableChain(t *testing.T) {
+	inst, batches := faultFixture(t, 8, 12)
+	cfg := wal.Config{SnapshotEvery: -1, SegmentEpochs: 3}
+	mfs := wal.NewMemFS()
+	acked, err := driveMem(mfs, inst, batches, cfg, 0)
+	if err != nil || acked != 8 {
+		t.Fatalf("rotating run: acked=%d err=%v", acked, err)
+	}
+	mfs.Crash()
+	res := recoverMem(t, "rotated chain", mfs, inst, batches, cfg)
+	if res.Seq != 8 || res.Segments < 3 {
+		t.Fatalf("recovered seq=%d across %d segments, want seq 8 across >=3", res.Seq, res.Segments)
+	}
+}

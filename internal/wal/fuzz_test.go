@@ -2,9 +2,13 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"math"
 	"testing"
 
+	"geospanner/internal/cluster"
 	"geospanner/internal/geom"
 	"geospanner/internal/maintain"
 )
@@ -67,6 +71,74 @@ func FuzzWALRecord(f *testing.F) {
 			}
 		}
 		t.Fatalf("decoder looped past the input length")
+	})
+}
+
+// seedSnapshots builds valid v2 and v1 snapshot blobs for the fuzz corpus.
+// The v1 blob is the v2 one with the fraction field spliced out, the
+// version byte lowered, and the checksum recomputed — the exact layout
+// pre-fraction servers wrote.
+func seedSnapshots() [][]byte {
+	v2 := encodeSnapshot(snapshotState{
+		seq: 7, radius: 60.5, frac: 0.25,
+		pts:    []geom.Point{{X: 1.5, Y: 2.25}, {X: 3, Y: 4}},
+		alive:  []bool{true, false},
+		status: []cluster.Status{0, 1},
+	})
+	fracOff := len(snapMagic) + 1 + 16
+	v1 := append([]byte(nil), v2[:fracOff]...)
+	v1 = append(v1, v2[fracOff+8:len(v2)-4]...)
+	v1[len(snapMagic)] = 1
+	v1 = binary.LittleEndian.AppendUint32(v1, crc32.Checksum(v1, castagnoli))
+	return [][]byte{v2, v1}
+}
+
+// FuzzWALSnapshot hammers the snapshot decoder with arbitrary bytes: it
+// must never panic, classify every failure as corrupt or unsupported, and
+// accept both header versions. Every accepted blob must survive a
+// re-encode/decode round trip with identical fields (NaN-tolerant, since
+// a v1 header decodes the unrecorded fraction as NaN).
+func FuzzWALSnapshot(f *testing.F) {
+	for _, seed := range seedSnapshots() {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-3]) // truncated
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/2] ^= 0x20 // corrupt body
+		f.Add(flipped)
+		vers := append([]byte(nil), seed...)
+		vers[len(snapMagic)] = 9 // future version
+		f.Add(vers)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+
+	bitsEq := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := decodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, errCorrupt) && !errors.Is(err, ErrUnsupportedVersion) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		re, err := decodeSnapshot(encodeSnapshot(st))
+		if err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		if re.seq != st.seq || !bitsEq(re.radius, st.radius) || !bitsEq(re.frac, st.frac) ||
+			len(re.pts) != len(st.pts) {
+			t.Fatalf("round trip changed the header: %+v vs %+v", re, st)
+		}
+		for i := range st.pts {
+			if !bitsEq(re.pts[i].X, st.pts[i].X) || !bitsEq(re.pts[i].Y, st.pts[i].Y) {
+				t.Fatalf("round trip changed node %d's position", i)
+			}
+			if re.alive[i] != st.alive[i] || re.status[i] != st.status[i] {
+				t.Fatalf("round trip changed node %d's role", i)
+			}
+		}
 	})
 }
 

@@ -1,0 +1,445 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Injected storage failures. Tests match with errors.Is; the serve layer
+// treats them like any other disk error (reject, retry, degrade).
+var (
+	// ErrNoSpace is the injected ENOSPC of a capacity-limited MemFS: the
+	// write persisted only the prefix that fit.
+	ErrNoSpace = errors.New("wal: injected ENOSPC: no space left on device")
+	// ErrCrashed marks operations issued after the configured crash point:
+	// the simulated machine is off. Call MemFS.Crash to reboot it.
+	ErrCrashed = errors.New("wal: injected crash: filesystem is gone")
+	// errTornWrite is the injected mid-write failure: a prefix persisted.
+	errTornWrite = errors.New("wal: injected torn write")
+	// errSyncFail is the injected fsync failure: content intact in the
+	// page cache, nothing made durable.
+	errSyncFail = errors.New("wal: injected fsync failure")
+)
+
+// FaultConfig is the deterministic seeded fault schedule of a MemFS. The
+// zero value injects nothing. Probabilistic faults draw from one seeded
+// stream in operation order, so the same schedule over the same workload
+// always fails at the same points.
+type FaultConfig struct {
+	// Seed seeds the fault stream.
+	Seed int64
+	// TornWriteProb is the per-write probability that only a prefix of
+	// the buffer persists and the write errors — a crash mid-write.
+	TornWriteProb float64
+	// SyncFailProb is the per-fsync probability of an error (content
+	// stays in the volatile layer; nothing becomes durable).
+	SyncFailProb float64
+	// SyncLieProb is the per-fsync probability of a lying fsync: success
+	// is reported but nothing becomes durable. No software survives this
+	// with full acknowledged-data guarantees; the drill asserts recovery
+	// still lands on a clean, gap-free prefix.
+	SyncLieProb float64
+	// CrashAtOp, when > 0, kills the filesystem at the CrashAtOp-th
+	// mutating operation (1-based: OpenFile, Write, Sync, Truncate,
+	// Rename, Remove, SyncDir): that operation and every later one fail
+	// with ErrCrashed, with a write persisting a deterministic prefix
+	// first. Sweep it over [1, Ops()] for a kill-point matrix.
+	CrashAtOp int64
+}
+
+// memFile is one file's two layers: what the running process sees (data)
+// and what would survive a crash (synced).
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+// MemFS is a deterministic in-memory filesystem with an explicit
+// durability model, built to drill the log's crash story:
+//
+//   - file content is durable only up to the last successful Sync;
+//   - renames, removes, and creations are durable only after a SyncDir
+//     of the containing directory;
+//   - Crash() reverts the whole filesystem to its durable view — exactly
+//     the state a machine reboot would expose;
+//   - a FaultConfig injects torn writes, failing or lying fsyncs, and a
+//     crash point; SetCapacity models a small disk (ENOSPC).
+//
+// MemFS implements FS; plug it in via Config.FS.
+type MemFS struct {
+	mu       sync.Mutex
+	files    map[string]*memFile // volatile namespace
+	durable  map[string]*memFile // namespace as of the last SyncDir
+	capacity int64               // 0 = unlimited
+	faults   FaultConfig
+	rng      *rand.Rand
+	ops      int64
+	crashed  bool
+}
+
+// NewMemFS returns an empty in-memory filesystem with no faults and no
+// capacity limit.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+	}
+}
+
+// SetFaults installs a fault schedule (replacing any previous one and
+// restarting its seeded stream).
+func (m *MemFS) SetFaults(cfg FaultConfig) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults = cfg
+	m.rng = rand.New(rand.NewSource(cfg.Seed))
+}
+
+// SetCapacity bounds the disk: writes that would push the total volatile
+// byte count past cap persist only the prefix that fits and fail with
+// ErrNoSpace. 0 removes the limit.
+func (m *MemFS) SetCapacity(capBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.capacity = capBytes
+}
+
+// Ops returns the number of mutating operations performed so far — the
+// range a kill-point sweep iterates over.
+func (m *MemFS) Ops() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// TotalBytes sums the volatile content of every file (the "disk usage"
+// the capacity limit meters).
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalLocked()
+}
+
+func (m *MemFS) totalLocked() int64 {
+	var n int64
+	for _, f := range m.files {
+		n += int64(len(f.data))
+	}
+	return n
+}
+
+// Crash reverts the filesystem to its durable view — un-synced file
+// content and un-SyncDir'd renames, removes, and creations are gone —
+// and turns it back on (clearing any reached crash point, not the rest
+// of the fault schedule).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	files := make(map[string]*memFile, len(m.durable))
+	for name, f := range m.durable {
+		f.data = append([]byte(nil), f.synced...)
+		files[name] = f
+	}
+	m.files = files
+	m.crashed = false
+	m.faults.CrashAtOp = 0
+}
+
+// Clone deep-copies the filesystem, preserving the volatile/durable
+// structure — recover a clone to autopsy a state without disturbing the
+// original. The clone carries no fault schedule.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	moved := make(map[*memFile]*memFile, len(m.files))
+	cp := func(f *memFile) *memFile {
+		if g, ok := moved[f]; ok {
+			return g
+		}
+		g := &memFile{
+			data:   append([]byte(nil), f.data...),
+			synced: append([]byte(nil), f.synced...),
+		}
+		moved[f] = g
+		return g
+	}
+	c := NewMemFS()
+	for name, f := range m.files {
+		c.files[name] = cp(f)
+	}
+	for name, f := range m.durable {
+		c.durable[name] = cp(f)
+	}
+	c.capacity = m.capacity
+	return c
+}
+
+// step advances the mutating-operation counter and reports whether the
+// filesystem is (now) dead. Caller holds mu.
+func (m *MemFS) step() bool {
+	if m.crashed {
+		return true
+	}
+	m.ops++
+	if m.faults.CrashAtOp > 0 && m.ops >= m.faults.CrashAtOp {
+		m.crashed = true
+	}
+	return m.crashed
+}
+
+// draw samples the seeded fault stream; it is only consulted when the
+// corresponding probability is non-zero, so disabling a fault class does
+// not shift the others' draws.
+func (m *MemFS) draw() float64 { return m.rng.Float64() }
+
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.step() {
+		return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+	}
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, fmt.Errorf("open %s: %w", name, os.ErrNotExist)
+	case !ok:
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.crashed {
+		return nil, fmt.Errorf("read %s: %w", name, ErrCrashed)
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	if m.step() {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrCrashed)
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldpath, os.ErrNotExist)
+	}
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.step() {
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	}
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error { return nil }
+
+func (m *MemFS) Glob(pattern string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	pattern = filepath.Clean(pattern)
+	var out []string
+	for name := range m.files {
+		ok, err := filepath.Match(pattern, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.crashed {
+		return 0, fmt.Errorf("stat %s: %w", name, ErrCrashed)
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("stat %s: %w", name, os.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}
+
+// SyncDir makes the current namespace durable: every rename, remove, and
+// creation so far survives a Crash. (MemFS models one flat directory
+// table, which is exactly the shape of a log directory.)
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return fmt.Errorf("dir sync %s: %w", dir, ErrCrashed)
+	}
+	durable := make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		durable[name] = f
+	}
+	m.durable = durable
+	return nil
+}
+
+// memHandle is one open MemFS file with a seek position.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	f      *memFile
+	pos    int64
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.fs.step() {
+		// The machine died mid-write: a deterministic prefix persists.
+		n := h.writeLocked(p[:len(p)/2])
+		return n, fmt.Errorf("write %s: %w", h.name, ErrCrashed)
+	}
+	if h.fs.faults.TornWriteProb > 0 && h.fs.draw() < h.fs.faults.TornWriteProb {
+		keep := 0
+		if len(p) > 0 {
+			keep = h.fs.rng.Intn(len(p))
+		}
+		n := h.writeLocked(p[:keep])
+		return n, fmt.Errorf("write %s: %w", h.name, errTornWrite)
+	}
+	if h.fs.capacity > 0 {
+		grow := h.pos + int64(len(p)) - int64(len(h.f.data))
+		if grow < 0 {
+			grow = 0
+		}
+		if free := h.fs.capacity - h.fs.totalLocked(); grow > free {
+			keep := int64(len(p)) - (grow - free)
+			if keep < 0 {
+				keep = 0
+			}
+			n := h.writeLocked(p[:keep])
+			return n, fmt.Errorf("write %s: %w", h.name, ErrNoSpace)
+		}
+	}
+	return h.writeLocked(p), nil
+}
+
+// writeLocked applies a write at the current position, zero-filling any
+// gap, and advances the position. Caller holds fs.mu.
+func (h *memHandle) writeLocked(p []byte) int {
+	end := h.pos + int64(len(p))
+	for int64(len(h.f.data)) < end {
+		h.f.data = append(h.f.data, 0)
+	}
+	copy(h.f.data[h.pos:end], p)
+	h.pos = end
+	return len(p)
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.step() {
+		return fmt.Errorf("sync %s: %w", h.name, ErrCrashed)
+	}
+	if h.fs.faults.SyncFailProb > 0 || h.fs.faults.SyncLieProb > 0 {
+		r := h.fs.draw()
+		if r < h.fs.faults.SyncFailProb {
+			return fmt.Errorf("sync %s: %w", h.name, errSyncFail)
+		}
+		if r < h.fs.faults.SyncFailProb+h.fs.faults.SyncLieProb {
+			return nil // the lie: success reported, nothing durable
+		}
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("seek %s: bad whence %d", h.name, whence)
+	}
+	if h.pos < 0 {
+		return 0, fmt.Errorf("seek %s: negative position", h.name)
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.step() {
+		return fmt.Errorf("truncate %s: %w", h.name, ErrCrashed)
+	}
+	if size < 0 {
+		return fmt.Errorf("truncate %s: negative size", h.name)
+	}
+	for int64(len(h.f.data)) < size {
+		h.f.data = append(h.f.data, 0)
+	}
+	h.f.data = h.f.data[:size]
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -14,12 +14,17 @@
 // state:
 //
 //	| magic "GSPWSNP1" | version u8 | seq u64 | radius u64 (float bits) |
-//	| n u32 | n × (x u64, y u64) (float bits) | n × alive u8 |
+//	| frac u64 (float bits, v2+) | n u32 |
+//	| n × (x u64, y u64) (float bits) | n × alive u8 |
 //	| n × status u8 | crc u32 |
 //
-// crc covers everything before it. Positions are stored as raw IEEE-754
-// bits, so a restored state is bit-identical to the serialized one — the
-// property that makes replay exact rather than approximate.
+// crc covers everything before it. Version 2 added frac, the ApplyBatch
+// fallback fraction the server ran with, making the snapshot
+// self-describing: Recover needs no out-of-band tuning options. Version 1
+// files (no frac field) still decode; the fraction reads as NaN, meaning
+// "not recorded". Positions are stored as raw IEEE-754 bits, so a
+// restored state is bit-identical to the serialized one — the property
+// that makes replay exact rather than approximate.
 package wal
 
 import (
@@ -36,8 +41,9 @@ import (
 const (
 	// RecordVersion is the current record format version.
 	RecordVersion = 1
-	// SnapshotVersion is the current snapshot format version.
-	SnapshotVersion = 1
+	// SnapshotVersion is the current snapshot format version. Version 2
+	// added the fallback fraction to the header; v1 files still decode.
+	SnapshotVersion = 2
 
 	// KindEpoch is the record kind of one applied epoch batch.
 	KindEpoch = 1
@@ -128,23 +134,27 @@ func decodeRecord(data []byte, off int64) (RecordInfo, int64, error) {
 }
 
 // snapshotState is the decoded content of a snapshot: everything needed
-// to reconstruct a maintain.State bit-identically.
+// to reconstruct a maintain.State bit-identically. frac is the recorded
+// ApplyBatch fallback fraction — NaN when decoded from a v1 file, which
+// predates the field.
 type snapshotState struct {
 	seq    uint64
 	radius float64
+	frac   float64
 	pts    []geom.Point
 	alive  []bool
 	status []cluster.Status
 }
 
-// encodeSnapshot serializes a checkpoint.
+// encodeSnapshot serializes a checkpoint (always the current version).
 func encodeSnapshot(st snapshotState) []byte {
 	n := len(st.pts)
-	buf := make([]byte, 0, len(snapMagic)+1+8+8+4+n*18+4)
+	buf := make([]byte, 0, len(snapMagic)+1+8+8+8+4+n*18+4)
 	buf = append(buf, snapMagic...)
 	buf = append(buf, SnapshotVersion)
 	buf = binary.LittleEndian.AppendUint64(buf, st.seq)
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.radius))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.frac))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 	for _, p := range st.pts {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
@@ -163,10 +173,11 @@ func encodeSnapshot(st snapshotState) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 }
 
-// decodeSnapshot parses and validates a snapshot blob.
+// decodeSnapshot parses and validates a snapshot blob. It reads both the
+// current format and v1 (no fallback-fraction field; st.frac is NaN).
 func decodeSnapshot(data []byte) (snapshotState, error) {
 	var st snapshotState
-	head := len(snapMagic) + 1 + 8 + 8 + 4
+	head := len(snapMagic) + 1 + 8 + 8 + 4 // the v1 header, the shortest
 	if len(data) < head+4 {
 		return st, fmt.Errorf("%w: %d bytes is shorter than a header", errCorrupt, len(data))
 	}
@@ -177,14 +188,24 @@ func decodeSnapshot(data []byte) (snapshotState, error) {
 	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
 		return st, fmt.Errorf("%w: snapshot checksum mismatch", errCorrupt)
 	}
-	if v := data[len(snapMagic)]; v != SnapshotVersion {
+	v := data[len(snapMagic)]
+	if v != 1 && v != SnapshotVersion {
 		return st, fmt.Errorf("%w: snapshot version %d", ErrUnsupportedVersion, v)
 	}
 	off := len(snapMagic) + 1
 	st.seq = binary.LittleEndian.Uint64(data[off:])
 	st.radius = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
-	n := int(binary.LittleEndian.Uint32(data[off+16:]))
-	off += 20
+	off += 16
+	st.frac = math.NaN() // v1 never recorded it
+	if v >= 2 {
+		if len(data) < off+8+4+4 {
+			return st, fmt.Errorf("%w: %d bytes is shorter than a v2 header", errCorrupt, len(data))
+		}
+		st.frac = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
 	if want := off + n*18 + 4; len(data) != want {
 		return st, fmt.Errorf("%w: snapshot of %d nodes is %d bytes, want %d", errCorrupt, n, len(data), want)
 	}

@@ -1,0 +1,103 @@
+// The filesystem seam of the log. Every byte the WAL persists flows
+// through the FS interface — open, write, fsync, rename, remove,
+// directory sync — so every durability claim the package makes can be
+// drilled against a misbehaving disk instead of assumed. Production code
+// uses the operating system (osFS, the Config.FS zero value); tests and
+// the storage soak substitute MemFS, a deterministic in-memory disk with
+// seeded fault injection (torn writes, failing or lying fsync, ENOSPC,
+// crash between any two operations).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle surface the log needs from an open file.
+type File interface {
+	io.Writer
+	// Sync flushes the file's content to durable storage. A record is
+	// acknowledged only after Sync returns nil.
+	Sync() error
+	// Seek repositions the handle (whence as in io.Seeker).
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem the log runs on. Implementations must apply
+// operations in call order; the log is single-writer, so no concurrent
+// mutation of one file ever happens.
+type FS interface {
+	// OpenFile opens name with os.OpenFile flag semantics (the log uses
+	// O_CREATE|O_RDWR for segments and O_CREATE|O_WRONLY|O_TRUNC for
+	// snapshot temp files).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the file's current content.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath. The rename is
+	// durable only after SyncDir of the containing directory.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks name. Durable after SyncDir, like Rename.
+	Remove(name string) error
+	// MkdirAll ensures the directory exists.
+	MkdirAll(path string, perm os.FileMode) error
+	// Glob matches files like filepath.Glob.
+	Glob(pattern string) ([]string, error)
+	// Size returns the file's current length in bytes.
+	Size(name string) (int64, error)
+	// SyncDir fsyncs a directory, making renames, removes, and file
+	// creations under it durable. An error here means a rename the log
+	// performed may not survive a crash — it must not be swallowed.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS: the operating system.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// SyncDir fsyncs the directory so renames and unlinks are durable on
+// filesystems that need it. The error is propagated: an unacknowledged
+// directory fsync means a rename the caller is about to report as durable
+// may not be.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: dir sync: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("wal: dir sync %s: %w", dir, serr)
+	}
+	return nil
+}
+
+// fsOrOS resolves the configured FS, defaulting to the operating system.
+func fsOrOS(fsys FS) FS {
+	if fsys == nil {
+		return osFS{}
+	}
+	return fsys
+}

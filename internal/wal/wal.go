@@ -3,31 +3,44 @@
 // maintained state, with crash recovery that restores a state
 // bit-identical to the pre-crash server.
 //
-// A log directory holds exactly one generation at steady state:
+// A log directory holds one snapshot plus a short chain of segments:
 //
 //	snap-<seq>.snap   checkpoint of maintain.State at epoch <seq>
-//	wal-<seq>.log     epoch records with sequence numbers > <seq>
+//	wal-<base>.log    epoch records with sequence numbers > <base>
 //
 // Append writes one record per epoch and fsyncs every Config.SyncEvery
 // appends (1 by default: an epoch acknowledged is an epoch durable).
-// Every Config.SnapshotEvery epochs the log compacts: it checkpoints the
-// state, starts a fresh segment, and deletes the old generation, so the
-// directory stays bounded by the churn of one snapshot interval.
+// The active segment rotates once it reaches Config.SegmentBytes (or
+// SegmentEpochs records): appends move to a fresh wal-<last>.log so no
+// single file grows unboundedly. Every Config.SnapshotEvery epochs the
+// log compacts: it checkpoints the state, starts a fresh segment, and
+// applies the retention rule — a closed segment is deleted only once a
+// durable snapshot covers every record in it (a segment's records all
+// precede its successor's base, so wal-b is deletable exactly when the
+// next segment's base is <= the snapshot seq). The directory therefore
+// stays bounded by the churn of one snapshot interval.
 //
-// Recover loads the newest valid snapshot and replays the segment's tail
-// through maintain.ApplyBatch. Because the whole stack is deterministic,
-// replay is exact: the recovered roles, positions, and derived backbone
-// equal the pre-crash ones bit for bit — a property most write-ahead
-// logs approximate with fuzzier invariants. A torn or corrupt tail
-// (crash mid-write) is truncated at the last valid record, never fatal;
-// a CRC-valid record with an unknown version or kind is fatal, because
-// truncating it would silently discard durable data.
+// Recover loads the newest valid snapshot and replays every segment in
+// base order, skipping records the snapshot already covers and enforcing
+// gap-free sequence numbering across segment boundaries. Because the
+// whole stack is deterministic, replay is exact: the recovered roles,
+// positions, and derived backbone equal the pre-crash ones bit for bit.
+// A torn or corrupt tail (crash mid-write) is truncated at the last
+// valid record of the final segment, never fatal; damage inside an
+// earlier segment, a sequence gap, or a CRC-valid record with an unknown
+// version or kind is fatal, because truncating those would silently
+// discard durable data.
+//
+// Every filesystem operation flows through Config.FS (see vfs.go), so
+// each of these claims is drilled under injected torn writes, failing or
+// lying fsyncs, ENOSPC, and exhaustive crash points rather than assumed.
 package wal
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -46,6 +59,8 @@ const (
 	DefaultSyncEvery = 1
 	// DefaultSnapshotEvery compacts the log every 64 epochs.
 	DefaultSnapshotEvery = 64
+	// DefaultSegmentBytes rotates the active segment at 4 MiB.
+	DefaultSegmentBytes = 4 << 20
 )
 
 // ErrExists is returned by Create when the directory already holds a log.
@@ -65,6 +80,18 @@ type Config struct {
 	// SnapshotEvery compacts the log every k epochs (default 64; < 0
 	// disables compaction).
 	SnapshotEvery int
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes (default 4 MiB; < 0 disables size-based rotation). Rotation
+	// starts a fresh segment without checkpointing; retention later
+	// deletes closed segments wholly covered by a snapshot.
+	SegmentBytes int64
+	// SegmentEpochs rotates the active segment every k records (<= 0,
+	// the default, disables count-based rotation).
+	SegmentEpochs int64
+	// FS is the filesystem the log runs on (nil means the operating
+	// system). Tests and the storage soak inject MemFS to drill torn
+	// writes, failing or lying fsyncs, ENOSPC, and crash points.
+	FS FS
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +101,10 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	c.FS = fsOrOS(c.FS)
 	return c
 }
 
@@ -83,23 +114,35 @@ func (c Config) withDefaults() Config {
 type Log struct {
 	dir string
 	cfg Config
+	fs  FS
 
 	mu          sync.Mutex
-	f           *os.File
-	base        uint64 // seq of the snapshot this segment follows
-	last        uint64 // last appended (or replayed) seq
+	f           File
+	frac        float64 // fallback fraction recorded in snapshots
+	snapSeq     uint64  // seq of the newest durable snapshot
+	base        uint64  // seq preceding the active segment's first record
+	last        uint64  // last appended (or replayed) seq
 	segBytes    int64
 	segRecords  int64
+	segCount    int
+	retained    int64 // closed segments + snapshots on disk, bytes
 	pendingSync int
+	tornTail    bool // suspect bytes past segBytes after a failed write/sync
 	lastSync    time.Time
 }
 
 // Stats is a point-in-time summary of the log, surfaced by the service's
 // /v1/stats.
 type Stats struct {
-	// SegmentBytes and SegmentRecords size the current segment.
+	// SegmentBytes and SegmentRecords size the active segment.
 	SegmentBytes   int64
 	SegmentRecords int64
+	// Segments counts log segments on disk, the active one included.
+	Segments int
+	// RetainedBytes is the log's whole on-disk footprint: snapshots plus
+	// every retained segment. Bounded retention keeps it from growing
+	// monotonically across snapshots.
+	RetainedBytes int64
 	// LastSeq is the last durable epoch sequence number.
 	LastSeq uint64
 	// SnapshotSeq is the epoch of the newest compacted snapshot.
@@ -119,10 +162,13 @@ func parseGen(name string) uint64 { // name already matched a glob below
 	return v
 }
 
-// Exists reports whether dir holds a log (any snapshot or segment file).
-func Exists(dir string) bool {
+// Exists reports whether dir holds a log (any snapshot or segment file)
+// on the real filesystem.
+func Exists(dir string) bool { return existsFS(osFS{}, dir) }
+
+func existsFS(fsys FS, dir string) bool {
 	for _, pat := range []string{"snap-*.snap", "wal-*.log"} {
-		if m, _ := filepath.Glob(filepath.Join(dir, pat)); len(m) > 0 {
+		if m, _ := fsys.Glob(filepath.Join(dir, pat)); len(m) > 0 {
 			return true
 		}
 	}
@@ -130,22 +176,35 @@ func Exists(dir string) bool {
 }
 
 // Create initializes a fresh log in dir: a base snapshot of st at seq and
-// an empty segment. It fails with ErrExists when dir already holds one.
-func Create(dir string, st *maintain.State, seq uint64, cfg Config) (*Log, error) {
+// an empty segment. fallbackFrac is the ApplyBatch fallback fraction the
+// server runs with — it is recorded in every snapshot header so Recover
+// needs no out-of-band options (NaN records the default). Create fails
+// with ErrExists when dir already holds a log.
+func Create(dir string, st *maintain.State, seq uint64, fallbackFrac float64, cfg Config) (*Log, error) {
 	cfg = cfg.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
-	if Exists(dir) {
+	if existsFS(cfg.FS, dir) {
 		return nil, fmt.Errorf("%w (%s)", ErrExists, dir)
 	}
-	l := &Log{dir: dir, cfg: cfg, base: seq, last: seq, lastSync: time.Now()}
+	if math.IsNaN(fallbackFrac) {
+		fallbackFrac = maintain.DefaultFallbackFraction
+	}
+	l := &Log{dir: dir, cfg: cfg, fs: cfg.FS, frac: fallbackFrac,
+		snapSeq: seq, base: seq, last: seq, lastSync: time.Now()}
 	if err := l.writeSnapshotFile(st, seq); err != nil {
 		return nil, err
 	}
 	if err := l.openSegment(seq); err != nil {
 		return nil, err
 	}
+	// The empty segment's directory entry must survive a crash before any
+	// record in it is acknowledged.
+	if err := l.fs.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	l.retainLocked()
 	return l, nil
 }
 
@@ -160,19 +219,29 @@ type RecoverResult struct {
 	SnapshotSeq uint64
 	// Replayed counts tail records applied on top of the snapshot.
 	Replayed int
+	// Segments counts the log segments scanned during replay.
+	Segments int
+	// FallbackFrac is the ApplyBatch fallback fraction replay ran with:
+	// the caller's explicit choice, or the one recorded in the snapshot
+	// header.
+	FallbackFrac float64
 	// TruncatedBytes counts torn/corrupt tail bytes dropped from the
-	// segment (0 after a clean shutdown).
+	// final segment (0 after a clean shutdown).
 	TruncatedBytes int64
 }
 
-// Recover loads the newest valid snapshot in dir, replays the segment
-// tail through ApplyBatch with the given fallback fraction (use the same
-// fraction the crashed server ran with, or replay may diverge at fallback
-// boundaries), truncates any torn or corrupt tail, and returns the log
-// open for appending at the recovered sequence.
+// Recover loads the newest valid snapshot in dir, replays every segment
+// in base order through ApplyBatch, truncates any torn or corrupt tail of
+// the final segment, and returns the log open for appending at the
+// recovered sequence. Pass NaN as fallbackFrac to replay with the
+// fraction recorded in the snapshot header (snapshot format v2; v1
+// headers fall back to maintain.DefaultFallbackFraction) — an explicit
+// value overrides the header and must match what the crashed server ran
+// with, or replay may diverge at fallback boundaries.
 func Recover(dir string, fallbackFrac float64, cfg Config) (*Log, *RecoverResult, error) {
 	cfg = cfg.withDefaults()
-	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	fsys := cfg.FS
+	snaps, _ := fsys.Glob(filepath.Join(dir, "snap-*.snap"))
 	sort.Slice(snaps, func(i, j int) bool { return parseGen(filepath.Base(snaps[i])) > parseGen(filepath.Base(snaps[j])) })
 	var (
 		snap    snapshotState
@@ -180,7 +249,7 @@ func Recover(dir string, fallbackFrac float64, cfg Config) (*Log, *RecoverResult
 		found   bool
 	)
 	for _, path := range snaps {
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			snapErr = err
 			continue
@@ -198,72 +267,121 @@ func Recover(dir string, fallbackFrac float64, cfg Config) (*Log, *RecoverResult
 	if !found {
 		return nil, nil, fmt.Errorf("wal: recover %s: %w", dir, snapErr)
 	}
+	frac := fallbackFrac
+	if math.IsNaN(frac) {
+		frac = snap.frac // NaN in v1 headers, which never recorded it
+	}
+	if math.IsNaN(frac) {
+		frac = maintain.DefaultFallbackFraction
+	}
 	st, err := maintain.FromRoles(snap.pts, snap.radius, snap.alive, snap.status)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: snapshot %d: %w", snap.seq, err)
 	}
 
-	l := &Log{dir: dir, cfg: cfg, base: snap.seq, last: snap.seq, lastSync: time.Now()}
-	res := &RecoverResult{State: st, Seq: snap.seq, SnapshotSeq: snap.seq}
-	segPath := filepath.Join(dir, segName(snap.seq))
-	data, err := os.ReadFile(segPath)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, fmt.Errorf("wal: recover: %w", err)
-	}
-	valid := int64(0)
-	for off := int64(0); off < int64(len(data)); {
-		rec, next, err := decodeRecord(data, off)
-		if errors.Is(err, errTorn) || errors.Is(err, errCorrupt) {
-			res.TruncatedBytes = int64(len(data)) - off
-			break
-		}
+	l := &Log{dir: dir, cfg: cfg, fs: fsys, frac: frac,
+		snapSeq: snap.seq, base: snap.seq, last: snap.seq, lastSync: time.Now()}
+	res := &RecoverResult{State: st, Seq: snap.seq, SnapshotSeq: snap.seq, FallbackFrac: frac}
+
+	segs, _ := fsys.Glob(filepath.Join(dir, "wal-*.log"))
+	sort.Slice(segs, func(i, j int) bool { return parseGen(filepath.Base(segs[i])) < parseGen(filepath.Base(segs[j])) })
+	var lastValid, lastRecords int64
+	for i, path := range segs {
+		data, err := fsys.ReadFile(path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("wal: recover %s: %w", filepath.Base(segPath), err)
+			return nil, nil, fmt.Errorf("wal: recover: %w", err)
 		}
-		if rec.Kind != KindEpoch {
-			return nil, nil, fmt.Errorf("wal: recover %s: %w: record kind %d at offset %d",
-				filepath.Base(segPath), ErrUnsupportedVersion, rec.Kind, rec.Offset)
+		final := i == len(segs)-1
+		valid, records := int64(0), int64(0)
+		for off := int64(0); off < int64(len(data)); {
+			rec, next, err := decodeRecord(data, off)
+			if errors.Is(err, errTorn) || errors.Is(err, errCorrupt) {
+				if !final {
+					// A torn tail means "the crash happened here" — only
+					// the final segment can honestly claim that. Damage
+					// under acknowledged records is corruption, and
+					// truncating it would silently drop durable epochs.
+					return nil, nil, fmt.Errorf("wal: recover %s: damaged record inside a non-final segment: %w", filepath.Base(path), err)
+				}
+				res.TruncatedBytes = int64(len(data)) - off
+				break
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: recover %s: %w", filepath.Base(path), err)
+			}
+			if rec.Kind != KindEpoch {
+				return nil, nil, fmt.Errorf("wal: recover %s: %w: record kind %d at offset %d",
+					filepath.Base(path), ErrUnsupportedVersion, rec.Kind, rec.Offset)
+			}
+			if rec.Seq > l.last {
+				if rec.Seq != l.last+1 {
+					return nil, nil, fmt.Errorf("wal: recover %s: sequence gap: record %d after %d", filepath.Base(path), rec.Seq, l.last)
+				}
+				events, err := maintain.UnmarshalEvents(rec.Payload)
+				if err != nil {
+					return nil, nil, fmt.Errorf("wal: recover %s: record %d: %w", filepath.Base(path), rec.Seq, err)
+				}
+				st.ApplyBatch(events, frac)
+				l.last = rec.Seq
+				res.Replayed++
+				res.Seq = rec.Seq
+			} // else: the snapshot (or an earlier segment) already covers it
+			records++
+			valid, off = next, next
 		}
-		if rec.Seq != l.last+1 {
-			return nil, nil, fmt.Errorf("wal: recover %s: sequence gap: record %d after %d", filepath.Base(segPath), rec.Seq, l.last)
+		res.Segments++
+		if final {
+			lastValid, lastRecords = valid, records
 		}
-		events, err := maintain.UnmarshalEvents(rec.Payload)
-		if err != nil {
-			return nil, nil, fmt.Errorf("wal: recover %s: record %d: %w", filepath.Base(segPath), rec.Seq, err)
-		}
-		st.ApplyBatch(events, fallbackFrac)
-		l.last = rec.Seq
-		l.segRecords++
-		res.Replayed++
-		res.Seq = rec.Seq
-		valid, off = next, next
 	}
-	if err := l.openSegment(snap.seq); err != nil {
-		return nil, nil, err
-	}
-	if res.TruncatedBytes > 0 || valid < l.segBytes {
-		if err := l.f.Truncate(valid); err != nil {
-			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
-		}
-		if _, err := l.f.Seek(valid, io.SeekStart); err != nil {
+
+	if len(segs) > 0 {
+		if err := l.openSegment(parseGen(filepath.Base(segs[len(segs)-1]))); err != nil {
 			return nil, nil, err
 		}
-		l.segBytes = valid
+		l.segRecords = lastRecords
+		if lastValid < l.segBytes {
+			if err := l.f.Truncate(lastValid); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+			if _, err := l.f.Seek(lastValid, io.SeekStart); err != nil {
+				return nil, nil, err
+			}
+			l.segBytes = lastValid
+		}
+	} else {
+		// The crash fell between the snapshot rename and the new segment's
+		// creation: start a fresh segment at the snapshot.
+		if err := l.openSegment(snap.seq); err != nil {
+			return nil, nil, err
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, nil, err
+		}
 	}
-	l.removeStaleGenerations()
+	l.retainLocked()
 	return l, res, nil
 }
 
-// openSegment opens (creating if needed) the segment for base, positioned
-// at its end.
-func (l *Log) openSegment(base uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(base)), os.O_CREATE|os.O_RDWR, 0o644)
+// openSegmentFile opens (creating if needed) the segment for base,
+// positioned at its end, without touching the log's fields.
+func (l *Log) openSegmentFile(base uint64) (File, int64, error) {
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName(base)), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: segment: %w", err)
+		return nil, 0, fmt.Errorf("wal: segment: %w", err)
 	}
 	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		f.Close()
+		return nil, 0, err
+	}
+	return f, size, nil
+}
+
+// openSegment opens the segment for base as the active one.
+func (l *Log) openSegment(base uint64) error {
+	f, size, err := l.openSegmentFile(base)
+	if err != nil {
 		return err
 	}
 	l.f, l.base, l.segBytes = f, base, size
@@ -274,6 +392,9 @@ func (l *Log) openSegment(base uint64) error {
 // appended sequence — the log enforces the gap-free numbering recovery
 // relies on. The record is durable when Append returns, except under
 // SyncEvery batching, where it is durable within SyncEvery-1 appends.
+// A non-nil error means the record is NOT acknowledged: it will not
+// survive in the log, and the same seq must be retried (or the epoch
+// rejected). Append never acknowledges what the disk did not confirm.
 func (l *Log) Append(seq uint64, events []maintain.Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -287,8 +408,25 @@ func (l *Log) Append(seq uint64, events []maintain.Event) error {
 	if err != nil {
 		return fmt.Errorf("wal: encoding epoch %d: %w", seq, err)
 	}
+	if l.needRotateLocked() {
+		// The segment limit is soft: if rotation fails (it will be
+		// retried on the next append) the record lands in the old
+		// segment. Failing the append would reject an epoch the log can
+		// still make durable; if the disk is truly broken, the write or
+		// sync below reports the real error.
+		_ = l.rotateLocked()
+	}
+	if l.tornTail {
+		// A previous failed write/sync left suspect bytes past the last
+		// acknowledged record; drop them before writing, or recovery
+		// could truncate at the garbage instead of this record.
+		if err := l.healTailLocked(); err != nil {
+			return fmt.Errorf("wal: appending epoch %d: %w", seq, err)
+		}
+	}
 	rec := appendRecord(nil, KindEpoch, seq, payload)
 	if _, err := l.f.Write(rec); err != nil {
+		l.tornTail = true
 		return fmt.Errorf("wal: appending epoch %d: %w", seq, err)
 	}
 	l.last = seq
@@ -296,9 +434,98 @@ func (l *Log) Append(seq uint64, events []maintain.Event) error {
 	l.segRecords++
 	l.pendingSync++
 	if l.pendingSync >= l.cfg.SyncEvery {
-		return l.syncLocked()
+		if err := l.syncLocked(); err != nil {
+			// Written but never made durable: roll the record back so it
+			// is not acknowledged, and mark its bytes suspect (a failed
+			// fsync may have dropped any of them).
+			l.last = seq - 1
+			l.segBytes -= int64(len(rec))
+			l.segRecords--
+			l.pendingSync--
+			l.tornTail = true
+			return fmt.Errorf("wal: appending epoch %d: %w", seq, err)
+		}
 	}
 	return nil
+}
+
+// needRotateLocked reports whether the active segment crossed a rotation
+// threshold.
+func (l *Log) needRotateLocked() bool {
+	if l.segRecords == 0 || l.last == l.base {
+		return false
+	}
+	if l.cfg.SegmentBytes > 0 && l.segBytes >= l.cfg.SegmentBytes {
+		return true
+	}
+	if l.cfg.SegmentEpochs > 0 && l.segRecords >= l.cfg.SegmentEpochs {
+		return true
+	}
+	return false
+}
+
+// rotateLocked closes the active segment and opens a fresh one at the
+// last appended seq. On error the old segment stays active — rotation is
+// always retryable and never loses acknowledged records.
+func (l *Log) rotateLocked() error {
+	if l.tornTail {
+		if err := l.healTailLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	f, size, err := l.openSegmentFile(l.last)
+	if err != nil {
+		return err
+	}
+	// The new segment's directory entry must be durable before any record
+	// in it is acknowledged.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f.Close()
+	l.f, l.base = f, l.last
+	l.retained += l.segBytes
+	l.segBytes, l.segRecords = size, 0
+	l.segCount++
+	return nil
+}
+
+// healTailLocked truncates suspect bytes past the last acknowledged
+// record and repositions the writer. Caller holds mu.
+func (l *Log) healTailLocked() error {
+	if err := l.f.Truncate(l.segBytes); err != nil {
+		return fmt.Errorf("wal: truncating suspect tail: %w", err)
+	}
+	if _, err := l.f.Seek(l.segBytes, io.SeekStart); err != nil {
+		return err
+	}
+	l.tornTail = false
+	return nil
+}
+
+// Heal probes the storage path after append errors: it drops any suspect
+// tail bytes, forces an fsync of the active segment, and fsyncs the
+// directory. A nil return means the log is consistent and writable again
+// — the service's Resync uses it as the recovery probe.
+func (l *Log) Heal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: heal on closed log")
+	}
+	if l.tornTail {
+		if err := l.healTailLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	return l.fs.SyncDir(l.dir)
 }
 
 // MaybeCompact checkpoints the state and rotates the segment when the
@@ -307,17 +534,35 @@ func (l *Log) Append(seq uint64, events []maintain.Event) error {
 func (l *Log) MaybeCompact(st *maintain.State, seq uint64) (bool, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.cfg.SnapshotEvery < 0 || seq < l.base+uint64(l.cfg.SnapshotEvery) {
+	if l.cfg.SnapshotEvery < 0 || seq < l.snapSeq+uint64(l.cfg.SnapshotEvery) {
 		return false, nil
 	}
 	return true, l.compactLocked(st, seq)
 }
 
-// compactLocked writes snap-<seq>, opens wal-<seq>, and deletes the old
-// generation. Caller holds mu and guarantees seq == l.last.
+// ForceCompact checkpoints st at seq (the last acknowledged epoch) right
+// now, regardless of the snapshot interval, and prunes covered segments.
+// The service calls it to free disk space before retrying a failed
+// append.
+func (l *Log) ForceCompact(st *maintain.State, seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked(st, seq)
+}
+
+// compactLocked writes snap-<seq>, opens wal-<seq>, and applies the
+// retention rule. Caller holds mu and guarantees seq == l.last.
 func (l *Log) compactLocked(st *maintain.State, seq uint64) error {
+	if l.f == nil {
+		return errors.New("wal: compact on closed log")
+	}
 	if seq != l.last {
 		return fmt.Errorf("wal: compact at seq %d, log is at %d", seq, l.last)
+	}
+	if l.tornTail {
+		if err := l.healTailLocked(); err != nil {
+			return err
+		}
 	}
 	if err := l.syncLocked(); err != nil {
 		return err
@@ -325,70 +570,117 @@ func (l *Log) compactLocked(st *maintain.State, seq uint64) error {
 	if err := l.writeSnapshotFile(st, seq); err != nil {
 		return err
 	}
-	old := l.f
-	if err := l.openSegment(seq); err != nil {
-		l.f = old
+	l.snapSeq = seq
+	f, size, err := l.openSegmentFile(seq)
+	if err != nil {
+		// The snapshot is durable but the rotation failed: keep appending
+		// to the old segment. Recovery skips records a snapshot covers at
+		// the record level, so a segment spanning the snapshot is safe.
 		return err
 	}
-	old.Close()
-	l.segRecords = 0
-	l.removeStaleGenerations()
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f.Close()
+	l.f, l.base = f, seq
+	l.segBytes, l.segRecords = size, 0
+	l.retainLocked()
 	return nil
 }
 
 // writeSnapshotFile durably writes snap-<seq> (temp file, fsync, rename,
-// directory fsync).
+// directory fsync), embedding the log's fallback fraction in the header.
 func (l *Log) writeSnapshotFile(st *maintain.State, seq uint64) error {
 	alive, status := st.Roles()
 	data := encodeSnapshot(snapshotState{
-		seq: seq, radius: st.Radius(), pts: st.Positions(), alive: alive, status: status,
+		seq: seq, radius: st.Radius(), frac: l.frac,
+		pts: st.Positions(), alive: alive, status: status,
 	})
 	tmp := filepath.Join(l.dir, snapName(seq)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	fail := func(err error) error {
+		l.fs.Remove(tmp) // reclaim the space; a leftover tmp is never read
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: snapshot: %w", err)
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapName(seq))); err != nil {
+		return fail(err)
+	}
+	// The rename is not durable until the directory is: a swallowed error
+	// here would report a checkpoint that can vanish in a crash.
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(seq))); err != nil {
-		return fmt.Errorf("wal: snapshot: %w", err)
-	}
-	syncDir(l.dir)
 	return nil
 }
 
-// removeStaleGenerations deletes every snapshot and segment of a
-// generation other than the current base (best effort: a leftover file is
-// wasted space, not corruption — recovery always prefers the newest
-// valid snapshot).
-func (l *Log) removeStaleGenerations() {
-	for _, pat := range []string{"snap-*.snap", "wal-*.log", "snap-*.snap.tmp"} {
-		matches, _ := filepath.Glob(filepath.Join(l.dir, pat))
-		for _, m := range matches {
-			if strings.HasSuffix(m, ".tmp") || parseGen(filepath.Base(m)) != l.base {
-				os.Remove(m)
+// retainLocked enforces bounded retention and recomputes the on-disk
+// footprint. It deletes leftover temp files, snapshots older than the
+// newest one, and closed segments wholly covered by it: segment wal-b
+// holds records in (b, b'] where b' is the next segment's base, so it is
+// deletable exactly when b' <= snapSeq. Deletion is best effort — a
+// leftover file is wasted space, not corruption, and recovery skips
+// covered records anyway.
+func (l *Log) retainLocked() {
+	if tmps, _ := l.fs.Glob(filepath.Join(l.dir, "snap-*.snap.tmp")); len(tmps) > 0 {
+		for _, m := range tmps {
+			l.fs.Remove(m)
+		}
+	}
+	snaps, _ := l.fs.Glob(filepath.Join(l.dir, "snap-*.snap"))
+	for _, m := range snaps {
+		if parseGen(filepath.Base(m)) != l.snapSeq {
+			l.fs.Remove(m)
+		}
+	}
+	segs, _ := l.fs.Glob(filepath.Join(l.dir, "wal-*.log"))
+	sort.Slice(segs, func(i, j int) bool { return parseGen(filepath.Base(segs[i])) < parseGen(filepath.Base(segs[j])) })
+	for i, m := range segs {
+		if parseGen(filepath.Base(m)) == l.base {
+			continue // never the active segment
+		}
+		if i+1 < len(segs) && parseGen(filepath.Base(segs[i+1])) <= l.snapSeq {
+			l.fs.Remove(m)
+		}
+	}
+	l.fs.SyncDir(l.dir)
+
+	// Recompute the footprint from what survived.
+	var total int64
+	count := 0
+	if snaps, _ := l.fs.Glob(filepath.Join(l.dir, "snap-*.snap")); len(snaps) > 0 {
+		for _, m := range snaps {
+			if n, err := l.fs.Size(m); err == nil {
+				total += n
 			}
 		}
 	}
-	syncDir(l.dir)
-}
-
-// syncDir best-effort fsyncs a directory so renames and unlinks are
-// durable on filesystems that need it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if segs, _ := l.fs.Glob(filepath.Join(l.dir, "wal-*.log")); len(segs) > 0 {
+		for _, m := range segs {
+			count++
+			if parseGen(filepath.Base(m)) == l.base {
+				continue // the active segment is metered live via segBytes
+			}
+			if n, err := l.fs.Size(m); err == nil {
+				total += n
+			}
+		}
 	}
+	l.retained, l.segCount = total, count
 }
 
 // Sync forces any batched appends to disk.
@@ -428,49 +720,74 @@ func (l *Log) Close() error {
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
 
+// FallbackFrac returns the ApplyBatch fallback fraction the log records
+// in snapshot headers (the one the server runs with).
+func (l *Log) FallbackFrac() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frac
+}
+
 // Stats summarizes the log. Safe from any goroutine.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	segs := l.segCount
+	if segs == 0 {
+		segs = 1
+	}
 	return Stats{
 		SegmentBytes:   l.segBytes,
 		SegmentRecords: l.segRecords,
+		Segments:       segs,
+		RetainedBytes:  l.retained + l.segBytes,
 		LastSeq:        l.last,
-		SnapshotSeq:    l.base,
-		SnapshotAge:    int64(l.last - l.base),
+		SnapshotSeq:    l.snapSeq,
+		SnapshotAge:    int64(l.last - l.snapSeq),
 		LastSync:       l.lastSync,
 	}
 }
 
 // WriteSnapshot serializes a checkpoint of st at seq to w — the backup
-// half of the backup/restore round trip.
-func WriteSnapshot(w io.Writer, st *maintain.State, seq uint64) error {
+// half of the backup/restore round trip. fallbackFrac is recorded in the
+// header (NaN records the default).
+func WriteSnapshot(w io.Writer, st *maintain.State, seq uint64, fallbackFrac float64) error {
+	if math.IsNaN(fallbackFrac) {
+		fallbackFrac = maintain.DefaultFallbackFraction
+	}
 	alive, status := st.Roles()
 	data := encodeSnapshot(snapshotState{
-		seq: seq, radius: st.Radius(), pts: st.Positions(), alive: alive, status: status,
+		seq: seq, radius: st.Radius(), frac: fallbackFrac,
+		pts: st.Positions(), alive: alive, status: status,
 	})
 	_, err := w.Write(data)
 	return err
 }
 
-// ReadSnapshot parses a WriteSnapshot stream back into a maintained state
-// and its epoch. The restored state is bit-identical to the serialized
-// one (positions are raw IEEE-754 bits) and is validated against the
+// ReadSnapshot parses a WriteSnapshot stream back into a maintained
+// state, its epoch, and the fallback fraction recorded in the header
+// (maintain.DefaultFallbackFraction for v1 headers, which never recorded
+// one). The restored state is bit-identical to the serialized one
+// (positions are raw IEEE-754 bits) and is validated against the
 // clustering invariants before being returned.
-func ReadSnapshot(r io.Reader) (*maintain.State, uint64, error) {
+func ReadSnapshot(r io.Reader) (*maintain.State, uint64, float64, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("wal: reading snapshot: %w", err)
+		return nil, 0, 0, fmt.Errorf("wal: reading snapshot: %w", err)
 	}
 	snap, err := decodeSnapshot(data)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	frac := snap.frac
+	if math.IsNaN(frac) {
+		frac = maintain.DefaultFallbackFraction
 	}
 	st, err := maintain.FromRoles(snap.pts, snap.radius, snap.alive, snap.status)
 	if err != nil {
-		return nil, 0, fmt.Errorf("wal: snapshot %d: %w", snap.seq, err)
+		return nil, 0, 0, fmt.Errorf("wal: snapshot %d: %w", snap.seq, err)
 	}
-	return st, snap.seq, nil
+	return st, snap.seq, frac, nil
 }
 
 // ScanResult summarizes one segment scan (tools/walcat's view of a log).
@@ -513,6 +830,9 @@ type SnapshotInfo struct {
 	Nodes  int
 	Alive  int
 	Radius float64
+	// FallbackFrac is the recorded ApplyBatch fallback fraction (NaN in
+	// v1 headers, which predate the field).
+	FallbackFrac float64
 }
 
 // ReadSnapshotInfo validates a snapshot file and summarizes it.
@@ -525,7 +845,7 @@ func ReadSnapshotInfo(path string) (SnapshotInfo, error) {
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
-	info := SnapshotInfo{Seq: snap.seq, Nodes: len(snap.pts), Radius: snap.radius}
+	info := SnapshotInfo{Seq: snap.seq, Nodes: len(snap.pts), Radius: snap.radius, FallbackFrac: snap.frac}
 	for _, a := range snap.alive {
 		if a {
 			info.Alive++

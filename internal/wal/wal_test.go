@@ -97,7 +97,7 @@ func matrixLog(t *testing.T, cfg wal.Config) (string, [][]maintain.Event, *udg.I
 	}
 	dir := t.TempDir()
 	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
-	log, err := wal.Create(dir, st, 0, cfg)
+	log, err := wal.Create(dir, st, 0, matrixFrac, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,26 +262,29 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	_, batches, inst := matrixLog(t, wal.Config{SnapshotEvery: -1})
 	st := reference(inst, batches, matrixEpochs)
 	var buf bytes.Buffer
-	if err := wal.WriteSnapshot(&buf, st, matrixEpochs); err != nil {
+	if err := wal.WriteSnapshot(&buf, st, matrixEpochs, matrixFrac); err != nil {
 		t.Fatal(err)
 	}
-	got, seq, err := wal.ReadSnapshot(&buf)
+	got, seq, frac, err := wal.ReadSnapshot(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if seq != matrixEpochs {
 		t.Fatalf("restored seq %d, want %d", seq, matrixEpochs)
 	}
+	if frac != matrixFrac {
+		t.Fatalf("restored fallback fraction %v, want %v", frac, matrixFrac)
+	}
 	stateEqual(t, "round trip", got, st)
 
 	// A flipped byte must be caught by the checksum, not produce a state.
 	var buf2 bytes.Buffer
-	if err := wal.WriteSnapshot(&buf2, st, matrixEpochs); err != nil {
+	if err := wal.WriteSnapshot(&buf2, st, matrixEpochs, matrixFrac); err != nil {
 		t.Fatal(err)
 	}
 	data := buf2.Bytes()
 	data[len(data)/2] ^= 0x01
-	if _, _, err := wal.ReadSnapshot(bytes.NewReader(data)); err == nil {
+	if _, _, _, err := wal.ReadSnapshot(bytes.NewReader(data)); err == nil {
 		t.Fatal("corrupt snapshot accepted")
 	}
 }
@@ -291,7 +294,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestCreateRefusesExistingLog(t *testing.T) {
 	dir, _, inst := matrixLog(t, wal.Config{SnapshotEvery: -1})
 	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
-	if _, err := wal.Create(dir, st, 0, wal.Config{}); !errors.Is(err, wal.ErrExists) {
+	if _, err := wal.Create(dir, st, 0, matrixFrac, wal.Config{}); !errors.Is(err, wal.ErrExists) {
 		t.Fatalf("Create over existing log: %v, want ErrExists", err)
 	}
 	if !wal.Exists(dir) {
@@ -317,7 +320,7 @@ func TestAppendEnforcesSequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := maintain.New(append([]geom.Point(nil), inst.Points...), inst.Radius)
-	log, err := wal.Create(t.TempDir(), st, 0, wal.Config{})
+	log, err := wal.Create(t.TempDir(), st, 0, matrixFrac, wal.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

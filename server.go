@@ -109,6 +109,19 @@ func WithWAL(dir string) ServerOption { return serve.WithWAL(dir) }
 // WithWALTuning is WithWAL with explicit durability tuning.
 func WithWALTuning(dir string, cfg WALConfig) ServerOption { return serve.WithWALConfig(dir, cfg) }
 
+// WithWALRetry bounds the storage-failure retry budget of a durable
+// server: a failed append is retried up to retries times (preceded by a
+// forced compaction and exponential backoff starting at backoff) before
+// the server degrades to read-only. Negative retries degrade on the first
+// failure.
+var WithWALRetry = serve.WithWALRetry
+
+// ErrServerDegraded is the error every write returns while a durable
+// server is in read-only degraded mode after persistent storage failure;
+// match with errors.Is. Probe and clear with Server.Resync, inspect with
+// Server.Degraded.
+var ErrServerDegraded = serve.ErrDegraded
+
 // WithFallbackFraction overrides the role-churn fraction above which an
 // epoch re-clusters from scratch. A recovered server must be given the
 // same fraction the crashed one ran with.

@@ -19,7 +19,7 @@ func buildLog(t *testing.T) string {
 		t.Fatal(err)
 	}
 	st := maintain.New(inst.Points, inst.Radius)
-	log, err := wal.Create(dir, st, 0, wal.Config{})
+	log, err := wal.Create(dir, st, 0, maintain.DefaultFallbackFraction, wal.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +74,102 @@ func TestWalcatFlagsTornTail(t *testing.T) {
 	}
 	if err := run([]string{"-check", dir}, &out); err == nil {
 		t.Fatal("-check passed a torn tail")
+	}
+}
+
+// buildRotatedLog drives enough epochs through a count-rotated log to
+// leave a multi-segment chain (no compaction, so every segment survives).
+func buildRotatedLog(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	inst, err := udg.ConnectedInstance(9, 30, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := maintain.New(inst.Points, inst.Radius)
+	log, err := wal.Create(dir, st, 0, maintain.DefaultFallbackFraction, wal.Config{SnapshotEvery: -1, SegmentEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		events := []maintain.Event{maintain.NewCrash(int(seq)), maintain.NewJoin(int(seq))}
+		st.ApplyBatch(events, maintain.DefaultFallbackFraction)
+		if err := log.Append(seq, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWalcatMultiSegmentChain(t *testing.T) {
+	dir := buildRotatedLog(t)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 3 {
+		t.Fatalf("rotation left %d segments, want 3: %v", len(segs), segs)
+	}
+	var out strings.Builder
+	if err := run([]string{"-check", dir}, &out); err != nil {
+		t.Fatalf("clean multi-segment chain failed -check: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"epochs 1..2", "epochs 3..4", "epochs 5..6", "3 segment(s)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWalcatFlagsCrossSegmentGap(t *testing.T) {
+	dir := buildRotatedLog(t)
+	// Deleting the middle segment opens a hole between epochs 2 and 5.
+	if err := os.Remove(filepath.Join(dir, "wal-0000000000000002.log")); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-check", dir}, &out); err == nil {
+		t.Fatalf("-check passed a chain with a missing segment:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "CROSS-SEGMENT SEQUENCE GAP") {
+		t.Fatalf("gap not attributed to the segment boundary:\n%s", out.String())
+	}
+}
+
+func TestWalcatRetentionSummary(t *testing.T) {
+	dir := buildRotatedLog(t)
+	// A snapshot at epoch 4 covers the first two segments — the state a
+	// crash between checkpoint and retention leaves behind.
+	inst, err := udg.ConnectedInstance(9, 30, 200, 80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := maintain.New(inst.Points, inst.Radius)
+	f, err := os.Create(filepath.Join(dir, "snap-0000000000000004.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.WriteSnapshot(f, st, 4, maintain.DefaultFallbackFraction); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-retention", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"retention against snapshot epoch 4",
+		"delete wal-0000000000000000.log",
+		"delete wal-0000000000000002.log",
+		"keep   wal-0000000000000004.log",
+		"would keep 1 segment(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("retention summary missing %q:\n%s", want, got)
+		}
 	}
 }
 
