@@ -24,8 +24,13 @@ vet:
 
 # lint is vet plus staticcheck when the binary is on PATH; the build
 # image doesn't bake it in and we can't install on the fly, so its
-# absence is a note, not a failure.
+# absence is a note, not a failure. The grep keeps the repo on the
+# modern `any` spelling — the empty interface type must not reappear.
 lint: vet
+	@out="$$(grep -rn 'interface{}' --include='*.go' . || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "use 'any' instead of 'interface{}':"; echo "$$out"; exit 1; \
+	fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -44,11 +49,14 @@ race:
 # race-shard is the parallel-kernel gate: the shard determinism
 # matrices (sim- and build-level — every cell forces a worker pool
 # wider than one goroutine, so the race detector sees the real
-# concurrent deliver/tick phases even on small runners) plus a short
-# chaos campaign running its partial builds on a sharded kernel with a
-# parallel pool.
+# concurrent deliver/tick phases even on small runners), the churn
+# property matrix (witness patching forced on across every profile ×
+# network size, each epoch checked bit-identical against a from-scratch
+# rebuild), plus a short chaos campaign running its partial builds on a
+# sharded kernel with a parallel pool.
 race-shard:
 	$(GO) test -race -count=1 -run 'TestShard' ./internal/sim/ ./internal/core/
+	$(GO) test -race -count=1 -run 'TestChurnPropertyMatrix' ./internal/maintain/
 	@tmp="$$(mktemp -d)"; \
 	$(GO) run -race ./cmd/experiments -exp chaos -trials 3 -workers 2 -shards 4 -parallel 2 -out "$$tmp" && \
 	rm -rf "$$tmp"
@@ -76,11 +84,13 @@ BENCHBASE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 BENCHTHRESHOLD ?= 1.0
 bench-smoke:
 	@if [ -n "$(BENCHBASE)" ]; then \
-		$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' . | tee /dev/stderr | \
+		{ $(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' . && \
+		  $(GO) test -bench=BenchmarkEpochApply -benchtime=1x -run='^$$' ./internal/serve/; } | tee /dev/stderr | \
 			$(GO) run ./tools/benchjson -compare "$(BENCHBASE)" -threshold $(BENCHTHRESHOLD); \
 	else \
 		echo "no BENCH_*.json baseline; running without -compare"; \
-		$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' .; \
+		$(GO) test -bench=BenchmarkTable1Sharded -benchtime=1x -run='^$$' . && \
+		$(GO) test -bench=BenchmarkEpochApply -benchtime=1x -run='^$$' ./internal/serve/; \
 	fi
 
 # trace-smoke runs the traced experiment on a seed instance, writes the

@@ -50,6 +50,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "worker-pool bound for the sharded kernel (output is identical for any value; 0 = GOMAXPROCS; no effect without -shards)")
 		traceOut = fs.String("trace-out", "", "write the merged -exp trace event stream as JSON lines to this file (replay with tools/tracecat)")
 		dataDir  = fs.String("data", "", "write-ahead-log root for -exp churn: run the service durably (per-n subdirectories) and measure crash recovery")
+		profile  = fs.String("profile", "mixed", "churn event-mix profile for -exp churn: move, mixed, join-heavy, or all")
 		cycles   = fs.Int("cycles", 20, "kill/recover cycles of -exp soak")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -57,7 +58,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Parallel: *parallel, DataDir: *dataDir}
+	cfg := experiments.Config{Region: *region, Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Parallel: *parallel, DataDir: *dataDir, Profile: *profile}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -246,8 +247,8 @@ func runOne(name string, n int, radius float64, cfg experiments.Config, outDir s
 			ns = []int{n}
 		}
 		tb, err := experiments.Churn(ns, cfg)
-		return emit(fmt.Sprintf("Churn campaign: live topology service under synthetic churn (region=%g, seed=%d)",
-			cfg.Region, cfg.Seed), tb, err)
+		return emit(fmt.Sprintf("Churn campaign: live topology service under synthetic churn (region=%g, seed=%d, profile=%s)",
+			cfg.Region, cfg.Seed, cfg.Profile), tb, err)
 	case "soak":
 		tb, err := experiments.Soak(cycles, cfg)
 		return emit(fmt.Sprintf("Storage soak: kill/recover churn cycles with rotation, retention, and fault injection (cycles=%d, seed=%d)",

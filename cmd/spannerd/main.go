@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -243,8 +244,17 @@ func runSmoke(out io.Writer, s *geospanner.Server, base string, seed int64, regi
 	if st.Epochs != int64(epochs) || st.Applied+st.Rejected != st.Events {
 		return false, fmt.Errorf("smoke stats: inconsistent %+v", st)
 	}
-	fmt.Fprintf(out, "smoke: %d epochs, %d/%d events applied, recompute_ratio=%.2f\n",
-		st.Epochs, st.Applied, st.Events, st.RecomputeRatio)
+	fmt.Fprintf(out, "smoke: %d epochs, %d/%d events applied, recompute_ratio=%.2f patched=%d patch_fallbacks=%d\n",
+		st.Epochs, st.Applied, st.Events, st.RecomputeRatio, st.PatchedEpochs, st.PatchFallbacks)
+	kinds := make([]string, 0, len(st.ByKind))
+	for k := range st.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		kc := st.ByKind[k]
+		fmt.Fprintf(out, "smoke: kind %-10s applied=%d rejected=%d\n", k, kc.Applied, kc.Rejected)
+	}
 	return false, nil
 }
 

@@ -1,0 +1,106 @@
+package connector
+
+import (
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/udg"
+)
+
+// TestCentralizedWitnessMatchesCentralized pins the witness construction
+// to the monolithic election: same Result, graph for graph, across seeded
+// instances.
+func TestCentralizedWitnessMatchesCentralized(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 140, 200, 45, 0)
+		if err != nil {
+			t.Fatalf("instance: %v", err)
+		}
+		g := inst.UDG
+		cl := cluster.Centralized(g)
+		want := Centralized(g, cl)
+		got, wit := CentralizedWitness(g, cl)
+		if wit == nil || wit.Keys() == 0 {
+			t.Fatalf("seed %d: empty witness", seed)
+		}
+		assertResultsEqual(t, seed, want, got)
+	}
+}
+
+func assertResultsEqual(t *testing.T, seed int64, want, got *Result) {
+	t.Helper()
+	if !want.CDS.Equal(got.CDS) {
+		t.Errorf("seed %d: CDS differs", seed)
+	}
+	if !want.CDSPrime.Equal(got.CDSPrime) {
+		t.Errorf("seed %d: CDS' differs", seed)
+	}
+	if !want.ICDS.Equal(got.ICDS) {
+		t.Errorf("seed %d: ICDS differs", seed)
+	}
+	if !want.ICDSPrime.Equal(got.ICDSPrime) {
+		t.Errorf("seed %d: ICDS' differs", seed)
+	}
+	if len(want.InBackbone) != len(got.InBackbone) {
+		t.Fatalf("seed %d: InBackbone length %d vs %d", seed, len(want.InBackbone), len(got.InBackbone))
+	}
+	for v := range want.InBackbone {
+		if want.InBackbone[v] != got.InBackbone[v] {
+			t.Errorf("seed %d: InBackbone[%d] %v vs %v", seed, v, want.InBackbone[v], got.InBackbone[v])
+		}
+	}
+	if len(want.Connectors) != len(got.Connectors) {
+		t.Fatalf("seed %d: %d connectors vs %d", seed, len(want.Connectors), len(got.Connectors))
+	}
+	for i := range want.Connectors {
+		if want.Connectors[i] != got.Connectors[i] {
+			t.Fatalf("seed %d: connector[%d] %d vs %d", seed, i, want.Connectors[i], got.Connectors[i])
+		}
+	}
+}
+
+// TestWitnessSpliceRoundTrip removes a key and re-splices the identical
+// record; the aggregated state must be unchanged (edge refcounts, wins,
+// reverse indexes all restore).
+func TestWitnessSpliceRoundTrip(t *testing.T) {
+	inst, err := udg.ConnectedInstance(3, 120, 200, 45, 0)
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	g := inst.UDG
+	cl := cluster.Centralized(g)
+	want, wit := CentralizedWitness(g, cl)
+
+	var keys []KeyID
+	for k := range wit.records {
+		keys = append(keys, k)
+	}
+	SortKeyIDs(keys)
+	if len(keys) < 3 {
+		t.Fatalf("too few keys: %d", len(keys))
+	}
+	for _, k := range keys[:3] {
+		rec := wit.Record(k)
+		saved := *rec
+		d1 := wit.Splice(k, nil)
+		if len(d1.RemovedEdges) == 0 && len(rec.Edges) > 0 {
+			// All this key's edges were shared with other keys — fine.
+			_ = d1
+		}
+		d2 := wit.Splice(k, &saved)
+		for _, e := range d1.RemovedEdges {
+			found := false
+			for _, a := range d2.AddedEdges {
+				if a == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("key %v: removed edge %v not restored", k, e)
+			}
+		}
+	}
+	got := wit.Assemble(g, cl)
+	assertResultsEqual(t, 3, want, got)
+}

@@ -52,6 +52,10 @@ type Config struct {
 	// the campaign measures crash recovery (restart time, bit-exactness)
 	// on top of the usual throughput numbers. Empty = not durable.
 	DataDir string
+	// Profile selects the churn campaign's event mix: "move", "mixed",
+	// "join-heavy", or "all" to sweep every built-in profile. Empty =
+	// mixed (the historical schedule).
+	Profile string
 }
 
 // buildOptions returns the per-build options implied by the config.
@@ -269,7 +273,7 @@ func Table1(n int, radius float64, cfg Config) (*stats.Table, error) {
 	tb := stats.NewTable("graph", "deg_avg", "deg_max", "len_avg", "len_max", "hop_avg", "hop_max", "edges")
 	for i, spec := range specs {
 		a := &accums[i]
-		row := []interface{}{
+		row := []any{
 			spec.name,
 			a.degAvg.Summary().Mean,
 			a.degMax.Summary().Max,

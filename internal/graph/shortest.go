@@ -50,7 +50,7 @@ type heapItem struct {
 }
 
 // distHeap is a typed binary min-heap ordered by dist. It replaces the
-// former container/heap implementation, whose interface{} Push boxed a
+// former container/heap implementation, whose any-typed Push boxed a
 // heapItem allocation on every relaxation — measurable in the all-pairs
 // stretch loops, which run Dijkstra n times per structure per trial.
 type distHeap []heapItem

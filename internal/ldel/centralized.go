@@ -23,6 +23,134 @@ func Centralized(g *graph.Graph, active []bool, radius float64) (*Result, error)
 // The paper's pipeline uses k = 1, the cheapest variant, precisely because
 // planarization restores planarity at constant extra cost.
 func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result, error) {
+	return centralizedK(g, active, radius, k, nil)
+}
+
+// nodeDecisions computes one node's share of Algorithm 2 steps 2–4: its
+// Gabriel-certified short edges, its incident all-short local Delaunay
+// triangles (mine), and the subset it proposes (angle ≥ 60°). nb is u's
+// k-hop neighborhood. This is the unit the incremental witness re-runs
+// per dirty node.
+func nodeDecisions(pts []geom.Point, r2 float64, u int, nb []int) (gab []graph.Edge, mine, proposed map[TriKey]bool, err error) {
+	short := func(a, b int) bool { return pts[a].Dist2(pts[b]) <= r2 }
+	ids := append([]int{u}, nb...)
+	sort.Ints(ids)
+	local := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		local[i] = pts[id]
+	}
+	tri, err := delaunay.Triangulate(local)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("ldel: local triangulation of node %d: %w", u, err)
+	}
+
+	// Gabriel edges.
+	for _, v := range nb {
+		if !short(u, v) {
+			continue
+		}
+		empty := true
+		for _, w := range ids {
+			if w == u || w == v {
+				continue
+			}
+			if geom.InDiametralDisk(pts[u], pts[v], pts[w]) {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			gab = append(gab, graph.MakeEdge(u, v))
+		}
+	}
+
+	// Incident short-edged local Delaunay triangles + proposals.
+	mine = make(map[TriKey]bool)
+	proposed = make(map[TriKey]bool)
+	for _, t := range tri.Triangles {
+		a, b, c := ids[t.A], ids[t.B], ids[t.C]
+		key := NewTriKey(a, b, c)
+		if !key.Has(u) {
+			continue
+		}
+		if !short(a, b) || !short(b, c) || !short(a, c) {
+			continue
+		}
+		mine[key] = true
+		var v, w int
+		switch u {
+		case key[0]:
+			v, w = key[1], key[2]
+		case key[1]:
+			v, w = key[0], key[2]
+		default:
+			v, w = key[0], key[1]
+		}
+		if geom.AngleAt(pts[u], pts[v], pts[w]) >= geom.SixtyDegrees-angleSlack {
+			proposed[key] = true
+		}
+	}
+	return gab, mine, proposed, nil
+}
+
+// removedAtList is Algorithm 3 steps 1–2 for one corner z of kept triangle
+// t1: does any other kept triangle z can hear about (a corner within z's
+// neighborhood) intersect t1 with a vertex inside t1's circumcircle?
+func removedAtList(pts []geom.Point, nbrs [][]int, keptList []TriKey, z int, t1 TriKey) bool {
+	p1 := [3]geom.Point{pts[t1[0]], pts[t1[1]], pts[t1[2]]}
+	reach := map[int]bool{z: true}
+	for _, v := range nbrs[z] {
+		reach[v] = true
+	}
+	for _, t2 := range keptList {
+		if t2 == t1 {
+			continue
+		}
+		if !reach[t2[0]] && !reach[t2[1]] && !reach[t2[2]] {
+			continue // z never hears about t2
+		}
+		p2 := [3]geom.Point{pts[t2[0]], pts[t2[1]], pts[t2[2]]}
+		if !trianglesIntersect(p1, p2) {
+			continue
+		}
+		for i, v := range t2 {
+			if t1.Has(v) {
+				continue
+			}
+			if geom.InCircleCCW(p1[0], p1[1], p1[2], p2[i]) == geom.Positive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// keptStatus applies Algorithm 2 steps 5–6 to one triangle: kept when some
+// corner proposes it and every corner holds it locally.
+func keptStatus(t TriKey, mine, proposed []map[TriKey]bool) bool {
+	anyProposed := false
+	for _, v := range t {
+		if proposed[v] != nil && proposed[v][t] {
+			anyProposed = true
+			break
+		}
+	}
+	if !anyProposed {
+		return false
+	}
+	for _, v := range t {
+		if mine[v] == nil || !mine[v][t] {
+			return false
+		}
+	}
+	return true
+}
+
+// centralizedK is the shared core. When wit is non-nil it captures every
+// per-node decision — neighborhoods, mine/proposed triangle sets, Gabriel
+// certificates, kept and surviving triangles — so incremental maintenance
+// can later re-run only the nodes a topology change touches.
+func centralizedK(g *graph.Graph, active []bool, radius float64, k int, wit *Witness) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ldel: neighborhood parameter k must be >= 1, got %d", k)
 	}
@@ -34,7 +162,6 @@ func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result
 	}
 	pts := g.Points()
 	r2 := radius * radius
-	short := func(a, b int) bool { return pts[a].Dist2(pts[b]) <= r2 }
 
 	// Per-node k-hop neighborhoods (active nodes only).
 	nbrs := make([][]int, g.N())
@@ -47,124 +174,39 @@ func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result
 
 	// Algorithm 2 steps 2–4 per node.
 	mine := make([]map[TriKey]bool, g.N())
-	proposals := make(map[TriKey]bool)
+	proposed := make([]map[TriKey]bool, g.N())
 	gabriel := make(map[graph.Edge]bool)
 	for u := 0; u < g.N(); u++ {
 		if !active[u] {
 			continue
 		}
-		ids := append([]int{u}, nbrs[u]...)
-		sort.Ints(ids)
-		local := make([]geom.Point, len(ids))
-		for i, id := range ids {
-			local[i] = pts[id]
-		}
-		tri, err := delaunay.Triangulate(local)
+		gab, m, p, err := nodeDecisions(pts, r2, u, nbrs[u])
 		if err != nil {
-			return nil, fmt.Errorf("ldel: local triangulation of node %d: %w", u, err)
+			return nil, err
 		}
-
-		// Gabriel edges.
-		for _, v := range nbrs[u] {
-			if !short(u, v) {
-				continue
-			}
-			empty := true
-			for _, w := range ids {
-				if w == u || w == v {
-					continue
-				}
-				if geom.InDiametralDisk(pts[u], pts[v], pts[w]) {
-					empty = false
-					break
-				}
-			}
-			if empty {
-				gabriel[graph.MakeEdge(u, v)] = true
-			}
+		for _, e := range gab {
+			gabriel[e] = true
 		}
-
-		// Incident short-edged local Delaunay triangles + proposals.
-		mine[u] = make(map[TriKey]bool)
-		for _, t := range tri.Triangles {
-			a, b, c := ids[t.A], ids[t.B], ids[t.C]
-			key := NewTriKey(a, b, c)
-			if !key.Has(u) {
-				continue
-			}
-			if !short(a, b) || !short(b, c) || !short(a, c) {
-				continue
-			}
-			mine[u][key] = true
-			var v, w int
-			switch u {
-			case key[0]:
-				v, w = key[1], key[2]
-			case key[1]:
-				v, w = key[0], key[2]
-			default:
-				v, w = key[0], key[1]
-			}
-			if geom.AngleAt(pts[u], pts[v], pts[w]) >= geom.SixtyDegrees-angleSlack {
-				proposals[key] = true
-			}
-		}
+		mine[u] = m
+		proposed[u] = p
 	}
 
-	// Algorithm 2 steps 5–6: a triangle joins LDel⁽¹⁾ when proposed and
+	// Algorithm 2 steps 5–6: a triangle joins LDel⁽ᵏ⁾ when proposed and
 	// held locally by all three corners.
 	kept := make(map[TriKey]bool)
-	for t := range proposals {
-		ok := true
-		for _, v := range t {
-			if mine[v] == nil || !mine[v][t] {
-				ok = false
-				break
+	for u := 0; u < g.N(); u++ {
+		for t := range proposed[u] {
+			if !kept[t] && keptStatus(t, mine, proposed) {
+				kept[t] = true
 			}
-		}
-		if ok {
-			kept[t] = true
 		}
 	}
 
-	// Algorithm 3 steps 1–2: per-corner pruning against known triangles.
 	keptList := make([]TriKey, 0, len(kept))
 	for t := range kept {
 		keptList = append(keptList, t)
 	}
 	sortTris(keptList)
-	adjacentTo := func(z int) map[int]bool {
-		m := map[int]bool{z: true}
-		for _, v := range nbrs[z] {
-			m[v] = true
-		}
-		return m
-	}
-	removedAt := func(z int, t1 TriKey) bool {
-		p1 := [3]geom.Point{pts[t1[0]], pts[t1[1]], pts[t1[2]]}
-		reach := adjacentTo(z)
-		for _, t2 := range keptList {
-			if t2 == t1 {
-				continue
-			}
-			if !reach[t2[0]] && !reach[t2[1]] && !reach[t2[2]] {
-				continue // z never hears about t2
-			}
-			p2 := [3]geom.Point{pts[t2[0]], pts[t2[1]], pts[t2[2]]}
-			if !trianglesIntersect(p1, p2) {
-				continue
-			}
-			for i, v := range t2 {
-				if t1.Has(v) {
-					continue
-				}
-				if geom.InCircleCCW(p1[0], p1[1], p1[2], p2[i]) == geom.Positive {
-					return true
-				}
-			}
-		}
-		return false
-	}
 
 	res := &Result{
 		LDel:  graph.New(pts),
@@ -181,18 +223,20 @@ func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result
 		}
 		return res.Gabriel[i].V < res.Gabriel[j].V
 	})
+	surviving := make(map[TriKey]bool)
 	for _, t := range keptList {
 		for _, e := range t.Edges() {
 			res.LDel.AddEdge(e.U, e.V)
 		}
 		survives := true
 		for _, z := range t {
-			if removedAt(z, t) {
+			if removedAtList(pts, nbrs, keptList, z, t) {
 				survives = false
 				break
 			}
 		}
 		if survives {
+			surviving[t] = true
 			res.Triangles = append(res.Triangles, t)
 			for _, e := range t.Edges() {
 				res.PLDel.AddEdge(e.U, e.V)
@@ -200,6 +244,16 @@ func CentralizedK(g *graph.Graph, active []bool, radius float64, k int) (*Result
 		}
 	}
 	sortTris(res.Triangles)
+
+	if wit != nil {
+		wit.radius = radius
+		wit.nbrs = nbrs
+		wit.mine = mine
+		wit.proposed = proposed
+		wit.gabriel = gabriel
+		wit.kept = kept
+		wit.surviving = surviving
+	}
 	return res, nil
 }
 

@@ -1,0 +1,178 @@
+package ldel
+
+import (
+	"sort"
+
+	"geospanner/internal/graph"
+)
+
+// Witness captures every per-node decision of one CentralizedK run — the
+// k-hop neighborhoods, each node's incident/proposed triangle sets, the
+// Gabriel certificates, and the kept and surviving triangle sets. Each of
+// those decisions is a pure function of a bounded neighborhood, so when a
+// topology change touches a known dirty set of nodes, Patch re-runs only
+// the decisions whose inputs intersect it and rebuilds PLDel from the
+// spliced state — bit-identical to a from-scratch run (the maintain churn
+// oracle pins this).
+type Witness struct {
+	radius    float64
+	nbrs      [][]int
+	mine      []map[TriKey]bool
+	proposed  []map[TriKey]bool
+	gabriel   map[graph.Edge]bool
+	kept      map[TriKey]bool
+	surviving map[TriKey]bool
+}
+
+// CentralizedWitness runs Centralized (k = 1) and returns the Result
+// together with the decision witness for incremental patching.
+func CentralizedWitness(g *graph.Graph, active []bool, radius float64) (*Result, *Witness, error) {
+	wit := &Witness{}
+	res, err := centralizedK(g, active, radius, 1, wit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, wit, nil
+}
+
+// Triangles counts currently surviving triangles (diagnostics).
+func (w *Witness) Triangles() int { return len(w.surviving) }
+
+// Patch re-runs the localized-Delaunay decisions around a dirty node set
+// and returns the new PLDel graph. dirty must contain every node whose
+// active flag, position, or alive-graph neighborhood changed since the
+// witness was last current; g and active are the post-change topology.
+//
+// The update runs in three tiers, each scoped by the locality of the rule
+// it replays (see DESIGN.md §14 for the completeness argument):
+//
+//  1. node decisions — recomputed for dirty nodes only. Gabriel
+//     certificates are symmetric (a blocking witness lies within the
+//     diametral disk, hence within range of both endpoints), so deleting
+//     entries incident to a dirty node and re-adding its recomputed
+//     certificates restores the global certificate set.
+//  2. kept status — recomputed for the union of old and new incident
+//     triangles of dirty nodes; a kept-status change requires some
+//     corner's mine/proposed sets to have changed, and those only change
+//     at dirty nodes.
+//  3. survival — recomputed for every kept triangle with a corner within
+//     two hops of the dirty set: a survival flip needs either a dirty
+//     corner or a changed kept triangle within earshot, and changed kept
+//     triangles have all corners within one hop of the dirty set.
+func (w *Witness) Patch(g *graph.Graph, active []bool, dirty []int) (*graph.Graph, error) {
+	pts := g.Points()
+	r2 := w.radius * w.radius
+
+	dset := make(map[int]bool, len(dirty))
+	for _, v := range dirty {
+		dset[v] = true
+	}
+	sortedDirty := make([]int, 0, len(dset))
+	for v := range dset {
+		sortedDirty = append(sortedDirty, v)
+	}
+	sort.Ints(sortedDirty)
+
+	// ball1: the dirty set plus its old and new neighborhoods — a superset
+	// of every corner of a triangle whose kept status can change.
+	ball1 := make(map[int]bool)
+	cand := make(map[TriKey]bool)
+	for _, v := range sortedDirty {
+		ball1[v] = true
+		for _, x := range w.nbrs[v] {
+			ball1[x] = true
+		}
+		for t := range w.mine[v] {
+			cand[t] = true
+		}
+	}
+
+	// Tier 1: per-node decisions of dirty nodes.
+	for e := range w.gabriel {
+		if dset[e.U] || dset[e.V] {
+			delete(w.gabriel, e)
+		}
+	}
+	for _, v := range sortedDirty {
+		if !active[v] {
+			w.nbrs[v] = nil
+			w.mine[v] = nil
+			w.proposed[v] = nil
+			continue
+		}
+		w.nbrs[v] = kHopNeighbors(g, active, v, 1)
+		for _, x := range w.nbrs[v] {
+			ball1[x] = true
+		}
+		gab, m, p, err := nodeDecisions(pts, r2, v, w.nbrs[v])
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range gab {
+			w.gabriel[e] = true
+		}
+		w.mine[v] = m
+		w.proposed[v] = p
+		for t := range m {
+			cand[t] = true
+		}
+	}
+
+	// Tier 2: kept status over the candidate triangles.
+	for t := range cand {
+		now := keptStatus(t, w.mine, w.proposed)
+		if now == w.kept[t] {
+			continue
+		}
+		if now {
+			w.kept[t] = true
+		} else {
+			delete(w.kept, t)
+			delete(w.surviving, t)
+		}
+	}
+
+	// Tier 3: survival over kept triangles near the dirty set.
+	ball2 := make(map[int]bool, len(ball1))
+	for v := range ball1 {
+		ball2[v] = true
+		if active[v] {
+			for _, x := range w.nbrs[v] {
+				ball2[x] = true
+			}
+		}
+	}
+	keptList := make([]TriKey, 0, len(w.kept))
+	for t := range w.kept {
+		keptList = append(keptList, t)
+	}
+	sortTris(keptList)
+	for _, t := range keptList {
+		if !ball2[t[0]] && !ball2[t[1]] && !ball2[t[2]] {
+			continue
+		}
+		survives := true
+		for _, z := range t {
+			if removedAtList(pts, w.nbrs, keptList, z, t) {
+				survives = false
+				break
+			}
+		}
+		if survives {
+			w.surviving[t] = true
+		} else {
+			delete(w.surviving, t)
+		}
+	}
+
+	pl := graph.New(pts)
+	for e := range w.gabriel {
+		pl.AddEdge(e.U, e.V)
+	}
+	for t := range w.surviving {
+		for _, e := range t.Edges() {
+			pl.AddEdge(e.U, e.V)
+		}
+	}
+	return pl, nil
+}

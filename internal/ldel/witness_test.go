@@ -1,0 +1,86 @@
+package ldel
+
+import (
+	"testing"
+
+	"geospanner/internal/udg"
+)
+
+// TestWitnessPatchMatchesScratch kills and revives nodes one at a time,
+// patching the witness with the event's dirty set ({v} ∪ N(v)), and
+// requires the patched PLDel to equal a from-scratch run after every step.
+func TestWitnessPatchMatchesScratch(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst, err := udg.ConnectedInstance(seed, 110, 200, 50, 0)
+		if err != nil {
+			t.Fatalf("instance: %v", err)
+		}
+		g := inst.UDG
+		active := make([]bool, g.N())
+		for i := range active {
+			active[i] = true
+		}
+		res, wit, err := CentralizedWitness(g, active, inst.Radius)
+		if err != nil {
+			t.Fatalf("seed %d: witness build: %v", seed, err)
+		}
+		pldel := res.PLDel
+
+		step := func(v int, alive bool) {
+			t.Helper()
+			active[v] = alive
+			dirty := append([]int{v}, g.Neighbors(v)...)
+			pldel, err = wit.Patch(g, active, dirty)
+			if err != nil {
+				t.Fatalf("seed %d: patch v=%d alive=%v: %v", seed, v, alive, err)
+			}
+			want, werr := Centralized(g, active, inst.Radius)
+			if werr != nil {
+				t.Fatalf("seed %d: scratch: %v", seed, werr)
+			}
+			if !want.PLDel.Equal(pldel) {
+				t.Fatalf("seed %d: PLDel diverges after v=%d alive=%v", seed, v, alive)
+			}
+		}
+
+		// Kill a scatter of nodes, then revive some, then kill more —
+		// exercising patch-on-addition (the tentpole case) repeatedly.
+		kills := []int{int(seed) * 7 % g.N(), int(seed)*13%g.N() + 1, int(seed) * 29 % g.N()}
+		for _, v := range kills {
+			if active[v] {
+				step(v, false)
+			}
+		}
+		for _, v := range kills[:2] {
+			if !active[v] {
+				step(v, true)
+			}
+		}
+		step(kills[2]%g.N(), true)
+	}
+}
+
+// TestWitnessPatchEmptyDirty pins that a no-op patch returns the same
+// graph content.
+func TestWitnessPatchEmptyDirty(t *testing.T) {
+	inst, err := udg.ConnectedInstance(2, 80, 200, 55, 0)
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	g := inst.UDG
+	active := make([]bool, g.N())
+	for i := range active {
+		active[i] = true
+	}
+	res, wit, err := CentralizedWitness(g, active, inst.Radius)
+	if err != nil {
+		t.Fatalf("witness build: %v", err)
+	}
+	got, err := wit.Patch(g, active, nil)
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if !res.PLDel.Equal(got) {
+		t.Fatal("empty patch changed PLDel")
+	}
+}

@@ -38,6 +38,10 @@ const (
 	EventCrash
 	// EventMove relocates a node to Event.To, alive or not.
 	EventMove
+
+	// NumEventKinds is the number of event kinds — the length of
+	// BatchStats.ByKind and of any per-kind counter array built over it.
+	NumEventKinds = int(EventMove) + 1
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +68,14 @@ type Event struct {
 	To geom.Point
 }
 
+// KindCount is the per-event-kind slice of one batch.
+type KindCount struct {
+	// Applied counts events of this kind that changed the state.
+	Applied int
+	// Rejected counts strict no-ops of this kind.
+	Rejected int
+}
+
 // BatchStats summarizes one ApplyBatch call — the per-epoch numbers a
 // topology service reports.
 type BatchStats struct {
@@ -76,6 +88,10 @@ type BatchStats struct {
 	// out-of-range node ID. Rejected events touch neither the roles nor
 	// the cached structures.
 	Rejected int
+	// ByKind slices Applied/Rejected per event kind, indexed by EventKind
+	// (join, leave, crash, move). Out-of-range node IDs and unknown kinds
+	// count only in Rejected.
+	ByKind [NumEventKinds]KindCount
 	// RoleChanges totals the nodes whose clustering role changed across
 	// the batch's applied events (the locality measure).
 	RoleChanges int
@@ -113,14 +129,17 @@ func (s *State) ApplyBatch(events []Event, fallbackFrac float64) BatchStats {
 				// too, but the batch loop must never construct errors for
 				// expected stream noise.
 				st.Rejected++
+				st.ByKind[e.Kind].Rejected++
 				continue
 			}
 			changed, err := s.Recover(e.Node)
 			if err != nil {
 				st.Rejected++
+				st.ByKind[e.Kind].Rejected++
 				continue
 			}
 			st.Applied++
+			st.ByKind[e.Kind].Applied++
 			st.RoleChanges += len(changed)
 		case EventLeave, EventCrash:
 			if !s.alive[e.Node] {
@@ -130,22 +149,27 @@ func (s *State) ApplyBatch(events []Event, fallbackFrac float64) BatchStats {
 				// next Structures call would otherwise count a recompute
 				// for an event that changed nothing.
 				st.Rejected++
+				st.ByKind[e.Kind].Rejected++
 				continue
 			}
 			changed, err := s.Fail(e.Node)
 			if err != nil {
 				st.Rejected++
+				st.ByKind[e.Kind].Rejected++
 				continue
 			}
 			st.Applied++
+			st.ByKind[e.Kind].Applied++
 			st.RoleChanges += len(changed)
 		case EventMove:
 			changed, err := s.Move(e.Node, e.To)
 			if err != nil {
 				st.Rejected++
+				st.ByKind[e.Kind].Rejected++
 				continue
 			}
 			st.Applied++
+			st.ByKind[e.Kind].Applied++
 			st.Moves++
 			st.RoleChanges += len(changed)
 		default:
@@ -201,6 +225,7 @@ func (s *State) relocate(v int, to geom.Point) {
 			s.full.RemoveEdge(v, u)
 		}
 	}
+	s.noteReloc(v)
 }
 
 // mergeSorted merges two sorted ID lists, deduplicating.

@@ -55,11 +55,27 @@ type State struct {
 	RoleChanges int
 
 	// Recomputes counts full backbone recomputations performed by
-	// Structures. Events that change no roles and touch no backbone node
-	// patch the cached structures in place instead of invalidating them,
-	// so a churn sequence dominated by leaf dominatees keeps this counter
-	// flat — the "skip the recompute" contract.
+	// Structures. With witness patching enabled (the default), structural
+	// events accumulate a dirty scope and Structures splices a patch into
+	// the cached structures instead — counted in Patches, not here — so
+	// recompute_ratio (Recomputes per epoch) stays well below 1.0 under
+	// churn.
 	Recomputes int
+
+	// Patches counts Structures calls that serviced the accumulated
+	// events by witness-scoped patching (bit-identical to a rebuild).
+	Patches int
+
+	// PatchFallbacks counts patches abandoned because the dirty scope
+	// exceeded PatchScopeFraction of the alive nodes; each such call also
+	// counts in Recomputes.
+	PatchFallbacks int
+
+	// PatchScopeFraction bounds the witness patch scope as a fraction of
+	// alive nodes: 0 selects DefaultPatchScopeFraction, negative disables
+	// witness patching entirely (events drop the caches — the measurement
+	// baseline).
+	PatchScopeFraction float64
 
 	// Cached derived structures; nil when stale. Clustering and
 	// Structures return the cached objects, so callers must treat the
@@ -67,13 +83,25 @@ type State struct {
 	cachedCl   *cluster.Result
 	cachedConn *connector.Result
 	cachedLDel *graph.Graph
+
+	// Election witnesses backing the cached structures (nil whenever the
+	// caches are), plus the dirty scope accumulated since the last
+	// Structures call.
+	wit          *connector.Witness
+	ldwit        *ldel.Witness
+	pending      map[int]bool
+	pendingReloc map[int]bool
 }
 
-// invalidate drops every cached derived structure.
+// invalidate drops every cached derived structure and its witnesses.
 func (s *State) invalidate() {
 	s.cachedCl = nil
 	s.cachedConn = nil
 	s.cachedLDel = nil
+	s.wit = nil
+	s.ldwit = nil
+	s.pending = nil
+	s.pendingReloc = nil
 }
 
 // New builds the initial state from a point set: the unit disk graph plus
@@ -147,17 +175,20 @@ func (s *State) Fail(v int) ([]int, error) {
 
 	if !wasDominator {
 		// Dominatees and connectors carry no coverage responsibility, so
-		// no roles change. A connector failure still reroutes the backbone
-		// (drop the caches); a plain dominatee failure only removes its
-		// own coverage edges, which the caches absorb in place.
-		if s.cachedConn != nil && s.cachedConn.InBackbone[v] {
-			s.invalidate()
-		} else {
-			s.patchFail(v)
-		}
+		// no roles change. The clustering cache absorbs the failure in
+		// place; the derived structures are repaired at the next
+		// Structures call by re-running the elections v witnessed — a dead
+		// losing candidate can unblock a larger-ID winner, so even a
+		// non-backbone failure can move a distant-looking election
+		// (DESIGN.md §14).
+		s.patchFail(v)
+		s.noteScope(v)
 		return nil, nil
 	}
-	s.invalidate()
+	// A dominator failure changes coverage: rebuild the clustering cache
+	// fresh (cheap — roles are maintained in s.status) and scope the
+	// derived-structure patch to the failure and its promotions.
+	s.cachedCl = nil
 
 	// Only v's alive dominatee neighbors can become uncovered. Promote the
 	// uncovered ones in ID order; each promotion may cover later ones.
@@ -177,6 +208,10 @@ func (s *State) Fail(v int) ([]int, error) {
 		changed = append(changed, w)
 	}
 	s.RoleChanges += len(changed)
+	s.noteScope(v)
+	for _, w := range changed {
+		s.noteScope(w)
+	}
 	return changed, nil
 }
 
@@ -201,74 +236,71 @@ func (s *State) Recover(v int) ([]int, error) {
 		s.status[v] = cluster.Dominator
 	}
 	if s.status[v] != old {
-		s.invalidate()
+		// v's own role changed: rebuild the clustering cache fresh and
+		// scope the derived-structure patch to v's two-hop ball — every
+		// election v's new role can reach is re-run there.
+		s.cachedCl = nil
+		s.noteScope(v)
 		s.RoleChanges++
 		return []int{v}, nil
 	}
 	if s.status[v] == cluster.Dominator {
 		// A dominator rejoining changes no role but reshapes the backbone
-		// (it must be reconnected by fresh connectors).
-		s.invalidate()
+		// (it must be reconnected by fresh connectors) — same scoped patch.
+		s.cachedCl = nil
+		s.noteScope(v)
 	} else {
-		// The clustering cache is patched exactly (the local formulas equal
-		// the full derivation), but the derived structures must be dropped:
-		// a rejoining node adds candidate connector paths, so the canonical
-		// election over the new graph may differ from the cached one even
-		// though no role changed. Removing a non-elected candidate (Fail)
-		// cannot change the election argmin; adding one can.
+		// A covered dominatee rejoining: the clustering cache is patched
+		// exactly (the local formulas equal the full derivation), and the
+		// derived structures are patched at the next Structures call by
+		// re-running every election within v's witness scope — the
+		// rejoining candidate can only change elections it can reach.
 		s.patchRecover(v)
-		s.cachedConn = nil
-		s.cachedLDel = nil
+		s.noteScope(v)
 	}
 	return nil, nil
 }
 
-// patchFail updates the cached derived structures for the failure of a
-// role-neutral non-backbone node v: v loses its coverage links and drops
-// out of the two-hop views of its neighbors; the backbone is untouched.
+// patchFail updates the cached clustering for the failure of a
+// role-neutral node v: v loses its coverage links and drops out of the
+// two-hop views of its neighbors. The derived structures are repaired by
+// the witness patch at the next Structures call.
 func (s *State) patchFail(v int) {
-	if s.cachedCl != nil {
-		cl := s.cachedCl
-		cl.Status[v] = cluster.Dominatee // failed-node convention of Clustering
-		cl.DominatorsOf[v] = nil
-		cl.TwoHopDominators[v] = nil
-		for _, x := range s.aliveNeighbors(v) {
-			cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
-		}
+	if s.cachedCl == nil {
+		return
 	}
-	if s.cachedConn != nil {
-		// v contributed only dominatee→dominator edges to the primed
-		// graphs; CDS, ICDS and the planarization never contained it.
-		removeIncident(s.cachedConn.CDSPrime, v)
-		removeIncident(s.cachedConn.ICDSPrime, v)
+	cl := s.cachedCl
+	cl.Status[v] = cluster.Dominatee // failed-node convention of Clustering
+	cl.DominatorsOf[v] = nil
+	cl.TwoHopDominators[v] = nil
+	for _, x := range s.aliveNeighbors(v) {
+		cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
 	}
 }
 
 // patchRecover updates the cached clustering for a node rejoining as a
 // covered dominatee with its old role: it regains its dominator links and
-// reappears in its neighbors' two-hop views. Only the clustering cache is
-// patched — Recover drops the derived structures, whose canonical form may
-// change when a candidate connector node appears.
+// reappears in its neighbors' two-hop views. With no clustering cache to
+// patch there is nothing to do — Clustering re-derives the canonical
+// result from the maintained roles, and the derived structures are
+// repaired against it by the witness patch at the next Structures call.
 func (s *State) patchRecover(v int) {
-	if s.cachedCl != nil {
-		cl := s.cachedCl
-		cl.Status[v] = cluster.Dominatee
-		var doms []int
-		for _, u := range s.aliveNeighbors(v) {
-			if s.status[u] == cluster.Dominator {
-				doms = append(doms, u)
-			}
+	if s.cachedCl == nil {
+		return
+	}
+	cl := s.cachedCl
+	cl.Status[v] = cluster.Dominatee
+	var doms []int
+	for _, u := range s.aliveNeighbors(v) {
+		if s.status[u] == cluster.Dominator {
+			doms = append(doms, u)
 		}
-		sort.Ints(doms)
-		cl.DominatorsOf[v] = doms
-		cl.TwoHopDominators[v] = s.twoHopOf(cl, v)
-		for _, x := range s.aliveNeighbors(v) {
-			cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
-		}
-	} else {
-		// No clustering cache to read dominators from; anything derived is
-		// stale beyond repair.
-		s.invalidate()
+	}
+	sort.Ints(doms)
+	cl.DominatorsOf[v] = doms
+	cl.TwoHopDominators[v] = s.twoHopOf(cl, v)
+	for _, x := range s.aliveNeighbors(v) {
+		cl.TwoHopDominators[x] = s.twoHopOf(cl, x)
 	}
 }
 
@@ -292,14 +324,6 @@ func (s *State) twoHopOf(cl *cluster.Result, x int) []int {
 	}
 	sort.Ints(list)
 	return list
-}
-
-// removeIncident removes every edge incident to v from g.
-func removeIncident(g *graph.Graph, v int) {
-	nbrs := append([]int(nil), g.Neighbors(v)...)
-	for _, u := range nbrs {
-		g.RemoveEdge(v, u)
-	}
 }
 
 // Clustering derives the full cluster.Result (dominator lists, two-hop
@@ -361,27 +385,33 @@ func (s *State) Clustering() *cluster.Result {
 }
 
 // Structures returns the derived backbone structures (connectors, CDS
-// family, planar LDel) for the maintained roles. When every event since
-// the last call was role-neutral and away from the backbone, the cached
-// structures — patched in place by those events — are returned without
-// recomputation (Recomputes does not advance); otherwise the backbone is
-// rebuilt from the repaired roles. Results are cached: treat them as
-// read-only.
+// family, planar LDel) for the maintained roles. With witness patching
+// enabled (the default), events since the last call accumulate a dirty
+// scope and this call re-runs only the elections inside it, splicing the
+// results into the cached structures — bit-identical to a from-scratch
+// rebuild, counted in Patches. The full rebuild runs when there are no
+// caches yet, when the scope exceeds PatchScopeFraction of the alive
+// nodes (counted in PatchFallbacks), or when patching is disabled;
+// it counts in Recomputes. Results are cached: treat them as read-only.
 func (s *State) Structures() (*connector.Result, *graph.Graph, error) {
 	cl := s.Clustering()
 	if s.cachedConn != nil && s.cachedLDel != nil {
-		return s.cachedConn, s.cachedLDel, nil
+		if !s.hasPendingWork() {
+			s.pendingReloc = nil // any relocations were dead-node geometry
+			return s.cachedConn, s.cachedLDel, nil
+		}
+		if s.wit != nil && s.ldwit != nil && s.tryPatch(cl) {
+			s.Patches++
+			s.clearPending()
+			return s.cachedConn, s.cachedLDel, nil
+		}
 	}
-	g := s.AliveGraph()
-	conn := connector.Centralized(g, cl)
-	ld, err := ldel.Centralized(conn.ICDS, conn.InBackbone, s.radius)
+	conn, pldel, err := s.structures(cl)
 	if err != nil {
-		return nil, nil, fmt.Errorf("maintain: planarize: %w", err)
+		return nil, nil, err
 	}
-	s.Recomputes++
-	s.cachedConn = conn
-	s.cachedLDel = ld.PLDel
-	return conn, ld.PLDel, nil
+	s.clearPending()
+	return conn, pldel, nil
 }
 
 // CheckInvariants verifies the maintained clustering: dominators form an

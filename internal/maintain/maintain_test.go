@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"geospanner/internal/cluster"
+	"geospanner/internal/connector"
 	"geospanner/internal/geom"
+	"geospanner/internal/graph"
 	"geospanner/internal/udg"
 )
 
@@ -240,10 +242,12 @@ func TestRecoverAsDominatorWhenUncovered(t *testing.T) {
 }
 
 // TestStructuresCachedAcrossNeutralEvents: failing a non-backbone
-// dominatee must not trigger a backbone recomputation — the cached
-// structures are patched in place — while failing a dominator must.
+// dominatee must not trigger a backbone recomputation — the witness patch
+// splices the cached structures — and with an uncapped patch scope even a
+// dominator failure is serviced by patching.
 func TestStructuresCachedAcrossNeutralEvents(t *testing.T) {
 	s := newState(t, 7, 80)
+	s.PatchScopeFraction = 1 // dense small instance: let every patch run
 	conn, _, err := s.Structures()
 	if err != nil {
 		t.Fatal(err)
@@ -270,8 +274,8 @@ func TestStructuresCachedAcrossNeutralEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Recomputes != 1 {
-		t.Fatalf("Recomputes = %d after neutral event, want 1 (cache should be patched, not rebuilt)", s.Recomputes)
+	if s.Recomputes != 1 || s.Patches != 1 {
+		t.Fatalf("Recomputes = %d, Patches = %d after neutral event, want 1, 1 (cache should be patched, not rebuilt)", s.Recomputes, s.Patches)
 	}
 	if conn2.CDSPrime.Degree(victim) != 0 || conn2.ICDSPrime.Degree(victim) != 0 {
 		t.Fatal("patched primed graphs still link the failed dominatee")
@@ -283,7 +287,9 @@ func TestStructuresCachedAcrossNeutralEvents(t *testing.T) {
 		t.Fatal("patched backbone not planar")
 	}
 
-	// Fail a dominator: roles change, the backbone must be rebuilt.
+	// Fail a dominator: roles change, but the witness patch still services
+	// the repair — only the elections inside the failure's two-hop ball
+	// re-run.
 	dom := -1
 	for v := 0; v < 80; v++ {
 		if s.Alive(v) && s.Status(v) == cluster.Dominator {
@@ -300,8 +306,27 @@ func TestStructuresCachedAcrossNeutralEvents(t *testing.T) {
 	if _, _, err := s.Structures(); err != nil {
 		t.Fatal(err)
 	}
-	if s.Recomputes != 2 {
-		t.Fatalf("Recomputes = %d after dominator failure, want 2", s.Recomputes)
+	if s.Recomputes != 1 || s.Patches != 2 {
+		t.Fatalf("Recomputes = %d, Patches = %d after dominator failure, want 1, 2", s.Recomputes, s.Patches)
+	}
+
+	// A vanishingly small scope cap forces the fallback-to-rebuild path.
+	s.PatchScopeFraction = 1e-9
+	victim2 := -1
+	for v := 0; v < 80; v++ {
+		if s.Alive(v) && s.Status(v) == cluster.Dominatee {
+			victim2 = v
+			break
+		}
+	}
+	if _, err := s.Fail(victim2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Structures(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Recomputes != 2 || s.PatchFallbacks != 1 {
+		t.Fatalf("Recomputes = %d, PatchFallbacks = %d after capped patch, want 2, 1", s.Recomputes, s.PatchFallbacks)
 	}
 }
 
@@ -338,10 +363,13 @@ func TestPatchedClusteringMatchesFresh(t *testing.T) {
 	}
 }
 
-// TestConnectorFailureInvalidatesCache: failing a connector changes no
-// clustering role but must force a backbone recompute.
-func TestConnectorFailureInvalidatesCache(t *testing.T) {
+// TestConnectorFailurePatchesCache: failing a connector changes no
+// clustering role; the backbone reroutes through a scoped re-election,
+// not a full recompute, and the patched structures match a from-scratch
+// rebuild exactly.
+func TestConnectorFailurePatchesCache(t *testing.T) {
 	s := newState(t, 9, 80)
+	s.PatchScopeFraction = 1
 	conn, _, err := s.Structures()
 	if err != nil {
 		t.Fatal(err)
@@ -363,10 +391,49 @@ func TestConnectorFailureInvalidatesCache(t *testing.T) {
 	if len(changed) != 0 {
 		t.Fatalf("connector failure changed roles: %v", changed)
 	}
-	if _, _, err := s.Structures(); err != nil {
+	conn2, pldel2, err := s.Structures()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Recomputes != 2 {
-		t.Fatalf("Recomputes = %d after connector failure, want 2", s.Recomputes)
+	if s.Recomputes != 1 || s.Patches != 1 {
+		t.Fatalf("Recomputes = %d, Patches = %d after connector failure, want 1, 1", s.Recomputes, s.Patches)
+	}
+	assertMatchesRebuild(t, s, conn2, pldel2)
+}
+
+// assertMatchesRebuild compares the maintained structures against a
+// from-scratch rebuild of the same roles — the bit-identical contract of
+// witness patching.
+func assertMatchesRebuild(t *testing.T, s *State, conn *connector.Result, pldel *graph.Graph) {
+	t.Helper()
+	alive, status := s.Roles()
+	ref, err := FromRoles(s.Positions(), s.Radius(), alive, status)
+	if err != nil {
+		t.Fatalf("FromRoles: %v", err)
+	}
+	refConn, refPldel, err := ref.Structures()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if !refConn.CDS.Equal(conn.CDS) {
+		t.Fatal("patched CDS diverges from rebuild")
+	}
+	if !refConn.CDSPrime.Equal(conn.CDSPrime) {
+		t.Fatal("patched CDS' diverges from rebuild")
+	}
+	if !refConn.ICDS.Equal(conn.ICDS) {
+		t.Fatal("patched ICDS diverges from rebuild")
+	}
+	if !refConn.ICDSPrime.Equal(conn.ICDSPrime) {
+		t.Fatal("patched ICDS' diverges from rebuild")
+	}
+	if !reflect.DeepEqual(refConn.InBackbone, conn.InBackbone) {
+		t.Fatal("patched backbone membership diverges from rebuild")
+	}
+	if !reflect.DeepEqual(refConn.Connectors, conn.Connectors) {
+		t.Fatal("patched connector list diverges from rebuild")
+	}
+	if !refPldel.Equal(pldel) {
+		t.Fatal("patched planarization diverges from rebuild")
 	}
 }

@@ -1,0 +1,255 @@
+package maintain
+
+import (
+	"math/rand"
+	"testing"
+
+	"geospanner/internal/cluster"
+	"geospanner/internal/geom"
+	"geospanner/internal/udg"
+)
+
+// TestWitnessPatchFailRegression is the regression sweep for the
+// witness-scope boundary: failing a NON-backbone dominatee looks inert,
+// but the dead node may have been the losing candidate that blocked a
+// larger-ID node in a connector election — its removal flips a decision
+// two hops away. The pre-witness patch fast-path got exactly this wrong
+// (it kept the cached CDS untouched); every fail and rejoin here must
+// leave the patched structures bit-identical to a from-scratch rebuild.
+func TestWitnessPatchFailRegression(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		s := newStateR(t, seed, 120, 45)
+		s.PatchScopeFraction = 1
+		conn, _, err := s.Structures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var victims []int
+		for v := 0; v < s.N() && len(victims) < 6; v++ {
+			if s.Status(v) == cluster.Dominatee && !conn.InBackbone[v] {
+				victims = append(victims, v)
+			}
+		}
+		for _, v := range victims {
+			if !s.Alive(v) {
+				continue
+			}
+			if _, err := s.Fail(v); err != nil {
+				t.Fatal(err)
+			}
+			c, p, err := s.Structures()
+			if err != nil {
+				t.Fatalf("seed %d fail %d: %v", seed, v, err)
+			}
+			assertMatchesRebuild(t, s, c, p)
+			if _, err := s.Recover(v); err != nil {
+				t.Fatal(err)
+			}
+			c, p, err = s.Structures()
+			if err != nil {
+				t.Fatalf("seed %d rejoin %d: %v", seed, v, err)
+			}
+			assertMatchesRebuild(t, s, c, p)
+		}
+		if s.Recomputes != 1 {
+			t.Fatalf("seed %d: Recomputes = %d, want 1 (every event patched)", seed, s.Recomputes)
+		}
+	}
+}
+
+// TestWitnessScopeBoundaryDistantElection demonstrates the boundary case
+// the witness refactor exists for: a node joining or failing OUTSIDE the
+// backbone changes the CDS anyway, because it enters (or leaves) the
+// candidate set of an election between other nodes. The sweep requires at
+// least one such distant flip to occur — so the oracle below is not
+// vacuous — and bit-exact rebuild equality throughout.
+func TestWitnessScopeBoundaryDistantElection(t *testing.T) {
+	distantFlips := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		s := newStateR(t, seed, 120, 45)
+		s.PatchScopeFraction = 1
+		conn, _, err := s.Structures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < s.N(); v++ {
+			if s.Status(v) != cluster.Dominatee || conn.InBackbone[v] || !s.Alive(v) {
+				continue
+			}
+			before := conn.CDS.Clone()
+			if _, err := s.Fail(v); err != nil {
+				t.Fatal(err)
+			}
+			c, p, err := s.Structures()
+			if err != nil {
+				t.Fatalf("seed %d fail %d: %v", seed, v, err)
+			}
+			if !before.Equal(c.CDS) {
+				// A non-backbone node's failure moved a backbone election.
+				distantFlips++
+				assertMatchesRebuild(t, s, c, p)
+			}
+			if _, err := s.Recover(v); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Structures(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if distantFlips == 0 {
+		t.Fatal("sweep never saw a non-backbone event move an election; the boundary oracle is vacuous")
+	}
+}
+
+// newStateR is newState with an explicit radius.
+func newStateR(t *testing.T, seed int64, n int, radius float64) *State {
+	t.Helper()
+	inst, err := udg.ConnectedInstance(seed, n, 200, radius, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(inst.Points, inst.Radius)
+}
+
+// ChurnProfile weights the event mix of profileBatch.
+type churnProfile struct {
+	name string
+	// Out of 10: rolls below move are moves, below toggle are
+	// naive leave/crash-or-join toggles, the rest stream noise. joinBias
+	// prefers reviving dead nodes in the toggle band.
+	move, toggle int
+	joinBias     bool
+}
+
+var churnProfiles = []churnProfile{
+	{name: "move", move: 7, toggle: 9},
+	{name: "mixed", move: 4, toggle: 8},
+	{name: "join-heavy", move: 2, toggle: 8, joinBias: true},
+}
+
+// profileBatch is randomBatch with a configurable kind mix.
+func profileBatch(rng *rand.Rand, s *State, region float64, k int, p churnProfile) (events []Event, wantApplied, wantRejected int) {
+	alive, _ := s.Roles()
+	pts := s.Positions()
+	jitter := func(q geom.Point) geom.Point {
+		step := s.Radius() / 2
+		x := q.X + (rng.Float64()*2-1)*step
+		y := q.Y + (rng.Float64()*2-1)*step
+		return geom.Point{X: min(max(x, 0), region), Y: min(max(y, 0), region)}
+	}
+	aliveCount := 0
+	var dead []int
+	for v, a := range alive {
+		if a {
+			aliveCount++
+		} else {
+			dead = append(dead, v)
+		}
+	}
+	for i := 0; i < k; i++ {
+		v := rng.Intn(len(alive))
+		switch roll := rng.Intn(10); {
+		case roll < p.move:
+			to := jitter(pts[v])
+			pts[v] = to
+			events = append(events, Event{Kind: EventMove, Node: v, To: to})
+			wantApplied++
+		case roll < p.toggle:
+			if p.joinBias && len(dead) > 0 {
+				v = dead[rng.Intn(len(dead))]
+			}
+			if alive[v] {
+				if aliveCount <= 2 {
+					i--
+					continue
+				}
+				kind := EventLeave
+				if roll%2 == 0 {
+					kind = EventCrash
+				}
+				events = append(events, Event{Kind: kind, Node: v})
+				alive[v] = false
+				aliveCount--
+				dead = append(dead, v)
+			} else {
+				events = append(events, Event{Kind: EventJoin, Node: v})
+				alive[v] = true
+				aliveCount++
+				for j, d := range dead {
+					if d == v {
+						dead = append(dead[:j], dead[j+1:]...)
+						break
+					}
+				}
+			}
+			wantApplied++
+		default:
+			if alive[v] {
+				events = append(events, Event{Kind: EventJoin, Node: v})
+			} else {
+				events = append(events, Event{Kind: EventCrash, Node: v})
+			}
+			wantRejected++
+		}
+	}
+	return events, wantApplied, wantRejected
+}
+
+// TestChurnPropertyMatrix sweeps churn profiles × network sizes with
+// witness patching forced on (uncapped scope): after every epoch the
+// patched structures must equal a from-scratch rebuild bit for bit, and
+// across each run the patch path must actually fire. This is the matrix
+// CI runs under -race.
+func TestChurnPropertyMatrix(t *testing.T) {
+	sizes := []struct {
+		seed   int64
+		n      int
+		radius float64
+		epochs int
+	}{
+		// Radius shrinks with n so the network keeps a multi-hop diameter —
+		// the regime witness patching exists for.
+		{seed: 31, n: 40, radius: 60, epochs: 6},
+		{seed: 32, n: 90, radius: 45, epochs: 5},
+		{seed: 33, n: 180, radius: 36, epochs: 4},
+		{seed: 34, n: 350, radius: 28, epochs: 3},
+	}
+	for _, p := range churnProfiles {
+		for _, tc := range sizes {
+			t.Run(p.name, func(t *testing.T) {
+				s := newStateR(t, tc.seed, tc.n, tc.radius)
+				s.PatchScopeFraction = 1
+				rng := rand.New(rand.NewSource(tc.seed * 77))
+				for epoch := 1; epoch <= tc.epochs; epoch++ {
+					k := 3 + rng.Intn(6)
+					events, wantApplied, wantRejected := profileBatch(rng, s, 200, k, p)
+					st := s.ApplyBatch(events, DefaultFallbackFraction)
+					if st.Applied != wantApplied || st.Rejected != wantRejected {
+						t.Fatalf("%s n=%d epoch %d: applied=%d rejected=%d, want %d/%d",
+							p.name, tc.n, epoch, st.Applied, st.Rejected, wantApplied, wantRejected)
+					}
+					kindTotal := 0
+					for _, kc := range st.ByKind {
+						kindTotal += kc.Applied + kc.Rejected
+					}
+					if kindTotal != st.Events {
+						t.Fatalf("%s n=%d epoch %d: ByKind sums to %d, want %d",
+							p.name, tc.n, epoch, kindTotal, st.Events)
+					}
+					conn, pldel, err := s.Structures()
+					if err != nil {
+						t.Fatalf("%s n=%d epoch %d: %v", p.name, tc.n, epoch, err)
+					}
+					if err := s.VerifyBackbone(conn, pldel); err != nil {
+						t.Fatalf("%s n=%d epoch %d: %v", p.name, tc.n, epoch, err)
+					}
+					assertMatchesRebuild(t, s, conn, pldel)
+				}
+				if s.Patches == 0 {
+					t.Fatalf("%s n=%d: witness patching never fired", p.name, tc.n)
+				}
+			})
+		}
+	}
+}

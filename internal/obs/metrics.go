@@ -156,14 +156,16 @@ type StageMetrics struct {
 	// EpochRejected the total no-op events, EpochRoleChanges the total
 	// role churn, and EpochRecomputes / EpochFallbacks the epochs whose
 	// backbone was rebuilt (rather than patched in place) and the subset
-	// that fell back to a from-scratch re-clustering. Snapshots counts
-	// published epoch snapshots.
+	// that fell back to a from-scratch re-clustering. EpochPatches counts
+	// the epochs a witness-scoped patch absorbed in place. Snapshots
+	// counts published epoch snapshots.
 	Epochs           int
 	EpochEvents      Histogram
 	EpochRejected    int
 	EpochRoleChanges int
 	EpochRecomputes  int
 	EpochFallbacks   int
+	EpochPatches     int
 	Snapshots        int
 	// DegradedEntries / DegradedExits count the service's crossings into
 	// and out of read-only degraded mode (KindDegraded events).
@@ -259,6 +261,8 @@ func (m *Metrics) Emit(e Event) {
 		s.EpochRejected += e.Delivered
 		s.EpochRoleChanges += e.Sent
 		switch e.Note {
+		case "patched":
+			s.EpochPatches++
 		case "recomputed":
 			s.EpochRecomputes++
 		case "fallback":
@@ -334,9 +338,10 @@ func (m *Metrics) String() string {
 				s.ShardReports, imbalance, hitRate*100, s.ShardWall.String())
 		}
 		if s.Epochs > 0 {
-			fmt.Fprintf(&b, "  epochs=%d snapshots=%d recompute_ratio=%.2f fallbacks=%d rejected=%d role_changes=%d applied %s\n",
-				s.Epochs, s.Snapshots, s.RecomputeRatio(), s.EpochFallbacks,
-				s.EpochRejected, s.EpochRoleChanges, s.EpochEvents.String())
+			fmt.Fprintf(&b, "  epochs=%d snapshots=%d recompute_ratio=%.2f patched=%d fallbacks=%d rejected=%d role_changes=%d applied %s\n",
+				s.Epochs, s.Snapshots, s.RecomputeRatio(), s.EpochPatches,
+				s.EpochFallbacks, s.EpochRejected, s.EpochRoleChanges,
+				s.EpochEvents.String())
 		}
 		if s.DegradedEntries > 0 || s.DegradedExits > 0 {
 			fmt.Fprintf(&b, "  degraded entries=%d exits=%d\n", s.DegradedEntries, s.DegradedExits)

@@ -211,7 +211,7 @@ type Sized interface {
 // value implements Sized, otherwise the length of its formatted value — a
 // crude but deterministic stand-in for encoded size, good enough to rank
 // message types by weight in a trace.
-func SizeOf(v interface{}) int {
+func SizeOf(v any) int {
 	if s, ok := v.(Sized); ok {
 		return s.TraceBytes()
 	}

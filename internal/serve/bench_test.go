@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"geospanner/internal/maintain"
 	"geospanner/internal/udg"
 )
 
@@ -17,32 +18,49 @@ func benchRadius(n int, region float64) float64 {
 }
 
 // BenchmarkEpochApply measures the service's write path end to end: one
-// maintenance epoch — a mixed churn batch through maintain.State, the
-// backbone patch or recompute, and the copy-on-write snapshot build that
-// publishes the new epoch to readers.
+// maintenance epoch — a churn batch through maintain.State, the backbone
+// patch or recompute, and the copy-on-write snapshot build that publishes
+// the new epoch to readers. The grid splits the cost three ways: network
+// size, event mix (one sub-benchmark per churn profile, so move-dominated
+// and membership-dominated batches are costed separately), and
+// maintenance mode — "patch" runs the witness-scoped incremental path
+// with its default scope cap, "rebuild" disables it (every epoch derives
+// the structures from scratch), so patch-vs-rebuild is a direct
+// before/after comparison on identical schedules.
 func BenchmarkEpochApply(b *testing.B) {
+	modes := []struct {
+		name  string
+		scope float64
+	}{
+		{"patch", maintain.DefaultPatchScopeFraction},
+		{"rebuild", -1},
+	}
 	for _, n := range []int{500, 2000} {
-		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
-			const region = 200.0
-			radius := benchRadius(n, region)
-			inst, err := udg.ConnectedInstance(21, n, region, radius, 0)
-			if err != nil {
-				b.Fatal(err)
+		for _, prof := range Profiles() {
+			for _, mode := range modes {
+				b.Run(fmt.Sprintf("n%d/%s/%s", n, prof.Name, mode.name), func(b *testing.B) {
+					const region = 200.0
+					radius := benchRadius(n, region)
+					inst, err := udg.ConnectedInstance(21, n, region, radius, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					srv, err := New(inst.Points, radius, WithPatchScope(mode.scope))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sched := NewSchedulerProfile(22, inst.Points, region, radius, prof)
+					batch := max(4, n/500)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := srv.Apply(sched.Batch(batch)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
 			}
-			srv, err := New(inst.Points, radius)
-			if err != nil {
-				b.Fatal(err)
-			}
-			sched := NewScheduler(22, inst.Points, region, radius)
-			batch := max(20, n/25)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := srv.Apply(sched.Batch(batch)); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		}
 	}
 }
 

@@ -14,11 +14,11 @@ import (
 // exactly what ApplyBatch will accept, so scheduled events are never
 // rejected — rejection paths are exercised separately by tests.
 //
-// The event mix leans toward mobility (the common case in an ad hoc
-// network): roughly 45% moves, 20% crashes, 20% joins, 15% voluntary
-// leaves. Crashes and leaves are suppressed when fewer than a quarter of
-// the nodes survive, so long schedules churn a living network instead of
-// emptying it.
+// The event mix is set by a Profile (ProfileMixed when built with
+// NewScheduler): cumulative roll thresholds over [0,100) for move, crash
+// and join, with voluntary leaves taking the rest. Crashes and leaves are
+// suppressed when fewer than a quarter of the nodes survive, so long
+// schedules churn a living network instead of emptying it.
 type Scheduler struct {
 	rng    *rand.Rand
 	pts    []geom.Point
@@ -26,12 +26,51 @@ type Scheduler struct {
 	nAlive int
 	region float64
 	radius float64
+	prof   Profile
+}
+
+// Profile is a named churn event mix: rolls in [0,Move) are moves,
+// [Move,Crash) crashes, [Crash,Join) joins, [Join,100) voluntary leaves.
+type Profile struct {
+	Name              string
+	Move, Crash, Join int
+}
+
+// The built-in churn profiles. Mixed is the historical default mix
+// (≈45% moves, 20% crashes, 20% joins, 15% leaves); Move models a mobile
+// but stable fleet (moves dominate, little membership churn — the regime
+// witness patching targets); JoinHeavy models a network bootstrapping or
+// flapping (membership churn dominates).
+var (
+	ProfileMixed     = Profile{Name: "mixed", Move: 45, Crash: 65, Join: 85}
+	ProfileMove      = Profile{Name: "move", Move: 85, Crash: 91, Join: 97}
+	ProfileJoinHeavy = Profile{Name: "join-heavy", Move: 25, Crash: 45, Join: 90}
+)
+
+// Profiles returns the built-in profiles in presentation order.
+func Profiles() []Profile { return []Profile{ProfileMove, ProfileMixed, ProfileJoinHeavy} }
+
+// ProfileByName resolves a built-in profile by its name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
 }
 
 // NewScheduler builds a scheduler over a mirror of the initial positions
-// (all nodes alive). region is the deployment square side; radius bounds
-// the per-move displacement.
+// (all nodes alive) with the mixed profile. region is the deployment
+// square side; radius bounds the per-move displacement.
 func NewScheduler(seed int64, pts []geom.Point, region, radius float64) *Scheduler {
+	return NewSchedulerProfile(seed, pts, region, radius, ProfileMixed)
+}
+
+// NewSchedulerProfile is NewScheduler with an explicit event-mix profile.
+// Schedules with the same seed and profile are identical; the mixed
+// profile reproduces NewScheduler's historical stream bit for bit.
+func NewSchedulerProfile(seed int64, pts []geom.Point, region, radius float64, prof Profile) *Scheduler {
 	sc := &Scheduler{
 		rng:    rand.New(rand.NewSource(seed)),
 		pts:    append([]geom.Point(nil), pts...),
@@ -39,6 +78,7 @@ func NewScheduler(seed int64, pts []geom.Point, region, radius float64) *Schedul
 		nAlive: len(pts),
 		region: region,
 		radius: radius,
+		prof:   prof,
 	}
 	for v := range sc.alive {
 		sc.alive[v] = true
@@ -60,17 +100,17 @@ func (sc *Scheduler) next() maintain.Event {
 	roll := sc.rng.Intn(100)
 	quorum := sc.nAlive*4 >= n // at least a quarter alive
 	switch {
-	case roll < 45 && sc.nAlive > 0: // move
+	case roll < sc.prof.Move && sc.nAlive > 0: // move
 		v := sc.pickAlive()
 		to := sc.jitter(sc.pts[v])
 		sc.pts[v] = to
 		return maintain.NewMove(v, to)
-	case roll < 65 && quorum && sc.nAlive > 1: // crash
+	case roll < sc.prof.Crash && quorum && sc.nAlive > 1: // crash
 		v := sc.pickAlive()
 		sc.alive[v] = false
 		sc.nAlive--
 		return maintain.NewCrash(v)
-	case roll < 85 && sc.nAlive < n: // join (a dead node rejoins where it died)
+	case roll < sc.prof.Join && sc.nAlive < n: // join (a dead node rejoins where it died)
 		v := sc.pickDead()
 		sc.alive[v] = true
 		sc.nAlive++

@@ -93,6 +93,18 @@ func WithWALRetry(retries int, backoff time.Duration) Option {
 	}
 }
 
+// WithPatchScope overrides the witness-patch scope cap: the fraction of
+// alive nodes a batch's witness scope may reach before the epoch falls
+// back to a full structure recompute
+// (maintain.DefaultPatchScopeFraction by default; 1 patches everything;
+// negative disables witness patching entirely — the measurement
+// baseline). The knob never changes the published topology — a patched
+// epoch is bit-identical to a from-scratch rebuild — only how much work
+// each epoch does.
+func WithPatchScope(f float64) Option {
+	return func(s *Server) { s.patchScope, s.patchScopeSet = f, true }
+}
+
 // WithWAL makes the server durable: every Apply appends the epoch's event
 // batch to a write-ahead log in dir — before the new snapshot is
 // published, so an acknowledged epoch is a durable epoch — and the log
@@ -110,12 +122,14 @@ func WithWALConfig(dir string, cfg wal.Config) Option {
 
 // Server owns a maintained topology and serves epoch snapshots of it.
 type Server struct {
-	mu           sync.Mutex // serializes writers (Apply); readers never take it
-	st           *maintain.State
-	seq          uint64
-	fallbackFrac float64
-	fallbackSet  bool // WithFallbackFraction given explicitly
-	tracer       obs.Tracer
+	mu            sync.Mutex // serializes writers (Apply); readers never take it
+	st            *maintain.State
+	seq           uint64
+	fallbackFrac  float64
+	fallbackSet   bool // WithFallbackFraction given explicitly
+	patchScope    float64
+	patchScopeSet bool // WithPatchScope given explicitly
+	tracer        obs.Tracer
 
 	walDir       string
 	walCfg       wal.Config
@@ -134,6 +148,9 @@ type Server struct {
 	// but are atomics so Stats can read them from any goroutine.
 	epochs, events, applied, rejected  atomic.Int64
 	roleChanges, recomputes, fallbacks atomic.Int64
+	patched, patchFallbacks            atomic.Int64
+	kindApplied                        [maintain.NumEventKinds]atomic.Int64
+	kindRejected                       [maintain.NumEventKinds]atomic.Int64
 	walErrors                          atomic.Int64
 	degradedEntries, degradedExits     atomic.Int64
 	routeQueries, routeFailures        atomic.Int64
@@ -154,6 +171,9 @@ func New(pts []geom.Point, radius float64, opts ...Option) (*Server, error) {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.patchScopeSet {
+		s.st.PatchScopeFraction = s.patchScope
 	}
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
@@ -223,6 +243,9 @@ func Recover(dir string, opts ...Option) (*Server, RecoverInfo, error) {
 	}
 	s.fallbackFrac = res.FallbackFrac
 	s.st, s.seq, s.wal, s.walDir = res.State, res.Seq, log, dir
+	if s.patchScopeSet {
+		s.st.PatchScopeFraction = s.patchScope
+	}
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
 		log.Close()
@@ -262,6 +285,9 @@ func Restore(r io.Reader, opts ...Option) (*Server, error) {
 	}
 	if !s.fallbackSet {
 		s.fallbackFrac = frac
+	}
+	if s.patchScopeSet {
+		s.st.PatchScopeFraction = s.patchScope
 	}
 	conn, pldel, err := s.st.Structures()
 	if err != nil {
@@ -327,6 +353,8 @@ func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 		}
 	}
 	recBefore := s.st.Recomputes
+	patBefore := s.st.Patches
+	pfbBefore := s.st.PatchFallbacks
 	batch := s.st.ApplyBatch(events, s.fallbackFrac)
 	s.seq++
 	conn, pldel, err := s.st.Structures()
@@ -336,6 +364,7 @@ func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 	stats := EpochStats{
 		Batch:      batch,
 		Recomputed: s.st.Recomputes > recBefore,
+		Patched:    s.st.Patches > patBefore,
 		WallNS:     time.Since(start).Nanoseconds(),
 	}
 	ep := s.buildEpoch(s.seq, conn, pldel, stats)
@@ -356,8 +385,16 @@ func (s *Server) Apply(events []maintain.Event) (*Epoch, error) {
 	if stats.Recomputed {
 		s.recomputes.Add(1)
 	}
+	if stats.Patched {
+		s.patched.Add(1)
+	}
+	s.patchFallbacks.Add(int64(s.st.PatchFallbacks - pfbBefore))
 	if batch.Fallback {
 		s.fallbacks.Add(1)
+	}
+	for k := range batch.ByKind {
+		s.kindApplied[k].Add(int64(batch.ByKind[k].Applied))
+		s.kindRejected[k].Add(int64(batch.ByKind[k].Rejected))
 	}
 	if s.tracer != nil {
 		s.tracer.Emit(obs.Event{
@@ -477,6 +514,12 @@ type EpochStats struct {
 	// maintained roles (false: the cached structures absorbed every event
 	// in place — the "skip the recompute" contract).
 	Recomputed bool
+	// Patched reports that a witness-scoped patch spliced this epoch's
+	// events into the cached structures (the tentpole path: election
+	// re-runs confined to the events' witness scope, output bit-identical
+	// to a rebuild). False with Recomputed false means the batch was pure
+	// no-ops and the caches were simply reused.
+	Patched bool
 	// WallNS is the wall time of the whole apply (events + derivation +
 	// snapshot build).
 	WallNS int64
@@ -740,20 +783,30 @@ func (s *Server) Health() (*health.Report, uint64) {
 
 // Stats is the cumulative service-level metrics rollup.
 type Stats struct {
-	Epoch           uint64  `json:"epoch"`
-	Epochs          int64   `json:"epochs"`
-	Events          int64   `json:"events"`
-	Applied         int64   `json:"applied"`
-	Rejected        int64   `json:"rejected"`
-	RoleChanges     int64   `json:"role_changes"`
-	Recomputes      int64   `json:"recomputes"`
-	Fallbacks       int64   `json:"fallbacks"`
-	RecomputeRatio  float64 `json:"recompute_ratio"`
-	RouteQueries    int64   `json:"route_queries"`
-	RouteFailures   int64   `json:"route_failures"`
-	TopologyQueries int64   `json:"topology_queries"`
-	HealthQueries   int64   `json:"health_queries"`
-	SnapshotAgeMS   int64   `json:"snapshot_age_ms"`
+	Epoch       uint64 `json:"epoch"`
+	Epochs      int64  `json:"epochs"`
+	Events      int64  `json:"events"`
+	Applied     int64  `json:"applied"`
+	Rejected    int64  `json:"rejected"`
+	RoleChanges int64  `json:"role_changes"`
+	Recomputes  int64  `json:"recomputes"`
+	Fallbacks   int64  `json:"fallbacks"`
+	// PatchedEpochs counts epochs absorbed by a witness-scoped patch;
+	// PatchFallbacks counts patch attempts abandoned because the witness
+	// scope exceeded the patch-scope cap (each such epoch recomputed
+	// instead). RecomputeRatio = Recomputes / Epochs is the headline
+	// incremental-maintenance metric: how often churn forced a rebuild.
+	PatchedEpochs  int64   `json:"patched_epochs"`
+	PatchFallbacks int64   `json:"patch_fallbacks"`
+	RecomputeRatio float64 `json:"recompute_ratio"`
+	// ByKind slices cumulative applied/rejected event counts per event
+	// kind ("join", "leave", "crash", "move").
+	ByKind          map[string]KindStats `json:"by_kind,omitempty"`
+	RouteQueries    int64                `json:"route_queries"`
+	RouteFailures   int64                `json:"route_failures"`
+	TopologyQueries int64                `json:"topology_queries"`
+	HealthQueries   int64                `json:"health_queries"`
+	SnapshotAgeMS   int64                `json:"snapshot_age_ms"`
 
 	// Durability rollup; zero values when the server has no WAL.
 	WAL              bool   `json:"wal"`
@@ -783,6 +836,12 @@ type Stats struct {
 	WALDegradedExits   int64 `json:"wal_degraded_exits,omitempty"`
 }
 
+// KindStats is the cumulative applied/rejected split of one event kind.
+type KindStats struct {
+	Applied  int64 `json:"applied"`
+	Rejected int64 `json:"rejected"`
+}
+
 // Stats reports the cumulative per-epoch and query counters plus the age
 // of the current snapshot.
 func (s *Server) Stats() Stats {
@@ -796,6 +855,8 @@ func (s *Server) Stats() Stats {
 		RoleChanges:     s.roleChanges.Load(),
 		Recomputes:      s.recomputes.Load(),
 		Fallbacks:       s.fallbacks.Load(),
+		PatchedEpochs:   s.patched.Load(),
+		PatchFallbacks:  s.patchFallbacks.Load(),
 		RouteQueries:    s.routeQueries.Load(),
 		RouteFailures:   s.routeFailures.Load(),
 		TopologyQueries: s.topologyQueries.Load(),
@@ -804,6 +865,16 @@ func (s *Server) Stats() Stats {
 	}
 	if st.Epochs > 0 {
 		st.RecomputeRatio = float64(st.Recomputes) / float64(st.Epochs)
+	}
+	for k := 0; k < maintain.NumEventKinds; k++ {
+		a, r := s.kindApplied[k].Load(), s.kindRejected[k].Load()
+		if a == 0 && r == 0 {
+			continue
+		}
+		if st.ByKind == nil {
+			st.ByKind = make(map[string]KindStats, maintain.NumEventKinds)
+		}
+		st.ByKind[maintain.EventKind(k).String()] = KindStats{Applied: a, Rejected: r}
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()

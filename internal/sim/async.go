@@ -106,9 +106,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(asyncEvent)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(asyncEvent)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	ev := old[n-1]

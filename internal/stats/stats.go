@@ -102,7 +102,7 @@ func NewTable(header ...string) *Table {
 
 // AddRow appends a row; cells are formatted with %v, with float64 cells
 // rendered to 2 decimal places and "-" for NaN.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

@@ -36,6 +36,12 @@ type (
 	RecoverInfo = serve.RecoverInfo
 	// Scheduler generates deterministic synthetic churn schedules.
 	Scheduler = serve.Scheduler
+	// SchedulerProfile is a named churn event mix for NewSchedulerProfile
+	// (serve.ProfileMove, serve.ProfileMixed, serve.ProfileJoinHeavy).
+	SchedulerProfile = serve.Profile
+	// KindStats is the cumulative applied/rejected split of one event kind
+	// in ServerStats.ByKind.
+	KindStats = serve.KindStats
 	// WALConfig tunes a server's write-ahead log (fsync batching,
 	// checkpoint cadence); the zero value means the durable defaults.
 	WALConfig = wal.Config
@@ -127,6 +133,14 @@ var ErrServerDegraded = serve.ErrDegraded
 // same fraction the crashed one ran with.
 func WithFallbackFraction(f float64) ServerOption { return serve.WithFallbackFraction(f) }
 
+// WithPatchScope overrides the witness-patch scope cap: the fraction of
+// alive nodes an epoch's witness scope may reach before maintenance
+// falls back to a full structure recompute (the package default caps it
+// at a quarter; 1 patches everything, negative disables patching). The
+// knob trades work for nothing else — a patched epoch is bit-identical
+// to a rebuilt one.
+func WithPatchScope(f float64) ServerOption { return serve.WithPatchScope(f) }
+
 // WithServerTracer attaches a structured-event sink to the service (one
 // epoch and one snapshot event per applied batch). It is the service-side
 // counterpart of the build-side WithTracer.
@@ -155,4 +169,15 @@ func HasWAL(dir string) bool { return wal.Exists(dir) }
 // schedule, independent of how a server applies it.
 func NewScheduler(seed int64, pts []Point, region, radius float64) *Scheduler {
 	return serve.NewScheduler(seed, pts, region, radius)
+}
+
+// NewSchedulerProfile is NewScheduler with an explicit event-mix profile;
+// resolve names ("move", "mixed", "join-heavy") with SchedulerProfileByName.
+func NewSchedulerProfile(seed int64, pts []Point, region, radius float64, prof SchedulerProfile) *Scheduler {
+	return serve.NewSchedulerProfile(seed, pts, region, radius, prof)
+}
+
+// SchedulerProfileByName resolves a built-in churn profile by name.
+func SchedulerProfileByName(name string) (SchedulerProfile, bool) {
+	return serve.ProfileByName(name)
 }
